@@ -1,0 +1,39 @@
+"""Shared table-formatting helpers for the benchmark harnesses.
+
+Every bench prints the rows/series the paper reports (or, for the formal
+artefacts, the exact figure contents) through :func:`emit`, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's tables on stdout while pytest-benchmark reports the
+timings.  Each bench module is also runnable directly
+(``python benchmarks/bench_xxx.py``) to get just the tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "emit"]
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table rendering."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["", f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a table to real stdout (visible even under pytest capture)."""
+    text = format_table(title, headers, rows)
+    print(text, file=sys.__stdout__)

@@ -1,0 +1,162 @@
+"""Experiment S34a: aggregate expiration strategies and their validity.
+
+Paper artefacts: Equation (8) vs Table 1 vs Equation (9), and the Section
+3.4.1 memory bound (#future aggregate states <= |partition|).
+
+The bench materialises GROUP BY aggregations over a sensor-style workload
+under all three strategies and reports (a) the mean result-tuple lifetime,
+(b) the expression-level texp(e), (c) how many recomputations a RECOMPUTE
+view needs over a horizon, and (d) the change-point memory bound check.
+Expected shape: lifetimes conservative <= neutral <= exact; recomputations
+decrease in the same order; the memory bound always holds.
+"""
+
+from repro.core.aggregates import (
+    ExpirationStrategy,
+    change_points,
+    get_aggregate,
+)
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import BaseRef
+from repro.core.timestamps import ts
+from repro.engine.database import Database
+from repro.engine.views import MaintenancePolicy
+from repro.workloads.generators import UniformLifetime, random_relation
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+HORIZON = 120
+
+
+def build_database(size, seed):
+    relation = random_relation(
+        ["sensor", "value"], size, UniformLifetime(5, HORIZON - 10),
+        seed=seed, value_domain=60, key_range=10,
+    )
+    db = Database()
+    table = db.create_table("Readings", ["sensor", "value"])
+    for row, texp in relation.items():
+        table.insert(row, expires_at=texp)
+    return db
+
+
+def run_strategy(function, strategy, size=200, seed=83):
+    db = build_database(size, seed)
+    attribute = None if function == "count" else 2
+    expr = (
+        db.table_expr("Readings")
+        .aggregate(group_by=[1], function=function, attribute=attribute,
+                   strategy=strategy)
+        .project(1, 3)
+    )
+    materialised = db.evaluate(expr)
+    lifetimes = [
+        texp.value if texp.is_finite else HORIZON
+        for _, texp in materialised.relation.items()
+    ]
+    view = db.materialise(f"v_{function}_{strategy.value}", expr,
+                          policy=MaintenancePolicy.RECOMPUTE)
+    for when in range(0, HORIZON):
+        db.advance_to(when)
+        view.read()
+    return {
+        "function": function,
+        "strategy": strategy.value,
+        "mean_tuple_lifetime": round(sum(lifetimes) / len(lifetimes), 1),
+        "texp_e": str(materialised.expiration),
+        "recomputations": view.recomputations,
+    }
+
+
+def run_all(size=200, seed=83, functions=("count", "min", "sum")):
+    rows = []
+    for function in functions:
+        for strategy in (
+            ExpirationStrategy.CONSERVATIVE,
+            ExpirationStrategy.NEUTRAL_SETS,
+            ExpirationStrategy.EXACT,
+        ):
+            rows.append(run_strategy(function, strategy, size=size, seed=seed))
+    return rows
+
+
+def memory_bound_check(size=300, seed=19):
+    """Section 3.4.1: #change points <= |partition| for every partition."""
+    relation = random_relation(["sensor", "value"], size, UniformLifetime(2, 80),
+                               seed=seed, value_domain=60, key_range=8)
+    partitions = {}
+    for row, texp in relation.items():
+        partitions.setdefault(row[0], []).append((row[1], texp))
+    rows = []
+    for name in ("min", "max", "sum", "avg", "count"):
+        function = get_aggregate(name)
+        worst = 0.0
+        total_points = 0
+        for members in partitions.values():
+            points = change_points(members, function, ts(0))
+            assert len(points) <= len(members)
+            worst = max(worst, len(points) / len(members))
+            total_points += len(points)
+        rows.append((name, total_points, f"{worst:.2f}", "<= 1.00 OK"))
+    return rows
+
+
+def print_strategies(rows=None):
+    rows = rows if rows is not None else run_all()
+    emit(
+        "Section 2.6.1 / 3.4.1: aggregate expiration strategies",
+        ["aggregate", "strategy", "mean tuple lifetime", "texp(e)", "recomputations"],
+        [
+            (r["function"], r["strategy"], r["mean_tuple_lifetime"],
+             r["texp_e"], r["recomputations"])
+            for r in rows
+        ],
+    )
+    emit(
+        "Section 3.4.1: change-point memory bound (<= |partition|)",
+        ["aggregate", "total change points", "worst points/|P|", "bound"],
+        memory_bound_check(),
+    )
+
+
+def test_lifetimes_ordered_by_strategy():
+    rows = run_all(size=120, seed=3, functions=("min", "sum"))
+    by_function = {}
+    for r in rows:
+        by_function.setdefault(r["function"], {})[r["strategy"]] = r
+    for function, strategies in by_function.items():
+        conservative = strategies["conservative"]["mean_tuple_lifetime"]
+        neutral = strategies["neutral_sets"]["mean_tuple_lifetime"]
+        exact = strategies["exact"]["mean_tuple_lifetime"]
+        assert conservative <= neutral <= exact, function
+
+
+def test_recomputations_never_increase_with_better_strategy():
+    rows = run_all(size=120, seed=3, functions=("min", "sum"))
+    by_function = {}
+    for r in rows:
+        by_function.setdefault(r["function"], {})[r["strategy"]] = r
+    for function, strategies in by_function.items():
+        assert (
+            strategies["exact"]["recomputations"]
+            <= strategies["conservative"]["recomputations"]
+        ), function
+
+
+def test_memory_bound_holds():
+    rows = memory_bound_check(size=150, seed=5)
+    assert all(float(worst) <= 1.0 for _, _, worst, _ in rows)
+
+
+def test_aggregate_strategies_benchmark(benchmark):
+    report = benchmark(run_strategy, "min", ExpirationStrategy.EXACT,
+                       size=100, seed=13)
+    assert report["recomputations"] >= 0
+    print_strategies()
+
+
+if __name__ == "__main__":
+    print_strategies()

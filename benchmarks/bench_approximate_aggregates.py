@@ -1,0 +1,114 @@
+"""Experiment X1 (extension, paper §5): approximate aggregates.
+
+Paper future work: "maintaining, e.g., aggregate values with certain error
+bounds, we might be able to improve performance".  The bench sweeps an
+absolute tolerance over sum/avg/count partitions and reports the mean
+tuple lifetime gained and the worst error actually served.
+
+Expected shape: lifetime grows monotonically with the tolerance; observed
+error never exceeds it; zero tolerance reproduces Equation (9) exactly.
+"""
+
+import random
+
+from repro.core.aggregates import exact_expiration, get_aggregate
+from repro.core.approximate import (
+    EXACT_TOLERANCE,
+    AbsoluteTolerance,
+    approximate_expiration,
+    max_observed_error,
+)
+from repro.core.timestamps import ts
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+HORIZON = 100
+
+
+def random_partitions(count, size, seed):
+    rng = random.Random(seed)
+    partitions = []
+    for _ in range(count):
+        partitions.append(
+            [
+                (rng.randint(-4, 12), ts(rng.randint(2, HORIZON - 10)))
+                for _ in range(size)
+            ]
+        )
+    return partitions
+
+
+def run_sweep(count=150, size=8, seed=131):
+    partitions = random_partitions(count, size, seed)
+    rows = []
+    for function_name in ("sum", "avg", "count"):
+        function = get_aggregate(function_name)
+        for epsilon in (0, 1, 3, 8):
+            tolerance = AbsoluteTolerance(epsilon) if epsilon else EXACT_TOLERANCE
+            lifetime = 0
+            worst_error = 0
+            for partition in partitions:
+                expiration = approximate_expiration(
+                    partition, function, ts(0), tolerance
+                )
+                capped = expiration.value if expiration.is_finite else HORIZON
+                lifetime += capped
+                error = max_observed_error(partition, function, ts(0), expiration)
+                worst_error = max(worst_error, float(error))
+            rows.append(
+                (
+                    function_name,
+                    epsilon,
+                    round(lifetime / count, 1),
+                    round(worst_error, 2),
+                    "OK" if worst_error <= max(epsilon, 0) or epsilon == 0 else "VIOLATED",
+                )
+            )
+    return rows
+
+
+def print_approximate(rows=None):
+    emit(
+        "Extension: approximate aggregates (absolute tolerance sweep)",
+        ["aggregate", "epsilon", "mean tuple lifetime", "worst served error", "bound"],
+        rows if rows is not None else run_sweep(),
+    )
+
+
+def test_lifetime_monotone_in_tolerance():
+    rows = run_sweep(count=60, size=6, seed=3)
+    by_function = {}
+    for function_name, epsilon, lifetime, _, _ in rows:
+        by_function.setdefault(function_name, []).append((epsilon, lifetime))
+    for function_name, series in by_function.items():
+        lifetimes = [lifetime for _, lifetime in sorted(series)]
+        assert lifetimes == sorted(lifetimes), function_name
+
+
+def test_error_bounded_by_tolerance():
+    for function_name, epsilon, _, worst, verdict in run_sweep(count=60, size=6, seed=3):
+        if epsilon > 0:
+            assert worst <= epsilon, (function_name, epsilon, worst)
+        assert verdict == "OK"
+
+
+def test_zero_tolerance_is_equation_9():
+    partitions = random_partitions(40, 6, seed=9)
+    function = get_aggregate("sum")
+    for partition in partitions:
+        assert approximate_expiration(
+            partition, function, ts(0), EXACT_TOLERANCE
+        ) == exact_expiration(partition, function, ts(0))
+
+
+def test_approximate_benchmark(benchmark):
+    rows = benchmark(run_sweep, count=60, size=8, seed=21)
+    assert rows
+    print_approximate()
+
+
+if __name__ == "__main__":
+    print_approximate()

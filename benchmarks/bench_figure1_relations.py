@@ -1,0 +1,62 @@
+"""Experiment F1: regenerate the Figure 1 example relations.
+
+Paper artefact: Figure 1 -- tables Pol and El with their texp columns at
+time 0.  The bench also times bulk insertion into an engine table (the
+operation behind the figure), since insertion is the write path every
+other experiment builds on.
+"""
+
+from repro.engine.database import Database
+from repro.workloads.generators import UniformLifetime, random_relation
+from repro.workloads.news import PROFILE_SCHEMA, figure1_el, figure1_pol
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+
+def regenerate():
+    """The two figure tables, as (title, rows) pairs."""
+    tables = []
+    for title, relation in (("Pol (politics)", figure1_pol()), ("El (elections)", figure1_el())):
+        rows = sorted(
+            (int(texp), row[0], row[1]) for row, texp in relation.items()
+        )
+        tables.append((title, rows))
+    return tables
+
+
+def print_figure1():
+    for title, rows in regenerate():
+        emit(
+            f"Figure 1: {title} at time 0",
+            ["texp(.)", "UID", "Deg"],
+            rows,
+        )
+
+
+def test_figure1_exact_rows():
+    tables = dict(regenerate())
+    assert tables["Pol (politics)"] == [(10, 1, 25), (10, 3, 35), (15, 2, 25)]
+    assert tables["El (elections)"] == [(2, 4, 90), (3, 2, 85), (5, 1, 75)]
+
+
+def test_figure1_bulk_insert_benchmark(benchmark):
+    source = random_relation(PROFILE_SCHEMA, 2000, UniformLifetime(1, 500), seed=1)
+    rows = list(source.items())
+
+    def insert_all():
+        db = Database()
+        table = db.create_table("Pol", PROFILE_SCHEMA)
+        for row, texp in rows:
+            table.insert(row, expires_at=texp)
+        return table
+
+    table = benchmark(insert_all)
+    assert len(table) == 2000
+    print_figure1()
+
+
+if __name__ == "__main__":
+    print_figure1()

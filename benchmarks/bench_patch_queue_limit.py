@@ -1,0 +1,107 @@
+"""Experiment X3 (ablation, paper §3.4.2): the patch-queue size policy.
+
+The paper: deciding "how many r to keep in the queue ... is a classic
+trade-off decision between saving future communication and time/space as
+well as up-front communication cost".  The bench sweeps the queue limit of
+a patched difference and reports the guaranteed-independence horizon, the
+up-front storage/shipping cost, and how many recomputations a client would
+still need over the full data lifetime.
+
+Expected shape: guarantee horizon and up-front cost grow with the limit;
+with an unbounded queue the guarantee is ∞ and recomputations are zero
+(Theorem 3); with limit 0 the behaviour degrades to recompute-at-texp(e).
+"""
+
+from repro.core.patching import compute_difference_with_patches
+from repro.core.timestamps import INFINITY, ts
+from repro.workloads.generators import UniformLifetime, overlapping_relations
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+HORIZON = 120
+
+
+def run_limit(limit, size=200, overlap=0.6, seed=163):
+    left, right = overlapping_relations(
+        ["k", "v"], size, overlap, UniformLifetime(5, HORIZON - 20),
+        seed=seed, critical_bias=1.0,
+    )
+    materialised, patcher = compute_difference_with_patches(
+        left, right, tau=0, limit=limit
+    )
+    upfront = len(materialised) + len(patcher)
+    guarantee = patcher.guaranteed_until
+
+    # A client reading every tick: before the guarantee, patches keep it
+    # exact; at/after the guarantee it must recompute, and we charge one
+    # recomputation per tick in the unguaranteed region where the truth
+    # still changes (i.e. until all data expires).
+    last_change = 0
+    for relation in (left, right):
+        for _, texp in relation.items():
+            if texp.is_finite:
+                last_change = max(last_change, texp.value)
+    if guarantee.is_infinite:
+        recomputations = 0
+        horizon_ticks = "inf"
+    else:
+        recomputations = max(0, min(last_change, HORIZON) - guarantee.value)
+        horizon_ticks = guarantee.value
+    return (
+        "unbounded" if limit is None else limit,
+        len(patcher),
+        upfront,
+        horizon_ticks,
+        recomputations,
+    )
+
+
+def run_sweep(size=200, seed=163):
+    return [
+        run_limit(limit, size=size, seed=seed)
+        for limit in (0, 10, 40, 80, None)
+    ]
+
+
+def print_queue_limit(rows=None):
+    emit(
+        "Section 3.4.2 ablation: patch-queue size limit",
+        ["queue limit", "patches kept", "up-front storage",
+         "guaranteed until", "recomputations still needed"],
+        rows if rows is not None else run_sweep(),
+    )
+
+
+def test_unbounded_gives_theorem3():
+    rows = {row[0]: row for row in run_sweep(size=100, seed=5)}
+    unbounded = rows["unbounded"]
+    assert unbounded[3] == "inf"
+    assert unbounded[4] == 0
+
+
+def test_guarantee_monotone_in_limit():
+    rows = run_sweep(size=100, seed=5)
+    finite = [row for row in rows if row[3] != "inf"]
+    horizons = [row[3] for row in finite]
+    assert horizons == sorted(horizons)
+    recomputes = [row[4] for row in finite]
+    assert recomputes == sorted(recomputes, reverse=True)
+
+
+def test_storage_monotone_in_limit():
+    rows = run_sweep(size=100, seed=5)
+    storage = [row[2] for row in rows]
+    assert storage == sorted(storage)
+
+
+def test_queue_limit_benchmark(benchmark):
+    rows = benchmark(run_sweep, size=120, seed=17)
+    assert len(rows) == 5
+    print_queue_limit()
+
+
+if __name__ == "__main__":
+    print_queue_limit()

@@ -1,0 +1,98 @@
+"""Experiment X4 (extension, paper §5): QoS-bounded query answering.
+
+Paper future work: "incorporate expiration into query processing with
+(approximate) quality of service guarantees".  The bench answers a query
+stream against a materialised difference under staleness contracts of
+growing laxity and reports the recompute rate and achieved staleness.
+
+Expected shape: the recompute rate falls monotonically as the permitted
+staleness grows; achieved staleness never exceeds the contract; with an
+unbounded contract the rate reaches zero (every query is answerable by
+moving backward).
+"""
+
+import random
+
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import BaseRef
+from repro.core.qos import DelayBound, QosAnswerer, QosContract, StalenessBound
+from repro.workloads.generators import UniformLifetime, overlapping_relations
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+HORIZON = 100
+
+
+def make_answerer(bound, seed):
+    left, right = overlapping_relations(
+        ["k", "v"], 120, 0.5, UniformLifetime(5, HORIZON - 20), seed=seed
+    )
+    expr = BaseRef("R").difference(BaseRef("S"))
+    catalog = {"R": left, "S": right}
+    materialised = evaluate(expr, catalog, tau=0)
+    contract = QosContract(
+        staleness=StalenessBound(bound) if bound is not None else StalenessBound(10**6)
+    )
+    return QosAnswerer(expr, catalog, materialised, contract)
+
+
+def run_sweep(queries=120, seed=173):
+    rng = random.Random(seed)
+    times = sorted(rng.randrange(HORIZON) for _ in range(queries))
+    rows = []
+    for bound in (0, 2, 5, 10, 25, None):
+        answerer = make_answerer(bound, seed)
+        for when in times:
+            answerer.answer(when)
+        report = answerer.report
+        rows.append(
+            (
+                "unbounded" if bound is None else bound,
+                f"{report.recompute_rate:.2f}",
+                report.exact,
+                report.served_stale,
+                round(report.mean_staleness, 2),
+                report.worst_staleness,
+            )
+        )
+    return rows
+
+
+def print_qos(rows=None):
+    emit(
+        "Extension: staleness-bounded answering of a materialised difference",
+        ["max staleness", "recompute rate", "exact", "stale", "mean staleness",
+         "worst staleness"],
+        rows if rows is not None else run_sweep(),
+    )
+
+
+def test_recompute_rate_monotone():
+    rows = run_sweep(queries=80, seed=3)
+    rates = [float(row[1]) for row in rows]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_worst_staleness_within_contract():
+    for row in run_sweep(queries=80, seed=3):
+        bound, worst = row[0], row[5]
+        if bound != "unbounded":
+            assert worst <= bound, row
+
+
+def test_unbounded_never_recomputes():
+    rows = {row[0]: row for row in run_sweep(queries=80, seed=3)}
+    assert float(rows["unbounded"][1]) == 0.0
+
+
+def test_qos_benchmark(benchmark):
+    rows = benchmark(run_sweep, queries=60, seed=11)
+    assert len(rows) == 6
+    print_qos()
+
+
+if __name__ == "__main__":
+    print_qos()

@@ -1,0 +1,144 @@
+"""Experiment S34b: Schrödinger semantics -- validity interval sets.
+
+Paper artefacts: Section 3.3-3.4 and Equation (12).  "An expression is
+only required to contain correct values when a user queries it": with
+validity *interval sets* instead of a single expiration time, queries
+landing in a valid interval are served from the materialisation even after
+``texp(e)`` has passed.
+
+The bench materialises differences with varying critical-set sizes and
+fires a Poisson-ish query stream, comparing three servers:
+
+* single-expiration (recompute for every query at or after texp(e));
+* Schrödinger intervals (recompute only inside invalid gaps);
+* Schrödinger + MOVE_BACKWARD (serve slightly stale instead, 0 recomputes).
+
+Expected shape: interval-based recomputations << single-expiration ones,
+with identical (correct) answers; the fraction served from the view grows
+with the valid share of the timeline.
+"""
+
+import random
+
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import BaseRef
+from repro.core.validity import QueryAnswerer, QueryPolicy
+from repro.workloads.generators import UniformLifetime, overlapping_relations
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+HORIZON = 120
+
+
+def make_catalog(size, overlap, seed):
+    left, right = overlapping_relations(
+        ["k", "v"], size, overlap, UniformLifetime(5, HORIZON - 20), seed=seed
+    )
+    return {"R": left, "S": right}
+
+
+def query_times(count, seed):
+    rng = random.Random(seed)
+    return sorted(rng.randrange(HORIZON) for _ in range(count))
+
+
+def run_servers(size=150, overlap=0.5, queries=80, seed=97):
+    catalog = make_catalog(size, overlap, seed)
+    expr = BaseRef("R").difference(BaseRef("S"))
+    times = query_times(queries, seed + 1)
+    rows = []
+
+    # Single-expiration server: the validity set collapses to [τ, texp(e)).
+    materialised = evaluate(expr, catalog, tau=0)
+    single_recomputes = sum(
+        1 for when in times if not when < materialised.expiration
+    )
+    rows.append(("single texp(e)", queries, queries - single_recomputes,
+                 single_recomputes, 0))
+
+    answerer = QueryAnswerer(expr, catalog, materialised, QueryPolicy.RECOMPUTE)
+    for when in times:
+        answerer.answer(when)
+    rows.append(("Schrodinger intervals", queries, answerer.served_from_view,
+                 answerer.recomputations, 0))
+
+    mover = QueryAnswerer(expr, catalog, materialised, QueryPolicy.MOVE_BACKWARD)
+    for when in times:
+        mover.answer(when)
+    rows.append(("intervals + move backward", queries, mover.served_from_view,
+                 mover.recomputations, mover.moved_backward))
+    return rows
+
+
+def overlap_sweep(seed=97):
+    """Fewer critical tuples -> larger valid share -> fewer recomputes."""
+    tables = []
+    for overlap in (0.05, 0.2, 0.6):
+        catalog = make_catalog(150, overlap, seed)
+        expr = BaseRef("R").difference(BaseRef("S"))
+        materialised = evaluate(expr, catalog, tau=0)
+        valid_ticks = sum(
+            1 for t in range(HORIZON) if materialised.validity.contains(t)
+        )
+        rows = run_servers(overlap=overlap, seed=seed)
+        single = rows[0][3]
+        intervals = rows[1][3]
+        tables.append(
+            (
+                f"{overlap:.2f}",
+                f"{valid_ticks / HORIZON:.2f}",
+                single,
+                intervals,
+                f"{intervals / single:.2f}" if single else "n/a",
+            )
+        )
+    return tables
+
+
+def print_schrodinger():
+    emit(
+        "Section 3.4: query answering against a materialised difference",
+        ["server", "queries", "from view", "recomputations", "moved backward"],
+        run_servers(),
+    )
+    emit(
+        "Section 3.4: recomputations vs overlap (Schrodinger / single)",
+        ["overlap", "valid share", "single texp(e)", "intervals", "ratio"],
+        overlap_sweep(),
+    )
+
+
+def test_intervals_never_recompute_more():
+    rows = run_servers(size=100, queries=60, seed=3)
+    single = rows[0][3]
+    intervals = rows[1][3]
+    assert intervals <= single
+
+
+def test_move_backward_never_recomputes():
+    rows = run_servers(size=100, queries=60, seed=3)
+    assert rows[2][3] == 0
+
+
+def test_interval_answers_are_correct():
+    catalog = make_catalog(100, 0.5, seed=11)
+    expr = BaseRef("R").difference(BaseRef("S"))
+    materialised = evaluate(expr, catalog, tau=0)
+    answerer = QueryAnswerer(expr, catalog, materialised, QueryPolicy.RECOMPUTE)
+    for when in query_times(50, 13):
+        answer = answerer.answer(when)
+        truth = evaluate(expr, catalog, tau=when)
+        assert set(answer.relation.rows()) == set(truth.relation.rows())
+
+
+def test_schrodinger_benchmark(benchmark):
+    rows = benchmark(run_servers, size=100, overlap=0.5, queries=50, seed=29)
+    assert len(rows) == 3
+    print_schrodinger()
+
+
+if __name__ == "__main__":
+    print_schrodinger()

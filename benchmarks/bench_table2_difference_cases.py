@@ -1,0 +1,112 @@
+"""Experiment T2: Table 2 -- the difference lifetime case analysis.
+
+Paper artefact: Table 2 classifies a tuple ``t`` w.r.t. ``e = R −exp S``
+into cases (1), (2), (3a), (3b); only case (3a) bounds ``texp(e)``, at
+``τ_R = min{texp_S(t) | critical t}``.
+
+The bench regenerates the case table and then sweeps the *overlap* and
+*critical bias* of synthetic relation pairs, reporting how the size of the
+recomputation-triggering set drives ``texp(e)`` -- the Section 3.1 knob the
+rewriting experiment turns.
+"""
+
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import Literal
+from repro.core.relation import relation_from_rows
+from repro.core.timestamps import INFINITY, ts
+from repro.core.validity import critical_tuples
+from repro.workloads.generators import UniformLifetime, overlapping_relations
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+
+def case_table():
+    """The four Table 2 cases, instantiated and evaluated."""
+    cases = [
+        ("(1) t in R only", [((1,), 10)], [], "10", "inf"),
+        ("(2) t in S only", [], [((1,), 10)], "n.a.", "inf"),
+        ("(3a) texp_R > texp_S", [((1,), 15)], [((1,), 5)], "n.a.", "5"),
+        ("(3b) texp_R <= texp_S", [((1,), 5)], [((1,), 15)], "n.a.", "inf"),
+    ]
+    rows = []
+    for label, left_rows, right_rows, texp_t, texp_e in cases:
+        left = relation_from_rows(["a"], left_rows)
+        right = relation_from_rows(["a"], right_rows)
+        result = evaluate(Literal(left).difference(Literal(right)), {})
+        got_t = (
+            str(result.relation.expiration_of((1,)))
+            if (1,) in result.relation
+            else "n.a."
+        )
+        rows.append((label, got_t, str(result.expiration), texp_t, texp_e))
+    return rows
+
+
+def overlap_sweep(size=200, seed=13):
+    """texp(e) and critical-set size as functions of overlap x bias."""
+    rows = []
+    for overlap in (0.0, 0.25, 0.5, 0.75, 1.0):
+        for bias in (0.0, 0.5, 1.0):
+            left, right = overlapping_relations(
+                ["k", "v"], size, overlap, UniformLifetime(5, 100),
+                seed=seed, critical_bias=bias,
+            )
+            result = evaluate(Literal(left).difference(Literal(right)), {})
+            critical = len(critical_tuples(left, right))
+            rows.append(
+                (
+                    f"{overlap:.2f}",
+                    f"{bias:.1f}",
+                    critical,
+                    str(result.expiration),
+                    len(result.validity),
+                )
+            )
+    return rows
+
+
+def print_table2():
+    emit(
+        "Table 2: lifetime analysis of e = R - S (got vs paper)",
+        ["case", "texp_*(t) got", "texp(e) got", "texp_*(t) paper", "texp(e) paper"],
+        case_table(),
+    )
+    emit(
+        "Table 2 sweep: critical set drives texp(e)",
+        ["overlap", "critical bias", "|critical|", "texp(e)", "validity intervals"],
+        overlap_sweep(),
+    )
+
+
+def test_case_table_matches_paper():
+    for label, got_t, got_e, paper_t, paper_e in case_table():
+        assert got_t == paper_t, label
+        assert got_e == paper_e, label
+
+
+def test_sweep_shape():
+    rows = overlap_sweep(size=100)
+    # No overlap or zero bias -> no critical tuples -> immortal expression.
+    by_key = {(r[0], r[1]): r for r in rows}
+    assert by_key[("0.00", "1.0")][2] == 0
+    assert by_key[("0.00", "1.0")][3] == "inf"
+    assert by_key[("1.00", "0.0")][2] == 0
+    # Full overlap, full bias -> many critical tuples, finite texp(e).
+    assert by_key[("1.00", "1.0")][2] == 100
+    assert by_key[("1.00", "1.0")][3] != "inf"
+    # Critical count grows with overlap at fixed bias.
+    counts = [by_key[(o, "1.0")][2] for o in ("0.00", "0.25", "0.50", "0.75", "1.00")]
+    assert counts == sorted(counts)
+
+
+def test_table2_sweep_benchmark(benchmark):
+    rows = benchmark(overlap_sweep, size=100, seed=3)
+    assert len(rows) == 15
+    print_table2()
+
+
+if __name__ == "__main__":
+    print_table2()

@@ -1,0 +1,68 @@
+"""Loosely-coupled replication: why expiration times beat delete-push.
+
+The paper's target deployment: a server publishing data to a remote,
+intermittently connected client.  This example replicates a news-profile
+relation over a flaky link (latency, a mid-run partition) under the three
+maintenance strategies and prints the traffic/consistency trade-off, then
+ships a *difference view* to the client with the Theorem-3 patch queue --
+after which the client answers every query correctly without ever
+contacting the server again.
+
+Run:  python examples/distributed_cache.py
+"""
+
+from repro.distributed import (
+    DifferenceViewSimulation,
+    Link,
+    ReplicationSimulation,
+    ReplicationStrategy,
+    ViewMaintenanceStrategy,
+)
+from repro.workloads.generators import (
+    UniformLifetime,
+    overlapping_relations,
+    random_stream,
+)
+
+
+def main() -> None:
+    workload = random_stream(["uid", "deg"], 150, UniformLifetime(10, 60),
+                             arrival_span=60, seed=21)
+    queries = list(range(60, 140, 2))
+    partition = [(70, 110)]  # the link dies while many tuples expire
+
+    print("replicating a profile relation over a flaky link")
+    print(f"  150 inserts in [0,60), queries every 2 ticks in [60,140),")
+    print(f"  link latency 2, partition during {partition[0]}\n")
+    print(f"  {'strategy':<18} {'messages':>8} {'cells':>6} "
+          f"{'consistency':>11} {'stale extras':>12}")
+    for strategy in ReplicationStrategy:
+        report = ReplicationSimulation(
+            ["uid", "deg"], workload, queries, strategy,
+            link=Link(latency=2, partitions=partition, seed=5),
+            snapshot_period=15,
+        ).run()
+        print(f"  {report.strategy:<18} {report.messages:>8} {report.cells:>6} "
+              f"{report.consistency:>11.3f} {report.extra_tuples:>12}")
+
+    print("\nshipping a difference view (R - S) to the client")
+    left, right = overlapping_relations(
+        ["uid", "deg"], 100, 0.5, UniformLifetime(5, 80), seed=33
+    )
+    print(f"  |R| = {len(left)}, |S| = {len(right)}, queries every 3 ticks\n")
+    print(f"  {'strategy':<22} {'messages':>8} {'cells':>6} "
+          f"{'consistency':>11} {'round trips':>11}")
+    for strategy in ViewMaintenanceStrategy:
+        report = DifferenceViewSimulation(
+            left.copy(), right.copy(), list(range(0, 100, 3)), strategy,
+            link=Link(latency=2),
+        ).run()
+        print(f"  {report.strategy:<22} {report.messages:>8} {report.cells:>6} "
+              f"{report.consistency:>11.3f} {report.recompute_requests:>11}")
+
+    print("\nthe patch strategy is Theorem 3 over the wire: two messages,"
+          "\nperfect answers, and total radio silence afterwards.")
+
+
+if __name__ == "__main__":
+    main()

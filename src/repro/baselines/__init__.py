@@ -1,0 +1,12 @@
+"""Baselines the paper's approach is compared against.
+
+* :class:`ExplicitDeleteManager` -- the traditional application-managed
+  lifetime: explicit DELETE transactions issued by a reaper job.
+* :class:`PeriodicRecomputeView` -- view maintenance without expiration
+  metadata: refresh on a timer, stale in between.
+"""
+
+from repro.baselines.explicit_delete import ExplicitDeleteManager
+from repro.baselines.periodic_recompute import PeriodicRecomputeView
+
+__all__ = ["ExplicitDeleteManager", "PeriodicRecomputeView"]

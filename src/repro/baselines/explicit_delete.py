@@ -1,0 +1,98 @@
+"""The traditional baseline: explicit DELETE statements.
+
+"In more traditional settings, an administrator or user would issue an
+explicit delete statement when or after a tuple's lifetime elapses.
+Expiration times automate this procedure."  This module implements that
+traditional setting so benches can count what it costs:
+
+* one delete *transaction* per elapsed lifetime (transaction volume);
+* a reaper that must poll or track deadlines itself (application code);
+* between the lifetime elapsing and the reaper running, the table serves
+  stale tuples (consistency).
+
+The baseline is built on the same engine but never passes expiration
+times to :meth:`Table.insert`; all lifetime bookkeeping lives here, as it
+would in application code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.core.schema import Schema
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.core.tuples import Row
+from repro.engine.database import Database
+from repro.engine.table import Table
+
+__all__ = ["ExplicitDeleteManager"]
+
+
+class ExplicitDeleteManager:
+    """Application-side lifetime bookkeeping over a plain table.
+
+    ``reap_interval`` models how often the administrator's cleanup job
+    runs: deletes happen only at reap times, so tuples linger up to one
+    interval past their intended lifetime (the staleness the paper's
+    approach eliminates).
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        schema: Schema,
+        reap_interval: int = 10,
+        database: Optional[Database] = None,
+    ) -> None:
+        self.database = database if database is not None else Database()
+        self.table: Table = self.database.create_table(table_name, schema)
+        self.reap_interval = reap_interval
+        self._deadlines: List[Tuple[int, int, Row]] = []
+        self._counter = itertools.count()
+        self._last_reap = self.database.now
+        self.delete_transactions = 0
+        self.reap_runs = 0
+
+    # -- application-visible operations ----------------------------------------
+
+    def insert(self, values, lifetime: int) -> None:
+        """Insert with an *application-tracked* lifetime (no engine TTL)."""
+        stored = self.table.insert(values)  # no expiration time
+        deadline = self.database.now.value + lifetime
+        heapq.heappush(self._deadlines, (deadline, next(self._counter), stored.row))
+
+    def maybe_reap(self) -> int:
+        """Run the cleanup job if its interval elapsed; returns deletes."""
+        now = self.database.now
+        if now.value - self._last_reap.value < self.reap_interval:
+            return 0
+        return self.reap(now)
+
+    def reap(self, now: Optional[TimeLike] = None) -> int:
+        """Delete every tuple whose tracked lifetime has elapsed."""
+        stamp = self.database.now if now is None else ts(now)
+        self._last_reap = stamp
+        self.reap_runs += 1
+        deleted = 0
+        while self._deadlines and self._deadlines[0][0] <= stamp.value:
+            _, _, row = heapq.heappop(self._deadlines)
+            # One delete transaction per elapsed lifetime, as an
+            # administrator script would issue.
+            with self.database.transaction() as txn:
+                txn.delete(self.table.name, row)
+            self.delete_transactions += 1
+            deleted += 1
+        return deleted
+
+    # -- measurement -----------------------------------------------------------------
+
+    def stale_tuples(self) -> int:
+        """Tuples past their intended lifetime but not yet reaped."""
+        now = self.database.now.value
+        live = set(self.table.read().rows())
+        overdue = {
+            row for deadline, _, row in self._deadlines if deadline <= now
+        }
+        return len(live & overdue)

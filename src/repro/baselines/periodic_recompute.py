@@ -1,0 +1,62 @@
+"""Baseline view maintenance: periodic full recomputation.
+
+Without expiration metadata a remote materialisation cannot know when it
+went stale, so the traditional fallback is to recompute every ``period``
+ticks regardless.  The benches compare this against the expiration-driven
+policies on two axes:
+
+* **work** -- recomputations performed (most of them unnecessary);
+* **correctness** -- between refreshes the view may be arbitrarily wrong,
+  while the expiration-driven policies know exactly when they are valid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.algebra.evaluator import EvalResult, Evaluator
+from repro.core.algebra.expressions import Expression
+from repro.core.relation import Relation
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.engine.database import Database
+
+__all__ = ["PeriodicRecomputeView"]
+
+
+class PeriodicRecomputeView:
+    """A materialised view refreshed on a fixed schedule."""
+
+    def __init__(
+        self,
+        expression: Expression,
+        database: Database,
+        period: int = 10,
+    ) -> None:
+        self.expression = expression
+        self.database = database
+        self.period = period
+        self.recomputations = 0
+        self.reads = 0
+        self._materialised_at = database.now
+        self._result: EvalResult = self._evaluate(database.now)
+
+    def _evaluate(self, at: Timestamp) -> EvalResult:
+        self.recomputations += 1
+        return Evaluator(self.database.catalog, at).evaluate(self.expression)
+
+    def read(self, at: TimeLike = None) -> Relation:
+        """Read, refreshing first if the period elapsed."""
+        stamp = self.database.now if at is None else ts(at)
+        if stamp.value - self._materialised_at.value >= self.period:
+            self._result = self._evaluate(stamp)
+            self._materialised_at = stamp
+        # Between refreshes the baseline has no expiration metadata: it
+        # serves the stored rows as-is (it cannot filter what it does not
+        # know), which is exactly where staleness comes from.
+        return self._result.relation
+
+    def is_correct_at(self, at: TimeLike = None) -> bool:
+        """Oracle check: does the served content match a fresh evaluation?"""
+        stamp = self.database.now if at is None else ts(at)
+        fresh = Evaluator(self.database.catalog, stamp).evaluate(self.expression)
+        return set(self.read(stamp).rows()) == set(fresh.relation.rows())

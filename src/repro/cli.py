@@ -1,0 +1,134 @@
+"""An interactive SQL shell for the expiration-time engine.
+
+Usage::
+
+    python -m repro                # interactive shell
+    python -m repro script.sql     # execute a script, print results
+    echo "SHOW TABLES;" | python -m repro
+
+Statements end with ``;``; the shell keeps one in-memory
+:class:`~repro.engine.database.Database` for the session.  ``ADVANCE`` /
+``TICK`` statements drive the logical clock, which makes the shell a handy
+playground for watching tuples expire::
+
+    sql> CREATE TABLE Pol (uid, deg);
+    sql> INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10;
+    sql> ADVANCE TO 10;
+    sql> SELECT * FROM Pol;
+    (no rows)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional
+
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.sql.executor import SqlResult, execute_sql
+
+__all__ = ["format_result", "run_statement", "run_stream", "main"]
+
+PROMPT = "sql> "
+CONTINUATION = "...> "
+
+
+def format_result(result: SqlResult) -> str:
+    """Human-readable rendering of one statement's outcome."""
+    if result.kind == "select":
+        rows = result.rows if result.rows is not None else []
+        if not rows:
+            return "(no rows)"
+        relation = result.relation
+        header = list(relation.schema.names) if relation is not None else []
+        lines = []
+        if header:
+            widths = [len(h) for h in header]
+            str_rows = [[repr(v) for v in row] for row in rows]
+            for cells in str_rows:
+                for i, cell in enumerate(cells):
+                    widths[i] = max(widths[i], len(cell))
+            lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+            lines.append("  ".join("-" * w for w in widths))
+            for cells in str_rows:
+                lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        lines.append(f"({len(rows)} row(s))")
+        return "\n".join(lines)
+    return result.message
+
+
+def run_statement(db: Database, statement: str, out: IO[str]) -> bool:
+    """Execute one statement, printing the outcome; returns success."""
+    text = statement.strip()
+    if not text:
+        return True
+    try:
+        result = execute_sql(db, text)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return False
+    print(format_result(result), file=out)
+    return True
+
+
+def run_stream(db: Database, source: IO[str], out: IO[str], interactive: bool = False) -> int:
+    """Read ``;``-terminated statements from ``source``; returns #errors.
+
+    In interactive mode prompts are written to ``out`` and errors do not
+    stop the session; in script mode the first error aborts.
+    """
+    errors = 0
+    buffer: List[str] = []
+    if interactive:
+        print("expiration-time SQL shell -- end statements with ';', "
+              "Ctrl-D to quit", file=out)
+        out.write(PROMPT)
+        out.flush()
+    for line in source:
+        stripped = line.strip()
+        if interactive and not buffer and stripped in ("quit", "exit", r"\q"):
+            break
+        buffer.append(line)
+        while ";" in "".join(buffer):
+            joined = "".join(buffer)
+            statement, _, rest = joined.partition(";")
+            buffer = [rest]
+            ok = run_statement(db, statement, out)
+            if not ok:
+                errors += 1
+                if not interactive:
+                    return errors
+        if interactive:
+            out.write(PROMPT if not "".join(buffer).strip() else CONTINUATION)
+            out.flush()
+    leftover = "".join(buffer).strip()
+    if leftover:
+        if not run_statement(db, leftover, out):
+            errors += 1
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: interactive shell or script execution."""
+    args = sys.argv[1:] if argv is None else argv
+    db = Database()
+    if args:
+        if args[0] in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        try:
+            with open(args[0]) as script:
+                return 1 if run_stream(db, script, sys.stdout) else 0
+        except OSError as error:
+            print(f"error: cannot read {args[0]}: {error}", file=sys.stderr)
+            return 1
+    interactive = sys.stdin.isatty()
+    errors = run_stream(db, sys.stdin, sys.stdout, interactive=interactive)
+    if interactive:
+        print()  # newline after the final prompt
+        return 0
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,498 @@
+"""Aggregate functions and their expiration-time semantics (Section 2.6.1).
+
+The paper defines three successively tighter ways to assign an expiration
+time to a tuple produced by ``agg``:
+
+1. **Conservative** (Equation 8): the minimum expiration time of the tuples
+   in the partition.  Safe but pessimistic -- a tuple that does not even
+   contribute to the aggregate value can drag the result's lifetime down.
+2. **Neutral sets** (Table 1): ignore the lifetimes of all *time-sliced,
+   neutral* subsets -- sets of tuples with identical expiration times whose
+   removal changes neither the aggregate value nor its expiration.  The
+   remaining *contributing set* ``C`` determines the expiration; if ``C`` is
+   empty the value holds until the whole partition expires.
+3. **Exact** (Equation 9): the change-point function ``ν(τ, P, f)`` -- the
+   first time the aggregate value actually changes.  The paper notes χ/ν
+   "are best calculated when the actual aggregate values ... are computed";
+   we do exactly that, replaying the partition's expiration schedule.
+
+All three are implemented here, both so the evaluator can be configured
+with a strategy and so the benchmarks can compare their lifetimes
+(experiment T1 / S34a in DESIGN.md).  The exact replay additionally yields
+the full *value timeline* of a partition, which powers the Schrödinger
+validity intervals of Section 3.4.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.timestamps import INFINITY, Timestamp, ts, ts_max, ts_min
+from repro.errors import AggregateError
+
+__all__ = [
+    "AggregateFunction",
+    "MinAggregate",
+    "MaxAggregate",
+    "SumAggregate",
+    "CountAggregate",
+    "AvgAggregate",
+    "get_aggregate",
+    "register_aggregate",
+    "known_aggregates",
+    "ExpirationStrategy",
+    "PartitionItem",
+    "conservative_expiration",
+    "time_sliced_sets",
+    "contributing_set",
+    "neutral_set_expiration",
+    "value_timeline",
+    "change_points",
+    "exact_expiration",
+    "partition_invalidity",
+    "tuple_validity_intervals",
+]
+
+#: One partition member: ``(aggregated attribute value, expiration time)``.
+#: For ``count`` the value slot is ignored (may be ``None``).
+PartitionItem = Tuple[Any, Timestamp]
+
+
+class ExpirationStrategy(enum.Enum):
+    """How aggregation result tuples get their expiration times."""
+
+    #: Equation (8): minimum expiration time of the partition.
+    CONSERVATIVE = "conservative"
+
+    #: Table 1: drop time-sliced neutral sets, use the contributing set.
+    NEUTRAL_SETS = "neutral_sets"
+
+    #: Equation (9): the exact first change point ``ν(τ, P, f)``.
+    EXACT = "exact"
+
+
+class AggregateFunction:
+    """Base class for the family ``F`` of aggregate functions.
+
+    Subclasses implement :meth:`apply` over the non-empty list of attribute
+    values of a partition, and :meth:`is_neutral` -- the Table 1 rule
+    deciding whether a candidate subset is *neutral*: removing it changes
+    neither the aggregate value nor its expiration time.
+    """
+
+    #: Name used in expressions and SQL (lower-case).
+    name: str = ""
+
+    #: Whether the function aggregates an attribute (false only for count).
+    needs_attribute: bool = True
+
+    def apply(self, values: Sequence[Any]) -> Any:
+        """The aggregate value over a non-empty sequence of values."""
+        raise NotImplementedError
+
+    def is_neutral(
+        self, subset: Sequence[PartitionItem], partition: Sequence[PartitionItem]
+    ) -> bool:
+        """Table 1: is ``subset ⊆ partition`` neutral with respect to self?"""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<aggregate {self.name}>"
+
+
+def _values(items: Iterable[PartitionItem]) -> List[Any]:
+    return [value for value, _ in items]
+
+
+class MinAggregate(AggregateFunction):
+    """``min_i``: the minimum of the aggregated attribute."""
+
+    name = "min"
+
+    def apply(self, values: Sequence[Any]) -> Any:
+        return min(values)
+
+    def is_neutral(
+        self, subset: Sequence[PartitionItem], partition: Sequence[PartitionItem]
+    ) -> bool:
+        # Table 1, row min_i: every tuple either has a value strictly above
+        # the minimum, or is a duplicate of the minimum whose expiration is
+        # dominated by another minimal tuple that lives longer.
+        current = self.apply(_values(partition))
+        longest_minimal = ts_max(
+            texp for value, texp in partition if value == current
+        )
+        for value, texp in subset:
+            if value > current:
+                continue
+            if texp < longest_minimal:
+                continue
+            return False
+        return True
+
+
+class MaxAggregate(AggregateFunction):
+    """``max_i``: the maximum of the aggregated attribute."""
+
+    name = "max"
+
+    def apply(self, values: Sequence[Any]) -> Any:
+        return max(values)
+
+    def is_neutral(
+        self, subset: Sequence[PartitionItem], partition: Sequence[PartitionItem]
+    ) -> bool:
+        # Table 1, row max_i -- the mirror image of min_i.
+        current = self.apply(_values(partition))
+        longest_maximal = ts_max(
+            texp for value, texp in partition if value == current
+        )
+        for value, texp in subset:
+            if value < current:
+                continue
+            if texp < longest_maximal:
+                continue
+            return False
+        return True
+
+
+class SumAggregate(AggregateFunction):
+    """``sum_i``: the sum of the aggregated attribute."""
+
+    name = "sum"
+
+    def apply(self, values: Sequence[Any]) -> Any:
+        return sum(values)
+
+    def is_neutral(
+        self, subset: Sequence[PartitionItem], partition: Sequence[PartitionItem]
+    ) -> bool:
+        # Table 1, row sum_i: the subset's values add up to zero.
+        return sum(_values(subset)) == 0
+
+
+class CountAggregate(AggregateFunction):
+    """``count``: partition cardinality; only the empty set is neutral."""
+
+    name = "count"
+    needs_attribute = False
+
+    def apply(self, values: Sequence[Any]) -> Any:
+        return len(values)
+
+    def is_neutral(
+        self, subset: Sequence[PartitionItem], partition: Sequence[PartitionItem]
+    ) -> bool:
+        # Table 1, row count_i: N = ∅ -- count strictly follows Equation (8).
+        return len(subset) == 0
+
+
+class AvgAggregate(AggregateFunction):
+    """``avg_i``: the exact mean, computed with rational arithmetic.
+
+    Using :class:`fractions.Fraction` keeps value-change detection exact:
+    two states of a partition have equal averages iff the Fractions compare
+    equal, with no floating-point noise.
+    """
+
+    name = "avg"
+
+    def apply(self, values: Sequence[Any]) -> Any:
+        total = sum(values)
+        if isinstance(total, float):
+            return total / len(values)
+        return Fraction(total, len(values))
+
+    def is_neutral(
+        self, subset: Sequence[PartitionItem], partition: Sequence[PartitionItem]
+    ) -> bool:
+        # Table 1, row avg_i: Σ_{t∈N} t(i) = (|N| / |P|) · Σ_{r∈P} r(i),
+        # checked cross-multiplied to stay in integer arithmetic.
+        subset_sum = sum(_values(subset))
+        partition_sum = sum(_values(partition))
+        return subset_sum * len(partition) == len(subset) * partition_sum
+
+
+_REGISTRY: Dict[str, AggregateFunction] = {}
+
+
+def register_aggregate(function: AggregateFunction) -> None:
+    """Register a custom aggregate function under ``function.name``."""
+    if not function.name:
+        raise AggregateError("aggregate functions need a non-empty name")
+    _REGISTRY[function.name.lower()] = function
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look up an aggregate function by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise AggregateError(
+            f"unknown aggregate {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def known_aggregates() -> List[str]:
+    """Names of all registered aggregate functions."""
+    return sorted(_REGISTRY)
+
+
+for _function in (
+    MinAggregate(),
+    MaxAggregate(),
+    SumAggregate(),
+    CountAggregate(),
+    AvgAggregate(),
+):
+    register_aggregate(_function)
+
+
+# ---------------------------------------------------------------------------
+# Expiration-time computation over a partition
+# ---------------------------------------------------------------------------
+
+
+def conservative_expiration(partition: Sequence[PartitionItem]) -> Timestamp:
+    """Equation (8): the minimum expiration time of the partition."""
+    if not partition:
+        raise AggregateError("partitions are non-empty by construction")
+    return ts_min(texp for _, texp in partition)
+
+
+def time_sliced_sets(
+    partition: Sequence[PartitionItem],
+) -> List[List[PartitionItem]]:
+    """Split a partition into *time-sliced* sets (identical expirations).
+
+    Returned in increasing order of expiration time, so that dropping a
+    prefix corresponds to letting time pass.
+    """
+    by_time: Dict[Timestamp, List[PartitionItem]] = {}
+    for item in partition:
+        by_time.setdefault(item[1], []).append(item)
+    infinite = [t for t in by_time if t.is_infinite]
+    finite = sorted((t for t in by_time if t.is_finite), key=lambda t: t.value)
+    return [by_time[t] for t in finite + infinite]
+
+
+def contributing_set(
+    partition: Sequence[PartitionItem], function: AggregateFunction
+) -> List[PartitionItem]:
+    """Definition 2: the partition minus all time-sliced neutral subsets.
+
+    The paper's validity argument requires every *expired-so-far* time slice
+    to be neutral, so slices are examined in expiration order and dropping
+    stops at the first non-neutral slice: a later neutral slice cannot
+    expire before a surviving earlier one.
+    """
+    remaining = list(partition)
+    for time_slice in time_sliced_sets(partition):
+        if not function.is_neutral(time_slice, remaining):
+            break
+        for item in time_slice:
+            remaining.remove(item)
+    return remaining
+
+
+def neutral_set_expiration(
+    partition: Sequence[PartitionItem], function: AggregateFunction
+) -> Timestamp:
+    """Table 1 / Definition 2 expiration for a partition's result tuple.
+
+    ``min`` expiration of the contributing set if non-empty, otherwise the
+    ``max`` expiration of the whole partition (the value holds until the
+    partition is fully gone).
+    """
+    if not partition:
+        raise AggregateError("partitions are non-empty by construction")
+    contributors = contributing_set(partition, function)
+    if contributors:
+        return ts_min(texp for _, texp in contributors)
+    return ts_max(texp for _, texp in partition)
+
+
+# ---------------------------------------------------------------------------
+# Exact change-point machinery (χ / ν, Equation 9) and value timelines
+# ---------------------------------------------------------------------------
+
+
+def value_timeline(
+    partition: Sequence[PartitionItem], function: AggregateFunction, tau: Timestamp
+) -> List[Tuple[Interval, Any]]:
+    """The aggregate value of ``exp_τ'(P)`` as a step function of ``τ'``.
+
+    Returns ``[(interval, value), ...]`` covering ``[τ, death)`` where
+    ``death`` is the partition's latest expiration (or ``∞``); after
+    ``death`` the partition is empty and there is no value.  Consecutive
+    intervals with equal values are merged, so each boundary is a real
+    change point.
+
+    This is the operational form of the paper's remark that χ and ν "are
+    best calculated when the actual aggregate values ... are computed".
+    """
+    alive = [(value, texp) for value, texp in partition if tau < texp]
+    if not alive:
+        return []
+    timeline: List[Tuple[Interval, Any]] = []
+    cursor = tau
+    current_value = function.apply(_values(alive))
+    boundaries = sorted(
+        {texp.value for _, texp in alive if texp.is_finite and texp > tau}
+    )
+    for boundary in boundaries:
+        boundary_ts = ts(boundary)
+        alive = [(value, texp) for value, texp in alive if boundary_ts < texp]
+        new_value = function.apply(_values(alive)) if alive else None
+        if new_value != current_value or not alive:
+            timeline.append((Interval(cursor, boundary_ts), current_value))
+            cursor = boundary_ts
+            current_value = new_value
+        if not alive:
+            return timeline
+    timeline.append((Interval(cursor, INFINITY), current_value))
+    return timeline
+
+
+def change_points(
+    partition: Sequence[PartitionItem], function: AggregateFunction, tau: Timestamp
+) -> List[Timestamp]:
+    """All times ``≥ τ`` at which the aggregate value changes.
+
+    Includes the partition's death time if finite.  The length of this list
+    is the memory needed to store the future states of the aggregation; the
+    paper bounds it by the partition size (Section 3.4.1), which
+    :func:`change_points` trivially satisfies since each change consumes at
+    least one tuple expiration.
+    """
+    timeline = value_timeline(partition, function, tau)
+    points: List[Timestamp] = []
+    for interval, _ in timeline:
+        if interval.end.is_finite:
+            points.append(interval.end)
+    return points
+
+
+def exact_expiration(
+    partition: Sequence[PartitionItem], function: AggregateFunction, tau: Timestamp
+) -> Timestamp:
+    """Equation (9): ``ν(τ, P, f)`` -- expire when the value first changes.
+
+    The result tuple carries value ``f(exp_τ(P))``; it must disappear at the
+    first ``τ'`` where ``f(exp_τ'(P))`` differs (including the partition's
+    death, where there is no value at all).  Returns ``∞`` when the value
+    never changes and the partition never fully expires.
+    """
+    timeline = value_timeline(partition, function, tau)
+    if not timeline:
+        raise AggregateError(f"partition fully expired at τ = {tau}")
+    return timeline[0][0].end
+
+
+def strategy_expiration(
+    partition: Sequence[PartitionItem],
+    function: AggregateFunction,
+    tau: Timestamp,
+    strategy: ExpirationStrategy,
+) -> Timestamp:
+    """The partition-level expiration under the chosen strategy.
+
+    Tuples of a partition's aggregation result additionally never outlive
+    their own source row (the evaluator caps each result tuple at
+    ``min(texp_R(r), strategy_expiration)``), which keeps the refined
+    strategies sound for the paper's row-preserving ``agg`` output shape --
+    after the canonical projection onto grouping attributes the group tuple
+    recovers exactly the strategy expiration via the max-of-duplicates rule.
+    """
+    if strategy is ExpirationStrategy.CONSERVATIVE:
+        return conservative_expiration(partition)
+    if strategy is ExpirationStrategy.NEUTRAL_SETS:
+        return neutral_set_expiration(partition, function)
+    if strategy is ExpirationStrategy.EXACT:
+        return exact_expiration(partition, function, tau)
+    raise AggregateError(f"unknown expiration strategy {strategy!r}")
+
+
+def partition_invalidation_time(
+    partition: Sequence[PartitionItem],
+    function: AggregateFunction,
+    tau: Timestamp,
+    strategy: ExpirationStrategy,
+) -> Timestamp:
+    """This partition's contribution to the expression expiration ``texp(e)``.
+
+    A materialised aggregation over this partition first disagrees with a
+    recomputation at the earlier of:
+
+    * the strategy expiration ``s``, if some source row outlives ``s`` while
+      the aggregate value is still unchanged (the materialised rows vanish
+      although the recomputation keeps them) -- this is how Figure 3(a)'s
+      histogram becomes invalid at time 10 under Equation (8); or
+    * the first value change ``ν`` that happens while the partition is still
+      non-empty (the recomputation then contains rows with a new aggregate
+      value that the materialisation cannot know) -- the paper's
+      ``texp(agg)`` formula.
+
+    A change that coincides with the partition's death does not invalidate:
+    the materialised rows have all expired by then, matching the (empty)
+    recomputation.  Returns ``∞`` when the materialisation never disagrees.
+    """
+    expiration = strategy_expiration(partition, function, tau, strategy)
+    nu = exact_expiration(partition, function, tau)
+    dies_at = ts_max(texp for _, texp in partition)
+    outliving = any(expiration < texp for _, texp in partition)
+    if outliving and expiration < nu:
+        return expiration
+    if nu < dies_at:
+        return nu
+    return INFINITY
+
+
+def partition_invalidity(
+    partition: Sequence[PartitionItem],
+    function: AggregateFunction,
+    tau: Timestamp,
+    materialised_expiration: Timestamp,
+) -> IntervalSet:
+    """Times when a *materialised* partition tuple disagrees with truth.
+
+    The materialised tuple (value ``f(exp_τ(P))``, expiring at
+    ``materialised_expiration``) is wrong at ``τ'`` iff exactly one of
+    "the tuple is visible" and "the recomputation at ``τ'`` would contain a
+    tuple with this value" holds.  This powers both Theorem-2 style
+    validity checks and the Schrödinger interval sets of Section 3.4.1.
+    """
+    timeline = value_timeline(partition, function, tau)
+    if not timeline:
+        raise AggregateError(f"partition fully expired at τ = {tau}")
+    query_value = timeline[0][1]
+    visible = (
+        IntervalSet.single(tau, materialised_expiration)
+        if tau < materialised_expiration
+        else IntervalSet.empty()
+    )
+    correct = IntervalSet(
+        interval for interval, value in timeline if value == query_value
+    )
+    # Symmetric difference: visible-but-wrong ∪ absent-but-should-be-there.
+    return (visible - correct) | (correct - visible)
+
+
+def tuple_validity_intervals(
+    partition: Sequence[PartitionItem], function: AggregateFunction, tau: Timestamp
+) -> IntervalSet:
+    """Section 3.4.1's ``I_R(t)``: when the query-time value is the value.
+
+    The union of all maximal no-change intervals over which the aggregate
+    equals its value at query time ``τ``.
+    """
+    timeline = value_timeline(partition, function, tau)
+    if not timeline:
+        raise AggregateError(f"partition fully expired at τ = {tau}")
+    query_value = timeline[0][1]
+    return IntervalSet(
+        interval for interval, value in timeline if value == query_value
+    )

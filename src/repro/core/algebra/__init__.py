@@ -1,0 +1,73 @@
+"""The expiration-time-aware relational algebra (Section 2 of the paper).
+
+Sub-modules:
+
+* :mod:`repro.core.algebra.predicates` -- selection / join predicates;
+* :mod:`repro.core.algebra.expressions` -- the operator AST (``σ, π, ×, ∪,
+  −, agg`` plus derived ``⋈, ∩, ρ``);
+* :mod:`repro.core.algebra.evaluator` -- materialises an expression at a
+  time ``τ``, producing per-tuple expiration times, the expression-level
+  expiration ``texp(e)``, and Schrödinger validity intervals ``I(e)``.
+"""
+
+from repro.core.algebra.predicates import (
+    And,
+    Attribute,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    col,
+    val,
+)
+from repro.core.algebra.expressions import (
+    Aggregate,
+    AggregateSpec,
+    AntiSemiJoin,
+    BaseRef,
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Literal,
+    Product,
+    Project,
+    Rename,
+    Select,
+    SemiJoin,
+    Union,
+)
+from repro.core.algebra.evaluator import EvalResult, Evaluator, evaluate
+
+__all__ = [
+    "And",
+    "Attribute",
+    "Comparison",
+    "Constant",
+    "Not",
+    "Or",
+    "Predicate",
+    "TruePredicate",
+    "col",
+    "val",
+    "Aggregate",
+    "AggregateSpec",
+    "AntiSemiJoin",
+    "BaseRef",
+    "Difference",
+    "Expression",
+    "Intersect",
+    "Join",
+    "Literal",
+    "Product",
+    "Project",
+    "Rename",
+    "Select",
+    "SemiJoin",
+    "Union",
+    "EvalResult",
+    "Evaluator",
+    "evaluate",
+]

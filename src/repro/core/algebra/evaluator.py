@@ -1,0 +1,499 @@
+"""Evaluation of expiration-time algebra expressions.
+
+:func:`evaluate` materialises an expression ``e`` at a time ``τ`` against a
+catalog of base relations and returns an :class:`EvalResult` carrying:
+
+* ``relation`` -- the materialised result, each tuple with its expiration
+  time per the operator definitions of Sections 2.3-2.6;
+* ``expiration`` -- the expression-level ``texp(e)``: a lower bound on the
+  first time the materialisation stops agreeing with a recomputation
+  (``∞`` for purely monotonic expressions, Theorem 1);
+* ``validity`` -- the *exact* Schrödinger validity interval set ``I(e)``
+  of Section 3.4: all times ``τ' ≥ τ`` at which ``exp_τ'(e materialised at
+  τ)`` equals a fresh recomputation of ``e`` at ``τ'``.  It always contains
+  ``[τ, texp(e))`` and is typically much larger -- e.g. a difference becomes
+  valid again once its critical tuples have expired.
+
+Per the paper's convention, every operator sees ``exp_τ`` of its arguments:
+base relations are restricted to unexpired tuples at evaluation time, and
+results therefore only contain tuples with ``texp > τ``.
+
+Join evaluation uses a hash join on the equi-join pairs (falling back to a
+filtered Cartesian product for general predicates); semantics are identical
+to the paper's ``σexp_p'(R ×exp S)`` rewrite -- Equation (5) -- including
+the min-of-parents expiration times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union as TypingUnion
+
+from repro.core.aggregates import (
+    ExpirationStrategy,
+    get_aggregate,
+    partition_invalidation_time,
+    strategy_expiration,
+)
+from repro.core.algebra.expressions import (
+    Aggregate,
+    AntiSemiJoin,
+    BaseRef,
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Literal,
+    Product,
+    Project,
+    Rename,
+    Select,
+    SemiJoin,
+    Union,
+)
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts, ts_min
+from repro.core.tuples import Row
+from repro.errors import CatalogError, EvaluationError
+
+__all__ = ["EvalResult", "EvalStats", "Evaluator", "evaluate", "Catalog"]
+
+#: Anything that can resolve base-relation names for evaluation.
+Catalog = TypingUnion[Mapping[str, Relation], Callable[[str], Relation]]
+
+
+@dataclass
+class EvalStats:
+    """Operational counters accumulated during one evaluation.
+
+    The benchmark harnesses read these to report work done (e.g. how many
+    tuples a recomputation touches versus an incremental patch).
+    """
+
+    tuples_scanned: int = 0
+    tuples_emitted: int = 0
+    partitions_built: int = 0
+    hash_probes: int = 0
+    operators_evaluated: int = 0
+
+    def merge(self, other: "EvalStats") -> None:
+        """Accumulate another stats bag into this one."""
+        self.tuples_scanned += other.tuples_scanned
+        self.tuples_emitted += other.tuples_emitted
+        self.partitions_built += other.partitions_built
+        self.hash_probes += other.hash_probes
+        self.operators_evaluated += other.operators_evaluated
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """The outcome of materialising an expression at time ``τ``."""
+
+    relation: Relation
+    expiration: Timestamp
+    validity: IntervalSet
+    tau: Timestamp
+
+    def valid_at(self, time: TimeLike) -> bool:
+        """Whether the materialisation agrees with a recomputation at ``time``."""
+        return self.validity.contains(time)
+
+    def expired_view(self, time: TimeLike) -> Relation:
+        """``exp_time(result)``: the materialisation as seen at ``time``."""
+        return self.relation.exp_at(time)
+
+
+class Evaluator:
+    """Evaluates expressions against a catalog at a fixed time ``τ``."""
+
+    def __init__(self, catalog: Catalog, tau: TimeLike = 0) -> None:
+        self._lookup = self._make_lookup(catalog)
+        self.tau = ts(tau)
+        self.stats = EvalStats()
+
+    @staticmethod
+    def _make_lookup(catalog: Catalog) -> Callable[[str], Relation]:
+        if callable(catalog):
+            return catalog
+
+        def lookup(name: str) -> Relation:
+            try:
+                return catalog[name]
+            except KeyError:
+                raise CatalogError(f"unknown base relation {name!r}") from None
+
+        return lookup
+
+    def schema_resolver(self, name: str) -> Schema:
+        """Resolve a base-relation name to its schema (for infer_schema)."""
+        return self._lookup(name).schema
+
+    # -- dispatch ------------------------------------------------------------
+
+    def evaluate(self, expression: Expression) -> EvalResult:
+        """Materialise ``expression`` at this evaluator's ``τ``."""
+        self.stats.operators_evaluated += 1
+        if isinstance(expression, BaseRef):
+            return self._eval_base(expression)
+        if isinstance(expression, Literal):
+            return self._eval_literal(expression)
+        if isinstance(expression, Select):
+            return self._eval_select(expression)
+        if isinstance(expression, Project):
+            return self._eval_project(expression)
+        if isinstance(expression, Product):
+            return self._eval_product(expression)
+        if isinstance(expression, Union):
+            return self._eval_union(expression)
+        if isinstance(expression, Intersect):
+            return self._eval_intersect(expression)
+        if isinstance(expression, Join):
+            return self._eval_join(expression)
+        if isinstance(expression, SemiJoin):
+            return self._eval_semijoin(expression)
+        if isinstance(expression, AntiSemiJoin):
+            return self._eval_antijoin(expression)
+        if isinstance(expression, Rename):
+            return self._eval_rename(expression)
+        if isinstance(expression, Difference):
+            return self._eval_difference(expression)
+        if isinstance(expression, Aggregate):
+            return self._eval_aggregate(expression)
+        raise EvaluationError(f"unknown expression node {type(expression).__name__}")
+
+    # -- leaves ----------------------------------------------------------------
+
+    def _eval_base(self, node: BaseRef) -> EvalResult:
+        relation = self._lookup(node.name)
+        visible = relation.exp_at(self.tau)
+        self.stats.tuples_scanned += len(relation)
+        self.stats.tuples_emitted += len(visible)
+        # texp of a base relation is ∞ (Section 2.3); its materialisation is
+        # valid forever since tuples carry their own expirations.
+        return EvalResult(visible, INFINITY, IntervalSet.from_onwards(self.tau), self.tau)
+
+    def _eval_literal(self, node: Literal) -> EvalResult:
+        visible = node.relation.exp_at(self.tau)
+        self.stats.tuples_scanned += len(node.relation)
+        self.stats.tuples_emitted += len(visible)
+        return EvalResult(visible, INFINITY, IntervalSet.from_onwards(self.tau), self.tau)
+
+    # -- monotonic operators ------------------------------------------------------
+
+    def _eval_select(self, node: Select) -> EvalResult:
+        child = self.evaluate(node.child)
+        predicate = node.predicate.resolve(child.relation.schema)
+        result = Relation(child.relation.schema)
+        for row, texp in child.relation.items():
+            self.stats.tuples_scanned += 1
+            if predicate.matches(row):
+                result.insert(row, expires_at=texp)
+                self.stats.tuples_emitted += 1
+        return EvalResult(result, child.expiration, child.validity, self.tau)
+
+    def _eval_project(self, node: Project) -> EvalResult:
+        child = self.evaluate(node.child)
+        schema = child.relation.schema
+        indexes = [schema.index(ref) for ref in node.refs]
+        result = Relation(schema.project(node.refs))
+        for row, texp in child.relation.items():
+            self.stats.tuples_scanned += 1
+            projected = tuple(row[i] for i in indexes)
+            # Duplicate elimination keeps the maximum expiration time
+            # (Equation 3) -- Relation.insert implements exactly that merge.
+            result.insert(projected, expires_at=texp)
+        self.stats.tuples_emitted += len(result)
+        return EvalResult(result, child.expiration, child.validity, self.tau)
+
+    def _eval_product(self, node: Product) -> EvalResult:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        result = Relation(left.relation.schema.concat(right.relation.schema))
+        for left_row, left_texp in left.relation.items():
+            for right_row, right_texp in right.relation.items():
+                self.stats.tuples_scanned += 1
+                # Equation (2): min of the participating tuples' lifetimes.
+                texp = left_texp if left_texp < right_texp else right_texp
+                result.insert(left_row + right_row, expires_at=texp)
+        self.stats.tuples_emitted += len(result)
+        return EvalResult(
+            result,
+            ts_min((left.expiration, right.expiration)),
+            left.validity & right.validity,
+            self.tau,
+        )
+
+    def _eval_union(self, node: Union) -> EvalResult:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        left.relation.schema.check_union_compatible(right.relation.schema)
+        result = Relation(left.relation.schema)
+        for row, texp in left.relation.items():
+            self.stats.tuples_scanned += 1
+            result.insert(row, expires_at=texp)
+        for row, texp in right.relation.items():
+            self.stats.tuples_scanned += 1
+            # Equation (4): shared tuples get the max of the two expirations;
+            # insert's max-merge rule implements this.
+            result.insert(row, expires_at=texp)
+        self.stats.tuples_emitted += len(result)
+        return EvalResult(
+            result,
+            ts_min((left.expiration, right.expiration)),
+            left.validity & right.validity,
+            self.tau,
+        )
+
+    def _eval_intersect(self, node: Intersect) -> EvalResult:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        left.relation.schema.check_union_compatible(right.relation.schema)
+        result = Relation(left.relation.schema)
+        for row, left_texp in left.relation.items():
+            self.stats.tuples_scanned += 1
+            right_texp = right.relation.expiration_or_none(row)
+            if right_texp is None:
+                continue
+            # Equation (6): the minimum of the participating expirations
+            # (created in the inner Cartesian product of the derivation).
+            texp = left_texp if left_texp < right_texp else right_texp
+            result.insert(row, expires_at=texp)
+        self.stats.tuples_emitted += len(result)
+        return EvalResult(
+            result,
+            ts_min((left.expiration, right.expiration)),
+            left.validity & right.validity,
+            self.tau,
+        )
+
+    def _eval_join(self, node: Join) -> EvalResult:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        left_schema = left.relation.schema
+        right_schema = right.relation.schema
+        result = Relation(left_schema.concat(right_schema))
+
+        residual = None
+        if node.predicate is not None:
+            residual = node.predicate.resolve(result.schema)
+
+        if node.on:
+            left_keys = [left_schema.index(ref) for ref, _ in node.on]
+            right_keys = [right_schema.index(ref) for _, ref in node.on]
+            buckets: Dict[Tuple, List[Tuple[Row, Timestamp]]] = {}
+            for row, texp in right.relation.items():
+                self.stats.tuples_scanned += 1
+                buckets.setdefault(tuple(row[i] for i in right_keys), []).append((row, texp))
+            for left_row, left_texp in left.relation.items():
+                self.stats.tuples_scanned += 1
+                key = tuple(left_row[i] for i in left_keys)
+                for right_row, right_texp in buckets.get(key, ()):
+                    self.stats.hash_probes += 1
+                    combined = left_row + right_row
+                    if residual is not None and not residual.matches(combined):
+                        continue
+                    texp = left_texp if left_texp < right_texp else right_texp
+                    result.insert(combined, expires_at=texp)
+        else:
+            for left_row, left_texp in left.relation.items():
+                for right_row, right_texp in right.relation.items():
+                    self.stats.tuples_scanned += 1
+                    combined = left_row + right_row
+                    if residual is not None and not residual.matches(combined):
+                        continue
+                    texp = left_texp if left_texp < right_texp else right_texp
+                    result.insert(combined, expires_at=texp)
+
+        self.stats.tuples_emitted += len(result)
+        return EvalResult(
+            result,
+            ts_min((left.expiration, right.expiration)),
+            left.validity & right.validity,
+            self.tau,
+        )
+
+    def _match_buckets(self, relation: Relation, key_indexes) -> Dict[Tuple, List[Timestamp]]:
+        """Key -> expiration times of the matching tuples (for ⋉ / ▷)."""
+        buckets: Dict[Tuple, List[Timestamp]] = {}
+        for row, texp in relation.items():
+            self.stats.tuples_scanned += 1
+            buckets.setdefault(tuple(row[i] for i in key_indexes), []).append(texp)
+        return buckets
+
+    def _eval_semijoin(self, node: SemiJoin) -> EvalResult:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        left_schema = left.relation.schema
+        right_schema = right.relation.schema
+        left_keys = [left_schema.index(ref) for ref, _ in node.on]
+        right_keys = [right_schema.index(ref) for _, ref in node.on]
+        buckets = self._match_buckets(right.relation, right_keys)
+        result = Relation(left_schema)
+        for row, texp in left.relation.items():
+            self.stats.tuples_scanned += 1
+            matches = buckets.get(tuple(row[i] for i in left_keys))
+            if not matches:
+                continue
+            # π over the join's minima: min(texp_r, max over matches).
+            best_match = matches[0]
+            for candidate in matches[1:]:
+                if best_match < candidate:
+                    best_match = candidate
+            result.insert(row, expires_at=texp if texp < best_match else best_match)
+            self.stats.tuples_emitted += 1
+        return EvalResult(
+            result,
+            ts_min((left.expiration, right.expiration)),
+            left.validity & right.validity,
+            self.tau,
+        )
+
+    def _eval_antijoin(self, node: AntiSemiJoin) -> EvalResult:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        left_schema = left.relation.schema
+        right_schema = right.relation.schema
+        left_keys = [left_schema.index(ref) for ref, _ in node.on]
+        right_keys = [right_schema.index(ref) for _, ref in node.on]
+        buckets = self._match_buckets(right.relation, right_keys)
+        result = Relation(left_schema)
+        reappear_bound = INFINITY
+        invalid = IntervalSet.empty()
+        for row, texp in left.relation.items():
+            self.stats.tuples_scanned += 1
+            matches = buckets.get(tuple(row[i] for i in left_keys))
+            if not matches:
+                result.insert(row, expires_at=texp)
+                self.stats.tuples_emitted += 1
+                continue
+            # The tuple is hidden while any match lives; it must re-appear
+            # when the whole match set is gone, if it is still alive then.
+            match_set_dies = matches[0]
+            for candidate in matches[1:]:
+                if match_set_dies < candidate:
+                    match_set_dies = candidate
+            if match_set_dies < texp:
+                if match_set_dies < reappear_bound:
+                    reappear_bound = match_set_dies
+                invalid = invalid | IntervalSet.single(match_set_dies, texp)
+        expiration = ts_min((left.expiration, right.expiration, reappear_bound))
+        validity = (
+            (IntervalSet.from_onwards(self.tau) - invalid)
+            & left.validity
+            & right.validity
+        )
+        return EvalResult(result, expiration, validity, self.tau)
+
+    def _eval_rename(self, node: Rename) -> EvalResult:
+        child = self.evaluate(node.child)
+        renamed = Relation(child.relation.schema.rename(node.mapping))
+        for row, texp in child.relation.items():
+            renamed.insert(row, expires_at=texp)
+        return EvalResult(renamed, child.expiration, child.validity, self.tau)
+
+    # -- non-monotonic operators -----------------------------------------------------
+
+    def _eval_difference(self, node: Difference) -> EvalResult:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        left.relation.schema.check_union_compatible(right.relation.schema)
+        result = Relation(left.relation.schema)
+
+        # Equation (10) for the tuples; Equation (11) for texp(e); the exact
+        # per-critical-tuple invalidity union for I(e) (each critical tuple t
+        # makes the materialisation wrong on [texp_S(t), texp_R(t)) -- it
+        # should re-appear when its S match expires and vanish again when it
+        # expires in R itself).
+        reappear_bound = INFINITY
+        invalid = IntervalSet.empty()
+        for row, left_texp in left.relation.items():
+            self.stats.tuples_scanned += 1
+            right_texp = right.relation.expiration_or_none(row)
+            if right_texp is None:
+                result.insert(row, expires_at=left_texp)
+                self.stats.tuples_emitted += 1
+            elif right_texp < left_texp:
+                # Table 2 case (3a): t should re-appear at texp_S(t).
+                if right_texp < reappear_bound:
+                    reappear_bound = right_texp
+                invalid = invalid | IntervalSet.single(right_texp, left_texp)
+
+        expiration = ts_min((left.expiration, right.expiration, reappear_bound))
+        validity = (
+            (IntervalSet.from_onwards(self.tau) - invalid)
+            & left.validity
+            & right.validity
+        )
+        return EvalResult(result, expiration, validity, self.tau)
+
+    def _eval_aggregate(self, node: Aggregate) -> EvalResult:
+        child = self.evaluate(node.child)
+        schema = child.relation.schema
+        function = get_aggregate(node.spec.function_name)
+        group_indexes = [schema.index(ref) for ref in node.group_by]
+        value_index = (
+            schema.index(node.spec.attribute) if node.spec.attribute is not None else None
+        )
+
+        # Equation (7): stable partitioning by tuple-wise equality on the
+        # grouping attributes (the only kind the paper permits).
+        partitions: Dict[Tuple, List[Tuple[Row, Timestamp]]] = {}
+        for row, texp in child.relation.items():
+            self.stats.tuples_scanned += 1
+            key = tuple(row[i] for i in group_indexes)
+            partitions.setdefault(key, []).append((row, texp))
+        self.stats.partitions_built += len(partitions)
+
+        result = Relation(schema.extend(node.spec.default_output_name(schema)))
+        expression_bound = child.expiration
+        invalid = IntervalSet.empty()
+
+        for members in partitions.values():
+            items = [
+                (row[value_index] if value_index is not None else None, texp)
+                for row, texp in members
+            ]
+            value = function.apply([v for v, _ in items])
+            partition_expiration = strategy_expiration(
+                items, function, self.tau, node.strategy
+            )
+            invalidation = partition_invalidation_time(
+                items, function, self.tau, node.strategy
+            )
+            if invalidation < expression_bound:
+                expression_bound = invalidation
+            for row, texp in members:
+                # Result tuples never outlive their own source row; combined
+                # with the max-of-duplicates projection rule this recovers
+                # exactly the strategy expiration at the group level.
+                tuple_expiration = texp if texp < partition_expiration else partition_expiration
+                result.insert(row + (value,), expires_at=tuple_expiration)
+                self.stats.tuples_emitted += 1
+                if tuple_expiration < texp:
+                    # The recomputation keeps this row (with some aggregate
+                    # value) until texp_R(r); the materialisation loses it at
+                    # its assigned expiration -- invalid in between.
+                    invalid = invalid | IntervalSet.single(tuple_expiration, texp)
+
+        validity = (IntervalSet.from_onwards(self.tau) - invalid) & child.validity
+        return EvalResult(result, expression_bound, validity, self.tau)
+
+
+def evaluate(expression: Expression, catalog: Catalog, tau: TimeLike = 0) -> EvalResult:
+    """Materialise ``expression`` against ``catalog`` at time ``tau``.
+
+    Convenience wrapper creating a fresh :class:`Evaluator`.
+
+    >>> from repro.core.relation import relation_from_rows
+    >>> from repro.core.algebra.expressions import BaseRef
+    >>> pol = relation_from_rows(["uid", "deg"],
+    ...                          [((1, 25), 10), ((2, 25), 15), ((3, 35), 10)])
+    >>> result = evaluate(BaseRef("Pol").project(2), {"Pol": pol}, tau=0)
+    >>> sorted(result.relation.rows())
+    [(25,), (35,)]
+    >>> result.relation.expiration_of((25,))
+    Timestamp(15)
+    """
+    return Evaluator(catalog, tau).evaluate(expression)

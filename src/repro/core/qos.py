@@ -1,0 +1,177 @@
+"""Quality-of-service guarantees for queries on materialisations (§5).
+
+The paper's closing future-work item: "incorporate expiration into query
+processing with (approximate) quality of service guarantees".  Section 3.3
+already offers the mechanism -- move a query backward (bounded staleness)
+or forward (bounded delay) to a valid time.  This module turns those moves
+into *contracts*:
+
+* :class:`StalenessBound` -- an answer may reflect the database state of at
+  most ``max_staleness`` ticks ago;
+* :class:`DelayBound` -- a query may be deferred at most ``max_delay``
+  ticks into the future;
+* :class:`QosAnswerer` -- serves queries from a materialisation under a
+  combination of bounds, recomputing only when no in-contract move exists,
+  and accounts the achieved QoS (staleness/delay distributions, recompute
+  rate) so benches can sweep the bounds.
+
+Every answer is *correct for its effective time* -- the Schrödinger
+correctness contract -- and the effective time is guaranteed within the
+negotiated window around the query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.algebra.evaluator import Catalog, EvalResult, evaluate
+from repro.core.algebra.expressions import Expression
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.core.validity import QueryAnswer
+from repro.errors import ReproError
+
+__all__ = ["StalenessBound", "DelayBound", "QosContract", "QosReport", "QosAnswerer"]
+
+
+@dataclass(frozen=True)
+class StalenessBound:
+    """Answers may be at most this many ticks old."""
+
+    max_staleness: int
+
+    def __post_init__(self) -> None:
+        if self.max_staleness < 0:
+            raise ReproError(f"staleness bound must be >= 0, got {self.max_staleness}")
+
+
+@dataclass(frozen=True)
+class DelayBound:
+    """Queries may be deferred at most this many ticks."""
+
+    max_delay: int
+
+    def __post_init__(self) -> None:
+        if self.max_delay < 0:
+            raise ReproError(f"delay bound must be >= 0, got {self.max_delay}")
+
+
+@dataclass(frozen=True)
+class QosContract:
+    """The negotiated window around a query time.
+
+    ``prefer`` chooses which in-contract move is tried first when both are
+    available ("stale" answers immediately with old data; "delay" waits
+    for fresh data).
+    """
+
+    staleness: Optional[StalenessBound] = None
+    delay: Optional[DelayBound] = None
+    prefer: str = "stale"  # "stale" | "delay"
+
+    def __post_init__(self) -> None:
+        if self.prefer not in ("stale", "delay"):
+            raise ReproError(f"prefer must be 'stale' or 'delay', got {self.prefer!r}")
+
+
+@dataclass
+class QosReport:
+    """Achieved quality of service over a sequence of answered queries."""
+
+    queries: int = 0
+    exact: int = 0
+    served_stale: int = 0
+    served_delayed: int = 0
+    recomputed: int = 0
+    total_staleness: int = 0
+    total_delay: int = 0
+    worst_staleness: int = 0
+    worst_delay: int = 0
+
+    @property
+    def mean_staleness(self) -> float:
+        """Average staleness over all answered queries (ticks)."""
+        return self.total_staleness / self.queries if self.queries else 0.0
+
+    @property
+    def recompute_rate(self) -> float:
+        """Fraction of queries that needed a full recomputation."""
+        return self.recomputed / self.queries if self.queries else 0.0
+
+
+class QosAnswerer:
+    """Answers queries against one materialisation under a QoS contract."""
+
+    def __init__(
+        self,
+        expression: Expression,
+        catalog: Catalog,
+        materialised: EvalResult,
+        contract: QosContract,
+    ) -> None:
+        self.expression = expression
+        self.catalog = catalog
+        self.materialised = materialised
+        self.contract = contract
+        self.report = QosReport()
+
+    def answer(self, at: TimeLike) -> QueryAnswer:
+        """Answer a query issued at ``at``, honouring the contract."""
+        stamp = ts(at)
+        self.report.queries += 1
+        validity = self.materialised.validity
+
+        if validity.contains(stamp):
+            self.report.exact += 1
+            return QueryAnswer(
+                self.materialised.relation.exp_at(stamp), stamp, True, False
+            )
+
+        moves = ["stale", "delay"]
+        if self.contract.prefer == "delay":
+            moves.reverse()
+        for move in moves:
+            answer = (
+                self._try_stale(stamp) if move == "stale" else self._try_delay(stamp)
+            )
+            if answer is not None:
+                return answer
+
+        # No in-contract move: recompute (always satisfies both bounds).
+        self.report.recomputed += 1
+        fresh = evaluate(self.expression, self.catalog, tau=stamp)
+        return QueryAnswer(fresh.relation, stamp, False, True)
+
+    def _try_stale(self, stamp: Timestamp) -> Optional[QueryAnswer]:
+        bound = self.contract.staleness
+        if bound is None:
+            return None
+        earlier = self.materialised.validity.previous_valid_time(stamp)
+        if earlier is None:
+            return None
+        staleness = stamp.value - earlier.value
+        if staleness > bound.max_staleness:
+            return None
+        self.report.served_stale += 1
+        self.report.total_staleness += staleness
+        self.report.worst_staleness = max(self.report.worst_staleness, staleness)
+        return QueryAnswer(
+            self.materialised.relation.exp_at(earlier), earlier, True, False
+        )
+
+    def _try_delay(self, stamp: Timestamp) -> Optional[QueryAnswer]:
+        bound = self.contract.delay
+        if bound is None:
+            return None
+        later = self.materialised.validity.next_valid_time(stamp)
+        if later is None or later.is_infinite:
+            return None
+        delay = later.value - stamp.value
+        if delay > bound.max_delay:
+            return None
+        self.report.served_delayed += 1
+        self.report.total_delay += delay
+        self.report.worst_delay = max(self.report.worst_delay, delay)
+        return QueryAnswer(
+            self.materialised.relation.exp_at(later), later, True, False
+        )

@@ -1,0 +1,274 @@
+"""Relations with per-tuple expiration times.
+
+A relation ``R`` in the paper's model is a finite *set* of tuples together
+with a function ``texp_R`` assigning each tuple an expiration time; the
+restriction operator
+
+    ``exp_τ(R) = { r | r ∈ R ∧ texp_R(r) > τ }``
+
+yields the tuples unexpired at time ``τ``.  :class:`Relation` realises this
+as a mapping from rows to timestamps.
+
+Set semantics and duplicate policy
+----------------------------------
+
+The model is set-based (the SPCU algebra of Abiteboul/Hull/Vianu).  When the
+same row is inserted twice with different expiration times, the relation
+keeps the **maximum** -- this is forced by the paper's duplicate-elimination
+rules: projection assigns a merged tuple "the maximum expiration time of all
+its duplicates", and union assigns ``max{texp_R(t), texp_S(t)}`` to a tuple
+present in both arguments.  Re-inserting a row therefore *extends* its
+lifetime, never shortens it; an explicit :meth:`Relation.override` exists
+for administrative corrections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.core.schema import Schema, anonymous_schema
+from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts, ts_max, ts_min
+from repro.core.tuples import ExpiringTuple, Row, make_row
+from repro.errors import RelationError, SchemaError
+
+__all__ = ["Relation", "relation_from_rows"]
+
+
+class Relation:
+    """A set of rows, each with an expiration time.
+
+    >>> pol = Relation(Schema(["uid", "deg"]))
+    >>> _ = pol.insert((1, 25), expires_at=10)
+    >>> _ = pol.insert((2, 25), expires_at=15)
+    >>> sorted(pol.rows())
+    [(1, 25), (2, 25)]
+    >>> pol.expiration_of((1, 25))
+    Timestamp(10)
+    >>> sorted(pol.exp_at(12).rows())
+    [(2, 25)]
+    """
+
+    __slots__ = ("schema", "_tuples")
+
+    def __init__(
+        self,
+        schema: Schema | Sequence[str] | int,
+        tuples: Optional[Mapping[Row, Timestamp]] = None,
+    ) -> None:
+        if isinstance(schema, Schema):
+            self.schema = schema
+        elif isinstance(schema, int):
+            self.schema = anonymous_schema(schema)
+        else:
+            self.schema = Schema(schema)
+        self._tuples: Dict[Row, Timestamp] = {}
+        if tuples:
+            for row, stamp in tuples.items():
+                self.insert(row, expires_at=stamp)
+
+    # -- construction --------------------------------------------------------
+
+    def insert(self, values: Iterable[Any], expires_at: TimeLike = None) -> ExpiringTuple:
+        """Insert a row; a duplicate keeps the later expiration time.
+
+        ``expires_at=None`` means no expiration (``∞``), retaining textbook
+        semantics.  Returns the stored :class:`ExpiringTuple` so callers can
+        see the effective (possibly merged) expiration.
+        """
+        row = make_row(values)
+        self._check_arity(row)
+        stamp = ts(expires_at)
+        existing = self._tuples.get(row)
+        if existing is not None and stamp < existing:
+            stamp = existing
+        self._tuples[row] = stamp
+        return ExpiringTuple(row, stamp)
+
+    def override(self, values: Iterable[Any], expires_at: TimeLike) -> ExpiringTuple:
+        """Set a row's expiration unconditionally (admin correction path)."""
+        row = make_row(values)
+        self._check_arity(row)
+        stamp = ts(expires_at)
+        self._tuples[row] = stamp
+        return ExpiringTuple(row, stamp)
+
+    def delete(self, values: Iterable[Any]) -> bool:
+        """Explicitly remove a row; returns whether it was present."""
+        row = make_row(values)
+        return self._tuples.pop(row, None) is not None
+
+    def _check_arity(self, row: Row) -> None:
+        if len(row) != self.schema.arity:
+            raise RelationError(
+                f"arity mismatch: row {row!r} has {len(row)} values, "
+                f"schema expects {self.schema.arity}"
+            )
+
+    # -- the model's primitives ------------------------------------------------
+
+    def exp_at(self, tau: TimeLike) -> "Relation":
+        """The paper's ``exp_τ(R)``: tuples with ``texp_R(r) > τ``.
+
+        Returns a new relation; the receiver is unchanged (lazy physical
+        removal is the engine's concern, see ``repro.engine``).
+        """
+        stamp = ts(tau)
+        survivors = {
+            row: texp for row, texp in self._tuples.items() if stamp < texp
+        }
+        return Relation(self.schema, survivors)
+
+    def expiration_of(self, values: Iterable[Any]) -> Timestamp:
+        """The function ``texp_R(r)``; raises if the row is absent."""
+        row = make_row(values)
+        try:
+            return self._tuples[row]
+        except KeyError:
+            raise RelationError(f"row {row!r} not in relation") from None
+
+    def expiration_or_none(self, values: Iterable[Any]) -> Optional[Timestamp]:
+        """Like :meth:`expiration_of` but ``None`` for absent rows."""
+        return self._tuples.get(make_row(values))
+
+    def purge_expired(self, tau: TimeLike) -> int:
+        """Physically remove tuples expired at ``τ``; returns the count.
+
+        This is the *eager/lazy removal* hook of Section 3.2: ``exp_at``
+        keeps expired tuples invisible; ``purge_expired`` reclaims them.
+        """
+        stamp = ts(tau)
+        doomed = [row for row, texp in self._tuples.items() if texp <= stamp]
+        for row in doomed:
+            del self._tuples[row]
+        return len(doomed)
+
+    # -- whole-relation statistics -------------------------------------------
+
+    def earliest_expiration(self) -> Timestamp:
+        """``min`` of all tuple expirations; ``∞`` when empty."""
+        return ts_min(self._tuples.values())
+
+    def latest_expiration(self) -> Timestamp:
+        """``max`` of all tuple expirations; ``Timestamp(0)`` when empty.
+
+        This is the paper's "when has the whole partition expired" bound:
+        ``min{τ' | exp_τ'(P) = ∅} = max{texp_P(t) | t ∈ P}``.
+        """
+        return ts_max(self._tuples.values())
+
+    # -- iteration & access ------------------------------------------------------
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over the rows (no expiration times -- the query view)."""
+        return iter(self._tuples)
+
+    def items(self) -> Iterator[Tuple[Row, Timestamp]]:
+        """Iterate over ``(row, expiration)`` pairs."""
+        return iter(self._tuples.items())
+
+    def expiring_tuples(self) -> Iterator[ExpiringTuple]:
+        """Iterate over :class:`ExpiringTuple` views of the content."""
+        for row, stamp in self._tuples.items():
+            yield ExpiringTuple(row, stamp)
+
+    def contains(self, values: Iterable[Any]) -> bool:
+        """Whether the row is present (regardless of expiration)."""
+        return make_row(values) in self._tuples
+
+    def __contains__(self, values: Iterable[Any]) -> bool:
+        return self.contains(values)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes, the paper's ``α(R)``."""
+        return self.schema.arity
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    # -- copies & equality ----------------------------------------------------
+
+    def copy(self) -> "Relation":
+        """A deep-enough copy (rows are immutable, so a dict copy suffices)."""
+        clone = Relation(self.schema)
+        clone._tuples = dict(self._tuples)
+        return clone
+
+    def same_content(self, other: "Relation") -> bool:
+        """Equality of rows *and* expiration times (schema names ignored).
+
+        The theorems of the paper quantify over relation contents, not
+        attribute naming, so content equality is the right notion for
+        checking ``exp_τ'(e) == exp_τ'(exp_τ(e))``.
+        """
+        if self.schema.arity != other.schema.arity:
+            return False
+        return self._tuples == other._tuples
+
+    def same_rows(self, other: "Relation") -> bool:
+        """Equality of the row sets, ignoring expiration times."""
+        if self.schema.arity != other.schema.arity:
+            return False
+        return set(self._tuples) == set(other._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and self._tuples == other._tuples
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("relations are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(schema={list(self.schema.names)!r}, "
+            f"tuples={len(self._tuples)})"
+        )
+
+    def pretty(self, title: str = "") -> str:
+        """A small fixed-width rendering in the style of the paper's figures.
+
+        The expiration-time column is set apart (``texp(.)``) to mirror the
+        paper's convention that it is not a user-accessible attribute.
+        """
+        header = ["texp(.)"] + list(self.schema.names)
+        body_rows = sorted(
+            ([str(stamp)] + [repr(v) for v in row] for row, stamp in self._tuples.items()),
+            key=lambda cells: cells[1:],
+        )
+        widths = [len(h) for h in header]
+        for cells in body_rows:
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in body_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        if not body_rows:
+            lines.append("(empty)")
+        return "\n".join(lines)
+
+
+def relation_from_rows(
+    schema: Schema | Sequence[str] | int,
+    rows: Iterable[Tuple[Sequence[Any], TimeLike]],
+) -> Relation:
+    """Convenience constructor from ``(values, expires_at)`` pairs.
+
+    >>> rel = relation_from_rows(["uid", "deg"], [((1, 25), 10), ((2, 25), 15)])
+    >>> len(rel)
+    2
+    """
+    relation = Relation(schema)
+    for values, expires_at in rows:
+        relation.insert(values, expires_at=expires_at)
+    return relation

@@ -1,0 +1,471 @@
+"""Algebraic rewriting to postpone recomputation (Section 3.1).
+
+The paper proposes two uses of algebraic equivalences in the presence of
+expiration times:
+
+1. **Shrink the recomputation-triggering set** of a difference, i.e.
+   ``{ t | t ∈ R ∧ t ∈ S ∧ texp_R(t) > texp_S(t) }``: the fewer critical
+   tuples, the later ``texp(e)`` and the larger the validity set.
+2. **Pull non-monotonic operators up** the plan (equivalently: push
+   monotonic ones below them), so that when a non-monotonic operator does
+   invalidate, the monotonic sub-results below it stay valid and reusable.
+
+Both goals are served by the same family of rewrites: pushing selections
+through union, difference, intersection, products/joins, projections and
+grouping-compatible aggregations.  All rewrites preserve the *per-tuple*
+expiration semantics exactly (selection passes expirations through
+unchanged, so commuting it with the max/min-assigning operators is safe);
+only the *expression-level* ``texp(e)`` improves -- which is the point.
+
+The module provides the individual rules, a fix-point :class:`Rewriter`,
+and measurement helpers (:func:`recomputation_pressure`,
+:func:`compare_plans`) used by the ``S31`` bench to quantify the gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.algebra.evaluator import Catalog, Evaluator, evaluate
+from repro.core.algebra.expressions import (
+    Aggregate,
+    BaseRef,
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Literal,
+    Product,
+    Project,
+    Rename,
+    Select,
+    SchemaResolver,
+    Union,
+)
+from repro.core.algebra.predicates import (
+    And,
+    Attribute,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.core.intervals import IntervalSet
+from repro.core.timestamps import Timestamp, TimeLike, ts
+from repro.errors import AlgebraError
+
+__all__ = [
+    "Rule",
+    "merge_selects",
+    "push_select_into_union",
+    "push_select_into_difference",
+    "push_select_into_semijoin",
+    "push_select_into_intersect",
+    "push_select_into_product",
+    "push_select_below_project",
+    "push_select_into_aggregate",
+    "drop_trivial_select",
+    "DEFAULT_RULES",
+    "Rewriter",
+    "optimise",
+    "PlanReport",
+    "recomputation_pressure",
+    "compare_plans",
+]
+
+#: A rewrite rule: returns a replacement expression or ``None`` (no match).
+Rule = Callable[[Expression, SchemaResolver], Optional[Expression]]
+
+
+# ---------------------------------------------------------------------------
+# Predicate utilities
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(predicate: Predicate) -> List[Predicate]:
+    """Split a predicate into its top-level conjuncts."""
+    if isinstance(predicate, And):
+        return list(predicate.children)
+    return [predicate]
+
+
+def _conjoin(parts: Sequence[Predicate]) -> Predicate:
+    if not parts:
+        return TruePredicate()
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+def _positions(predicate: Predicate) -> List[int]:
+    """All positional attribute references in a (resolved) predicate."""
+    refs = []
+    for attribute in predicate.attributes():
+        if not isinstance(attribute.ref, int):
+            raise AlgebraError("predicate must be resolved to positions first")
+        refs.append(attribute.ref)
+    return refs
+
+
+def _shift_predicate(predicate: Predicate, offset: int) -> Predicate:
+    """Re-address every attribute position by ``offset`` (for product sides)."""
+    if isinstance(predicate, Comparison):
+        left = (
+            predicate.left.shifted(offset)
+            if isinstance(predicate.left, Attribute)
+            else predicate.left
+        )
+        right = (
+            predicate.right.shifted(offset)
+            if isinstance(predicate.right, Attribute)
+            else predicate.right
+        )
+        return Comparison(left, predicate.op, right)
+    if isinstance(predicate, And):
+        return And(*(_shift_predicate(child, offset) for child in predicate.children))
+    if isinstance(predicate, Or):
+        return Or(*(_shift_predicate(child, offset) for child in predicate.children))
+    if isinstance(predicate, Not):
+        return Not(_shift_predicate(predicate.child, offset))
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    raise AlgebraError(f"cannot shift predicate node {type(predicate).__name__}")
+
+
+def _remap_predicate(predicate: Predicate, mapping: dict[int, int]) -> Optional[Predicate]:
+    """Re-address positions via ``mapping``; ``None`` if a position is absent."""
+    if isinstance(predicate, Comparison):
+        sides = []
+        for side in (predicate.left, predicate.right):
+            if isinstance(side, Attribute):
+                if side.ref not in mapping:
+                    return None
+                sides.append(Attribute(mapping[side.ref]))
+            else:
+                sides.append(side)
+        return Comparison(sides[0], predicate.op, sides[1])
+    if isinstance(predicate, (And, Or)):
+        children = []
+        for child in predicate.children:
+            remapped = _remap_predicate(child, mapping)
+            if remapped is None:
+                return None
+            children.append(remapped)
+        return And(*children) if isinstance(predicate, And) else Or(*children)
+    if isinstance(predicate, Not):
+        remapped = _remap_predicate(predicate.child, mapping)
+        return None if remapped is None else Not(remapped)
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def merge_selects(node: Expression, resolver: SchemaResolver) -> Optional[Expression]:
+    """``σ_p(σ_q(X)) → σ_{p∧q}(X)``."""
+    if isinstance(node, Select) and isinstance(node.child, Select):
+        inner = node.child
+        return Select(inner.child, And(node.predicate, inner.predicate))
+    return None
+
+
+def drop_trivial_select(node: Expression, resolver: SchemaResolver) -> Optional[Expression]:
+    """``σ_TRUE(X) → X``."""
+    if isinstance(node, Select) and isinstance(node.predicate, TruePredicate):
+        return node.child
+    return None
+
+
+def push_select_into_union(node: Expression, resolver: SchemaResolver) -> Optional[Expression]:
+    """``σ_p(A ∪ B) → σ_p(A) ∪ σ_p(B)``."""
+    if isinstance(node, Select) and isinstance(node.child, Union):
+        union = node.child
+        return Union(Select(union.left, node.predicate), Select(union.right, node.predicate))
+    return None
+
+
+def push_select_into_difference(
+    node: Expression, resolver: SchemaResolver
+) -> Optional[Expression]:
+    """``σ_p(A − B) → σ_p(A) − σ_p(B)`` -- the paper's key Section-3.1 move.
+
+    Pushing the selection into both sides shrinks the critical set to the
+    tuples that actually satisfy ``p``, postponing ``texp(e)``; it also
+    pulls the non-monotonic difference to the top of this sub-plan.
+    """
+    if isinstance(node, Select) and isinstance(node.child, Difference):
+        difference = node.child
+        return Difference(
+            Select(difference.left, node.predicate),
+            Select(difference.right, node.predicate),
+        )
+    return None
+
+
+def push_select_into_intersect(
+    node: Expression, resolver: SchemaResolver
+) -> Optional[Expression]:
+    """``σ_p(A ∩ B) → σ_p(A) ∩ σ_p(B)``."""
+    if isinstance(node, Select) and isinstance(node.child, Intersect):
+        intersect = node.child
+        return Intersect(
+            Select(intersect.left, node.predicate),
+            Select(intersect.right, node.predicate),
+        )
+    return None
+
+
+def push_select_into_product(
+    node: Expression, resolver: SchemaResolver
+) -> Optional[Expression]:
+    """Route conjuncts of ``σ_p(A × B)`` to the side they mention.
+
+    Conjuncts touching only ``A``'s positions move left, only ``B``'s move
+    right (re-addressed), mixed ones stay above the product.
+    """
+    if not (isinstance(node, Select) and isinstance(node.child, Product)):
+        return None
+    product = node.child
+    left_arity = product.left.infer_schema(resolver).arity
+    right_arity = product.right.infer_schema(resolver).arity
+    predicate = node.predicate.resolve(node.child.infer_schema(resolver))
+
+    left_parts: List[Predicate] = []
+    right_parts: List[Predicate] = []
+    residual: List[Predicate] = []
+    for conjunct in _conjuncts(predicate):
+        positions = _positions(conjunct)
+        if positions and all(p <= left_arity for p in positions):
+            left_parts.append(conjunct)
+        elif positions and all(p > left_arity for p in positions):
+            right_parts.append(_shift_predicate(conjunct, -left_arity))
+        else:
+            residual.append(conjunct)
+    if not left_parts and not right_parts:
+        return None
+
+    left = Select(product.left, _conjoin(left_parts)) if left_parts else product.left
+    right = Select(product.right, _conjoin(right_parts)) if right_parts else product.right
+    core: Expression = Product(left, right)
+    if residual:
+        return Select(core, _conjoin(residual))
+    return core
+
+
+def push_select_below_project(
+    node: Expression, resolver: SchemaResolver
+) -> Optional[Expression]:
+    """``σ_p(π_refs(X)) → π_refs(σ_{p'}(X))`` with positions re-addressed."""
+    if not (isinstance(node, Select) and isinstance(node.child, Project)):
+        return None
+    project = node.child
+    child_schema = project.child.infer_schema(resolver)
+    # Output position i of the projection reads child position of refs[i-1].
+    mapping = {
+        out_pos: child_schema.position(ref)
+        for out_pos, ref in enumerate(project.refs, start=1)
+    }
+    predicate = node.predicate.resolve(project.infer_schema(resolver))
+    remapped = _remap_predicate(predicate, mapping)
+    if remapped is None:
+        return None
+    return Project(Select(project.child, remapped), project.refs)
+
+
+def push_select_into_semijoin(
+    node: Expression, resolver: SchemaResolver
+) -> Optional[Expression]:
+    """``σ_p(A ⋉ B) → σ_p(A) ⋉ B`` and ``σ_p(A ▷ B) → σ_p(A) ▷ B``.
+
+    Both operators output A's schema unchanged, so the selection commutes
+    with them; for the anti-semijoin this shrinks the critical set exactly
+    like the difference push-down does.
+    """
+    from repro.core.algebra.expressions import AntiSemiJoin, SemiJoin
+
+    if isinstance(node, Select) and isinstance(node.child, (SemiJoin, AntiSemiJoin)):
+        inner = node.child
+        rebuilt_left = Select(inner.left, node.predicate)
+        if isinstance(inner, SemiJoin):
+            return SemiJoin(rebuilt_left, inner.right, on=inner.on)
+        return AntiSemiJoin(rebuilt_left, inner.right, on=inner.on)
+    return None
+
+
+def push_select_into_aggregate(
+    node: Expression, resolver: SchemaResolver
+) -> Optional[Expression]:
+    """``σ_p(agg_{G,f}(X)) → agg_{G,f}(σ_{p'}(X))`` when ``p`` only touches G.
+
+    Stable partitioning (Definition 1) makes this safe: a predicate over
+    the grouping attributes keeps or drops *whole partitions*, so the
+    per-partition aggregate values and expirations are untouched.  The
+    aggregate output schema keeps all input attributes in place, so
+    positions map one-to-one as long as the appended aggregate column is
+    not referenced.
+    """
+    if not (isinstance(node, Select) and isinstance(node.child, Aggregate)):
+        return None
+    aggregate = node.child
+    child_schema = aggregate.child.infer_schema(resolver)
+    group_positions = {child_schema.position(ref) for ref in aggregate.group_by}
+    predicate = node.predicate.resolve(aggregate.infer_schema(resolver))
+    positions = set(_positions(predicate))
+    if not positions or not positions <= group_positions:
+        return None
+    return Aggregate(
+        Select(aggregate.child, predicate),
+        aggregate.group_by,
+        aggregate.spec,
+        strategy=aggregate.strategy,
+    )
+
+
+#: The default rule set, in application order.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    drop_trivial_select,
+    merge_selects,
+    push_select_into_difference,
+    push_select_into_semijoin,
+    push_select_into_union,
+    push_select_into_intersect,
+    push_select_into_aggregate,
+    push_select_below_project,
+    push_select_into_product,
+)
+
+
+class Rewriter:
+    """Applies rewrite rules bottom-up to a fix point."""
+
+    def __init__(self, rules: Sequence[Rule] = DEFAULT_RULES, max_passes: int = 32) -> None:
+        self.rules = tuple(rules)
+        self.max_passes = max_passes
+        #: Names of the rules applied during the last :meth:`rewrite` call.
+        self.applied: List[str] = []
+
+    def rewrite(self, expression: Expression, resolver: SchemaResolver) -> Expression:
+        """Rewrite to fix point; semantics-preserving by rule construction."""
+        self.applied = []
+        current = expression
+        for _ in range(self.max_passes):
+            rewritten = self._transform(current, resolver)
+            if rewritten == current:
+                return rewritten
+            current = rewritten
+        return current
+
+    def _transform(self, node: Expression, resolver: SchemaResolver) -> Expression:
+        rebuilt = _with_children(
+            node, tuple(self._transform(child, resolver) for child in node.children())
+        )
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                replacement = rule(rebuilt, resolver)
+                if replacement is not None and replacement != rebuilt:
+                    self.applied.append(rule.__name__)
+                    rebuilt = replacement
+                    changed = True
+                    break
+        return rebuilt
+
+
+def _with_children(node: Expression, children: Tuple[Expression, ...]) -> Expression:
+    """Rebuild ``node`` with new children (identity if unchanged)."""
+    if children == node.children():
+        return node
+    if isinstance(node, Select):
+        return Select(children[0], node.predicate)
+    if isinstance(node, Project):
+        return Project(children[0], node.refs)
+    if isinstance(node, Rename):
+        return Rename(children[0], node.mapping)
+    if isinstance(node, Aggregate):
+        return Aggregate(children[0], node.group_by, node.spec, strategy=node.strategy)
+    if isinstance(node, Product):
+        return Product(children[0], children[1])
+    if isinstance(node, Union):
+        return Union(children[0], children[1])
+    if isinstance(node, Difference):
+        return Difference(children[0], children[1])
+    if isinstance(node, Intersect):
+        return Intersect(children[0], children[1])
+    if isinstance(node, Join):
+        return Join(children[0], children[1], on=node.on, predicate=node.predicate)
+    from repro.core.algebra.expressions import AntiSemiJoin, SemiJoin
+
+    if isinstance(node, SemiJoin):
+        return SemiJoin(children[0], children[1], on=node.on)
+    if isinstance(node, AntiSemiJoin):
+        return AntiSemiJoin(children[0], children[1], on=node.on)
+    raise AlgebraError(f"cannot rebuild node {type(node).__name__}")
+
+
+def optimise(expression: Expression, resolver: SchemaResolver) -> Expression:
+    """One-shot rewrite with the default rules."""
+    return Rewriter().rewrite(expression, resolver)
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """What a plan costs and how long its materialisation stays valid."""
+
+    expression: Expression
+    expiration: Timestamp
+    validity: IntervalSet
+    tuples_scanned: int
+    result_size: int
+
+    def valid_duration_before(self, horizon: TimeLike) -> int:
+        """Total ticks of validity inside ``[τ, horizon)`` (bench metric)."""
+        capped = self.validity & IntervalSet.single(0, horizon)
+        total = 0
+        for interval in capped:
+            total += interval.duration.value
+        return total
+
+
+def recomputation_pressure(
+    expression: Expression, catalog: Catalog, tau: TimeLike = 0
+) -> PlanReport:
+    """Evaluate a plan and report its maintenance characteristics."""
+    evaluator = Evaluator(catalog, tau)
+    result = evaluator.evaluate(expression)
+    return PlanReport(
+        expression=expression,
+        expiration=result.expiration,
+        validity=result.validity,
+        tuples_scanned=evaluator.stats.tuples_scanned,
+        result_size=len(result.relation),
+    )
+
+
+def compare_plans(
+    original: Expression, catalog: Catalog, tau: TimeLike = 0
+) -> Tuple[PlanReport, PlanReport]:
+    """Report the original plan versus its rewritten form.
+
+    The two results always contain the same tuples with the same per-tuple
+    expirations; the rewritten plan's ``texp(e)`` is never earlier.
+    """
+    lookup = (lambda name: catalog(name)) if callable(catalog) else catalog.__getitem__
+    resolver = lambda name: lookup(name).schema  # noqa: E731 - tiny adapter
+    rewritten = optimise(original, resolver)
+    return (
+        recomputation_pressure(original, catalog, tau),
+        recomputation_pressure(rewritten, catalog, tau),
+    )

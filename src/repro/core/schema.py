@@ -1,0 +1,178 @@
+"""Relation schemas: attribute names, positions, and union compatibility.
+
+The paper's model is positional -- a relation of arity ``α(R)`` has
+attributes numbered ``1 .. α(R)`` and the i-th attribute of tuple ``r`` is
+``r(i)``.  For usability the library also supports *named* attributes (the
+engine and SQL front end need them); a :class:`Schema` maps between the two
+views.  All attribute positions in the public API are **1-based**, matching
+the paper's notation; helper methods convert to Python's 0-based indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+from repro.errors import SchemaError, UnionCompatibilityError
+
+__all__ = ["Schema", "AttributeRef", "anonymous_schema"]
+
+#: An attribute reference: a 1-based position or an attribute name.
+AttributeRef = Union[int, str]
+
+
+class Schema:
+    """An ordered list of distinct attribute names.
+
+    >>> schema = Schema(["uid", "deg"])
+    >>> schema.arity
+    2
+    >>> schema.position("deg")
+    2
+    >>> schema.name(1)
+    'uid'
+    """
+
+    __slots__ = ("_names", "_positions")
+
+    def __init__(self, names: Iterable[str]) -> None:
+        name_tuple = tuple(names)
+        if not name_tuple:
+            raise SchemaError("a schema needs at least one attribute")
+        for name in name_tuple:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"attribute names must be non-empty strings, got {name!r}")
+        positions = {}
+        for index, name in enumerate(name_tuple, start=1):
+            if name in positions:
+                raise SchemaError(f"duplicate attribute name {name!r}")
+            positions[name] = index
+        self._names = name_tuple
+        self._positions = positions
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes, the paper's ``α(R)``."""
+        return len(self._names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names, in order."""
+        return self._names
+
+    def name(self, position: int) -> str:
+        """The name of the attribute at 1-based ``position``."""
+        self._check_position(position)
+        return self._names[position - 1]
+
+    def position(self, ref: AttributeRef) -> int:
+        """Resolve an attribute reference to its 1-based position."""
+        if isinstance(ref, int) and not isinstance(ref, bool):
+            self._check_position(ref)
+            return ref
+        if isinstance(ref, str):
+            try:
+                return self._positions[ref]
+            except KeyError:
+                raise SchemaError(
+                    f"unknown attribute {ref!r}; schema has {list(self._names)}"
+                ) from None
+        raise SchemaError(f"attribute references are ints or strings, got {ref!r}")
+
+    def index(self, ref: AttributeRef) -> int:
+        """Resolve an attribute reference to a 0-based Python index."""
+        return self.position(ref) - 1
+
+    def has(self, name: str) -> bool:
+        """Whether the schema contains an attribute called ``name``."""
+        return name in self._positions
+
+    def _check_position(self, position: int) -> None:
+        if not 1 <= position <= len(self._names):
+            raise SchemaError(
+                f"attribute position {position} out of range 1..{len(self._names)}"
+            )
+
+    # -- derivation ---------------------------------------------------------
+
+    def project(self, refs: Sequence[AttributeRef]) -> "Schema":
+        """The schema resulting from projecting onto ``refs`` (in order).
+
+        Duplicate target names are disambiguated with positional suffixes,
+        mirroring what SQL systems do for ``SELECT a, a``.
+        """
+        if not refs:
+            raise SchemaError("projection needs at least one attribute")
+        chosen = [self.name(self.position(ref)) for ref in refs]
+        seen: dict[str, int] = {}
+        names = []
+        for name in chosen:
+            if name in seen:
+                seen[name] += 1
+                names.append(f"{name}_{seen[name]}")
+            else:
+                seen[name] = 1
+                names.append(name)
+        return Schema(names)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """The schema of a Cartesian product; clashes get a ``_r`` suffix."""
+        names = list(self._names)
+        taken = set(names)
+        for name in other._names:
+            candidate = name
+            while candidate in taken:
+                candidate = candidate + "_r"
+            names.append(candidate)
+            taken.add(candidate)
+        return Schema(names)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """A copy with attributes renamed per ``mapping`` (old -> new)."""
+        for old in mapping:
+            if old not in self._positions:
+                raise SchemaError(f"cannot rename unknown attribute {old!r}")
+        return Schema(mapping.get(name, name) for name in self._names)
+
+    def extend(self, name: str) -> "Schema":
+        """A copy with one extra attribute appended (used by aggregation)."""
+        candidate = name
+        while candidate in self._positions:
+            candidate = candidate + "_"
+        return Schema(self._names + (candidate,))
+
+    # -- compatibility --------------------------------------------------------
+
+    def check_union_compatible(self, other: "Schema") -> None:
+        """Raise unless arities match (the paper's union compatibility)."""
+        if self.arity != other.arity:
+            raise UnionCompatibilityError(
+                f"arity mismatch: {self.arity} vs {other.arity}"
+            )
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(("Schema", self._names))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._names)!r})"
+
+
+def anonymous_schema(arity: int) -> Schema:
+    """A schema with auto-generated names ``a1 .. aN`` for positional use."""
+    if arity < 1:
+        raise SchemaError(f"arity must be positive, got {arity}")
+    return Schema(f"a{i}" for i in range(1, arity + 1))

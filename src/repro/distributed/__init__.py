@@ -1,0 +1,57 @@
+"""Loosely-coupled distributed substrate (the paper's Section-1 setting).
+
+A deterministic discrete-event simulator of a server and a remote client
+connected by a high-latency, lossy, partition-prone link.  Used by the D1
+and TH3/S34b benches to quantify the paper's claimed benefits: lower
+transaction volume, no deletion traffic, and consistency under
+disconnection for expiration-based maintenance.
+"""
+
+from repro.distributed.client import DifferenceViewClient, Replica
+from repro.distributed.events import EventQueue
+from repro.distributed.link import Link, LinkStats
+from repro.distributed.metrics import SyncReport
+from repro.distributed.node import Node
+from repro.distributed.protocols import (
+    DeleteNotice,
+    Message,
+    PatchShipment,
+    RecomputeRequest,
+    RecomputeResponse,
+    Snapshot,
+    TupleInsert,
+)
+from repro.distributed.server import DifferenceViewServer, OriginServer
+from repro.distributed.simulator import (
+    DifferenceViewSimulation,
+    FanOutSimulation,
+    ReplicationSimulation,
+    ReplicationStrategy,
+    ViewMaintenanceStrategy,
+    WorkloadEntry,
+)
+
+__all__ = [
+    "DifferenceViewClient",
+    "Replica",
+    "EventQueue",
+    "Link",
+    "LinkStats",
+    "SyncReport",
+    "Node",
+    "DeleteNotice",
+    "Message",
+    "PatchShipment",
+    "RecomputeRequest",
+    "RecomputeResponse",
+    "Snapshot",
+    "TupleInsert",
+    "DifferenceViewServer",
+    "OriginServer",
+    "DifferenceViewSimulation",
+    "FanOutSimulation",
+    "ReplicationSimulation",
+    "ReplicationStrategy",
+    "ViewMaintenanceStrategy",
+    "WorkloadEntry",
+]

@@ -1,0 +1,131 @@
+"""Client-side replicas.
+
+Two kinds of clients, matching the two experiment families:
+
+* :class:`Replica` -- holds a replicated (monotonic) relation.  Under the
+  expiration protocol it stores expiration times and filters locally with
+  ``exp_τ``; under the explicit-delete baseline it stores bare rows and
+  waits for deletion messages.
+* :class:`DifferenceViewClient` -- holds a materialised difference view,
+  maintained by one of: recompute requests at ``texp(e)``, the Theorem-3
+  patch queue, or Schrödinger validity intervals.
+
+Clients never reach back to the base data on their own; every remote
+interaction goes through the simulator's links, so message counts are
+honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.intervals import IntervalSet
+from repro.core.patching import DifferencePatcher, Patch
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
+from repro.core.tuples import Row
+from repro.distributed.node import Node
+from repro.distributed.protocols import (
+    DeleteNotice,
+    PatchShipment,
+    RecomputeResponse,
+    Snapshot,
+    TupleInsert,
+)
+
+__all__ = ["Replica", "DifferenceViewClient"]
+
+
+class Replica(Node):
+    """A replicated base relation at a remote node."""
+
+    def __init__(self, name: str, schema: Schema, clock_skew: int = 0) -> None:
+        super().__init__(name, clock_skew)
+        self.schema = schema
+        self.relation = Relation(schema)
+        self.inserts_received = 0
+        self.deletes_received = 0
+        self.snapshots_received = 0
+
+    # -- message handlers ----------------------------------------------------
+
+    def on_insert(self, message: TupleInsert, at: Timestamp) -> None:
+        """Apply a replicated insert (with or without an expiration)."""
+        expires = message.expires_at if message.expires_at is not None else INFINITY
+        self.relation.insert(message.row, expires_at=expires)
+        self.inserts_received += 1
+
+    def on_delete(self, message: DeleteNotice, at: Timestamp) -> None:
+        """Apply an explicit-delete notice (the baseline protocol)."""
+        self.relation.delete(message.row)
+        self.deletes_received += 1
+
+    def on_snapshot(self, message: Snapshot, at: Timestamp) -> None:
+        """Replace the replica state with a full snapshot."""
+        self.relation = Relation(self.schema)
+        for row, texp in message.rows:
+            self.relation.insert(row, expires_at=texp if texp is not None else INFINITY)
+        self.snapshots_received += 1
+
+    # -- local queries -----------------------------------------------------------
+
+    def visible_rows(self, global_time: TimeLike) -> Set[Row]:
+        """What a local query sees, filtered by the node's *own* clock."""
+        local = self.local_time(global_time)
+        return set(self.relation.exp_at(local).rows())
+
+
+class DifferenceViewClient(Node):
+    """A remote materialisation of ``R −exp S``."""
+
+    def __init__(self, name: str, schema: Schema, clock_skew: int = 0) -> None:
+        super().__init__(name, clock_skew)
+        self.schema = schema
+        self.relation = Relation(schema)
+        self.patcher: Optional[DifferencePatcher] = None
+        self.expiration: Timestamp = INFINITY
+        self.validity: IntervalSet = IntervalSet.all_time()
+        self.snapshots_received = 0
+        self.patches_received = 0
+        self.local_answers = 0
+        self.remote_answers = 0
+
+    # -- message handlers --------------------------------------------------------
+
+    def on_view_state(
+        self,
+        message: RecomputeResponse,
+        at: Timestamp,
+        expiration: Timestamp = INFINITY,
+        validity: Optional[IntervalSet] = None,
+    ) -> None:
+        """Install a fresh materialisation (with its metadata)."""
+        self.relation = Relation(self.schema)
+        for row, texp in message.snapshot.rows:
+            self.relation.insert(row, expires_at=texp if texp is not None else INFINITY)
+        self.expiration = expiration
+        self.validity = validity if validity is not None else IntervalSet.all_time()
+        self.snapshots_received += 1
+
+    def on_patches(self, message: PatchShipment, at: Timestamp) -> None:
+        """Install the Theorem-3 patch queue for local maintenance."""
+        self.patcher = DifferencePatcher(list(message.patches))
+        self.patches_received += len(message.patches)
+        self.expiration = self.patcher.guaranteed_until
+
+    # -- local queries ------------------------------------------------------------------
+
+    def can_answer_locally(self, global_time: TimeLike) -> bool:
+        """Whether the current materialisation is valid at this time."""
+        local = self.local_time(global_time)
+        if self.patcher is not None:
+            return local < self.patcher.guaranteed_until
+        return self.validity.contains(local)
+
+    def visible_rows(self, global_time: TimeLike) -> Set[Row]:
+        """The view contents at the node's local time, patched up to it."""
+        local = self.local_time(global_time)
+        if self.patcher is not None:
+            self.patcher.apply_to(self.relation, local)
+        return set(self.relation.exp_at(local).rows())

@@ -1,0 +1,84 @@
+"""A minimal discrete-event core for the loosely-coupled simulator.
+
+Events are ``(time, sequence, action)`` triples in a binary heap; the
+sequence number makes execution order deterministic for same-time events.
+Time is the shared *global* simulation time; individual nodes may observe
+it through skewed clocks (see :mod:`repro.distributed.node`), which is how
+the paper's "clocks of different sub-systems are not synchronised" setting
+is modelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+#: An event action; receives the global time at which it fires.
+Action = Callable[[Timestamp], None]
+
+
+class EventQueue:
+    """A deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Action]] = []
+        self._sequence = itertools.count()
+        self._now = ts(0)
+
+    @property
+    def now(self) -> Timestamp:
+        """The time of the most recently executed event."""
+        return self._now
+
+    def schedule(self, time: TimeLike, action: Action) -> None:
+        """Schedule ``action`` at ``time`` (must not be in the past)."""
+        stamp = ts(time)
+        if stamp.is_infinite:
+            return  # an event at infinity never fires
+        if stamp < self._now:
+            raise SimulationError(f"cannot schedule in the past: {stamp} < {self._now}")
+        heapq.heappush(self._heap, (stamp.value, next(self._sequence), action))
+
+    def schedule_in(self, delay: int, action: Action) -> None:
+        """Schedule ``action`` after ``delay`` ticks from now."""
+        self.schedule(self._now + delay, action)
+
+    def next_time(self) -> Optional[Timestamp]:
+        """When the next event fires, or ``None`` if the queue is empty."""
+        if not self._heap:
+            return None
+        return ts(self._heap[0][0])
+
+    def run_until(self, horizon: TimeLike) -> int:
+        """Execute events with ``time <= horizon``; returns the count."""
+        stamp = ts(horizon)
+        executed = 0
+        while self._heap and ts(self._heap[0][0]) <= stamp:
+            value, _, action = heapq.heappop(self._heap)
+            self._now = ts(value)
+            action(self._now)
+            executed += 1
+        if self._now < stamp and stamp.is_finite:
+            self._now = stamp
+        return executed
+
+    def run_all(self, safety_limit: int = 10_000_000) -> int:
+        """Drain the queue completely (bounded by ``safety_limit`` events)."""
+        executed = 0
+        while self._heap:
+            value, _, action = heapq.heappop(self._heap)
+            self._now = ts(value)
+            action(self._now)
+            executed += 1
+            if executed > safety_limit:
+                raise SimulationError("event cascade exceeded the safety limit")
+        return executed
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,120 @@
+"""Unreliable, high-latency links between loosely-coupled nodes.
+
+A :class:`Link` models the paper's deployment assumptions: network traffic
+and latency are the cost factors, and connectivity may be intermittent.
+Delivery of a message submitted at time ``t``:
+
+* takes ``latency`` ticks (plus deterministic jitter from a seeded RNG);
+* fails with probability ``loss_probability`` (the sender is not told);
+* is impossible while the link is *down*; depending on
+  :attr:`Link.queue_during_partition` the message is then either dropped
+  or queued and delivered when the partition heals.
+
+Partitions are explicit ``[from, to)`` windows, so experiments can script
+disconnection scenarios deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.errors import SimulationError
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Per-link traffic accounting."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        self.messages_queued = 0
+        self.cells_sent = 0
+        self.cells_delivered = 0
+
+    def as_dict(self) -> dict:
+        """All counters by name, for reports."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_lost": self.messages_lost,
+            "messages_queued": self.messages_queued,
+            "cells_sent": self.cells_sent,
+            "cells_delivered": self.cells_delivered,
+        }
+
+
+class Link:
+    """A one-directional link with latency, loss, and partitions."""
+
+    def __init__(
+        self,
+        latency: int = 1,
+        jitter: int = 0,
+        loss_probability: float = 0.0,
+        partitions: Optional[List[Tuple[TimeLike, TimeLike]]] = None,
+        queue_during_partition: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"latency must be non-negative, got {latency}")
+        if jitter < 0:
+            raise SimulationError(f"jitter must be non-negative, got {jitter}")
+        if not 0.0 <= loss_probability <= 1.0:
+            raise SimulationError(
+                f"loss probability must be in [0, 1], got {loss_probability}"
+            )
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_probability = loss_probability
+        self.down_times = IntervalSet.from_pairs(partitions or [])
+        self.queue_during_partition = queue_during_partition
+        self.stats = LinkStats()
+        self._rng = random.Random(seed)
+
+    def is_up(self, at: TimeLike) -> bool:
+        """Whether the link is outside every partition window at ``at``."""
+        return not self.down_times.contains(at)
+
+    def delivery_time(self, sent_at: TimeLike, size_cells: int = 1) -> Optional[Timestamp]:
+        """When a message sent at ``sent_at`` arrives, or ``None`` if lost.
+
+        The caller (simulator) schedules the receive event at the returned
+        time and does the stats bookkeeping via :meth:`record_send` /
+        :meth:`record_delivery`.
+        """
+        stamp = ts(sent_at)
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            return None
+        departure = stamp
+        if not self.is_up(departure):
+            if not self.queue_during_partition:
+                return None
+            healed = self.down_times.complement().next_valid_time(departure)
+            if healed is None:
+                return None  # partitioned forever
+            self.stats.messages_queued += 1
+            departure = healed
+        delay = self.latency
+        if self.jitter:
+            delay += self._rng.randint(0, self.jitter)
+        return departure + delay
+
+    def record_send(self, size_cells: int) -> None:
+        """Account one outbound message of ``size_cells``."""
+        self.stats.messages_sent += 1
+        self.stats.cells_sent += size_cells
+
+    def record_delivery(self, size_cells: int) -> None:
+        """Account one delivered message of ``size_cells``."""
+        self.stats.messages_delivered += 1
+        self.stats.cells_delivered += size_cells
+
+    def record_loss(self) -> None:
+        """Account one lost message."""
+        self.stats.messages_lost += 1

@@ -1,0 +1,54 @@
+"""Result records for the distributed experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["SyncReport"]
+
+
+@dataclass
+class SyncReport:
+    """The outcome of one loosely-coupled maintenance run.
+
+    * Traffic: ``messages`` / ``cells`` as counted by the link.
+    * Consistency: a query is *correct* when the client's visible row set
+      equals the server-side ground truth at the query's global time;
+      ``missing_tuples`` / ``extra_tuples`` sum the per-query set
+      differences (extra tuples are the dangerous kind -- the client acts
+      on data that no longer exists).
+    """
+
+    strategy: str
+    queries: int = 0
+    correct_answers: int = 0
+    incorrect_answers: int = 0
+    missing_tuples: int = 0
+    extra_tuples: int = 0
+    messages: int = 0
+    cells: int = 0
+    messages_lost: int = 0
+    recompute_requests: int = 0
+    patches_shipped: int = 0
+    detail: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def consistency(self) -> float:
+        """Fraction of queries answered correctly (1.0 = always consistent)."""
+        if not self.queries:
+            return 1.0
+        return self.correct_answers / self.queries
+
+    def summary_row(self) -> Dict[str, object]:
+        """A flat dict for tabular bench output."""
+        return {
+            "strategy": self.strategy,
+            "messages": self.messages,
+            "cells": self.cells,
+            "queries": self.queries,
+            "consistency": round(self.consistency, 4),
+            "missing": self.missing_tuples,
+            "extra": self.extra_tuples,
+            "recompute_requests": self.recompute_requests,
+        }

@@ -1,0 +1,114 @@
+"""Messages of the loosely-coupled maintenance protocols.
+
+Three families, one per maintenance strategy compared in experiment D1:
+
+* **Explicit delete** (the traditional baseline): the server ships every
+  insert *and* a :class:`DeleteNotice` for every elapsed lifetime.
+* **Expiration-based**: the server ships each insert once, together with
+  its expiration time; the client expires tuples locally.  No deletion
+  traffic at all -- the paper's headline saving.
+* **Patch shipping** (Theorem 3, for difference views): the server ships
+  the materialisation plus the helper priority queue up front; the client
+  patches locally and never calls back.
+
+Message sizes are accounted in abstract *cells* (attribute values plus one
+cell per expiration time carried), so benches can report traffic without
+pretending to know a wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.patching import Patch
+from repro.core.timestamps import Timestamp
+from repro.core.tuples import Row
+
+__all__ = [
+    "Message",
+    "TupleInsert",
+    "DeleteNotice",
+    "Snapshot",
+    "PatchShipment",
+    "RecomputeRequest",
+    "RecomputeResponse",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; every message knows its abstract size in cells."""
+
+    def size_cells(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TupleInsert(Message):
+    """One new tuple for the replica.
+
+    ``expires_at`` is ``None`` for the explicit-delete baseline (which
+    hides lifetimes from the replica) and a timestamp for the
+    expiration-based protocols.
+    """
+
+    row: Row
+    expires_at: Optional[Timestamp] = None
+
+    def size_cells(self) -> int:
+        return len(self.row) + (1 if self.expires_at is not None else 0)
+
+
+@dataclass(frozen=True)
+class DeleteNotice(Message):
+    """The baseline's per-tuple deletion message."""
+
+    row: Row
+
+    def size_cells(self) -> int:
+        return len(self.row)
+
+
+@dataclass(frozen=True)
+class Snapshot(Message):
+    """A full state transfer: rows with (optionally) expiration times."""
+
+    rows: Tuple[Tuple[Row, Optional[Timestamp]], ...]
+
+    def size_cells(self) -> int:
+        return sum(
+            len(row) + (1 if texp is not None else 0) for row, texp in self.rows
+        )
+
+
+@dataclass(frozen=True)
+class PatchShipment(Message):
+    """The Theorem-3 helper relation for a difference view."""
+
+    patches: Tuple[Patch, ...]
+
+    def size_cells(self) -> int:
+        # Each patch carries the row plus two timestamps (due, expires_at).
+        return sum(len(patch.row) + 2 for patch in self.patches)
+
+
+@dataclass(frozen=True)
+class RecomputeRequest(Message):
+    """A client asking the server to re-materialise its view."""
+
+    view_name: str
+
+    def size_cells(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class RecomputeResponse(Message):
+    """The server's fresh materialisation for a view."""
+
+    view_name: str
+    snapshot: Snapshot
+
+    def size_cells(self) -> int:
+        return 1 + self.snapshot.size_cells()

@@ -1,0 +1,144 @@
+"""Server-side origin nodes.
+
+The server owns the base data.  Depending on the maintenance strategy it
+generates different outbound traffic when the workload inserts tuples and
+when tuples expire; the simulator wires its output to a link.
+
+:class:`OriginServer` serves base-relation replication (experiment D1);
+:class:`DifferenceViewServer` serves a materialised difference view to a
+remote client (experiments TH3 / S34b over a network).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.patching import compute_difference_with_patches
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
+from repro.core.tuples import Row
+from repro.core.validity import difference_validity_exact
+from repro.distributed.node import Node
+from repro.distributed.protocols import (
+    DeleteNotice,
+    Message,
+    PatchShipment,
+    RecomputeResponse,
+    Snapshot,
+    TupleInsert,
+)
+
+__all__ = ["OriginServer", "DifferenceViewServer"]
+
+#: The simulator's send hook: (message, when).
+SendHook = Callable[[Message, Timestamp], None]
+
+
+class OriginServer(Node):
+    """Owns one base relation and publishes it to a replica."""
+
+    def __init__(self, name: str, schema: Schema, send: SendHook, clock_skew: int = 0) -> None:
+        super().__init__(name, clock_skew)
+        self.schema = schema
+        self.relation = Relation(schema)
+        self._send = send
+
+    # -- ground truth -----------------------------------------------------------
+
+    def live_rows(self, at: TimeLike) -> set:
+        """Ground truth: the unexpired rows at ``at``."""
+        return set(self.relation.exp_at(at).rows())
+
+    # -- workload application per strategy -----------------------------------------
+
+    def insert_expiration_based(self, row: Row, texp: Timestamp, now: Timestamp) -> None:
+        """Expiration protocol: ship the tuple once, with its lifetime."""
+        self.relation.insert(row, expires_at=texp)
+        self._send(TupleInsert(row=row, expires_at=texp), now)
+
+    def insert_explicit_delete(self, row: Row, texp: Timestamp, now: Timestamp) -> None:
+        """Baseline: ship the bare tuple; a delete must follow at ``texp``."""
+        self.relation.insert(row, expires_at=texp)
+        self._send(TupleInsert(row=row, expires_at=None), now)
+
+    def delete_explicit(self, row: Row, now: Timestamp) -> None:
+        """Baseline: the lifetime elapsed; push the deletion."""
+        self._send(DeleteNotice(row=row), now)
+
+    def insert_local_only(self, row: Row, texp: Timestamp) -> None:
+        """Periodic-snapshot strategy: nothing shipped per insert."""
+        self.relation.insert(row, expires_at=texp)
+
+    def send_snapshot(self, now: Timestamp, with_expirations: bool) -> None:
+        """Periodic-snapshot strategy: ship the whole live state."""
+        rows: List[Tuple[Row, Optional[Timestamp]]] = []
+        for row, texp in self.relation.exp_at(now).items():
+            rows.append((row, texp if with_expirations else None))
+        self._send(Snapshot(rows=tuple(rows)), now)
+
+
+class DifferenceViewServer(Node):
+    """Materialises ``R −exp S`` on request and ships it to a client."""
+
+    def __init__(
+        self,
+        name: str,
+        left: Relation,
+        right: Relation,
+        send: SendHook,
+        clock_skew: int = 0,
+    ) -> None:
+        super().__init__(name, clock_skew)
+        self.left = left
+        self.right = right
+        self._send = send
+        self.recomputations_served = 0
+
+    def truth_at(self, at: TimeLike) -> set:
+        """Ground truth: the difference freshly computed at ``at``."""
+        stamp = ts(at)
+        visible_left = self.left.exp_at(stamp)
+        visible_right = self.right.exp_at(stamp)
+        return {
+            row
+            for row in visible_left.rows()
+            if visible_right.expiration_or_none(row) is None
+        }
+
+    def ship_materialisation(self, now: Timestamp, view_name: str = "diff"):
+        """Materialise at ``now``; returns (expiration, validity) metadata.
+
+        The snapshot message carries per-tuple expirations; the metadata is
+        assumed to travel in the same message (its size is negligible
+        relative to the tuples).
+        """
+        materialised, patcher = compute_difference_with_patches(
+            self.left, self.right, tau=now
+        )
+        rows = tuple((row, texp) for row, texp in materialised.items())
+        validity = difference_validity_exact(
+            self.left.exp_at(now), self.right.exp_at(now), now
+        )
+        expiration = validity.intervals[0].end if validity.intervals else ts(0)
+        self._send(RecomputeResponse(view_name=view_name, snapshot=Snapshot(rows)), now)
+        self.recomputations_served += 1
+        return expiration, validity
+
+    def ship_patches(self, now: Timestamp) -> int:
+        """Theorem 3: ship the helper priority queue; returns its size."""
+        _, patcher = compute_difference_with_patches(self.left, self.right, tau=now)
+        patches = tuple(_drain(patcher))
+        self._send(PatchShipment(patches=patches), now)
+        return len(patches)
+
+
+def _drain(patcher) -> list:
+    """Extract all pending patches from a patcher, in due order."""
+    patches = []
+    while True:
+        due = patcher.peek_due()
+        if due is None:
+            break
+        patches.extend(patcher.due_patches(due))
+    return patches

@@ -1,0 +1,412 @@
+"""End-to-end loosely-coupled maintenance simulations.
+
+Two scenario classes, both deterministic given their seeds:
+
+* :class:`ReplicationSimulation` (experiment D1) -- a server relation is
+  replicated to a remote client over an unreliable link; compares the
+  **explicit-delete** baseline, **periodic snapshots**, and
+  **expiration-based** maintenance on traffic and consistency.
+* :class:`DifferenceViewSimulation` (experiments TH3 / S34b over a
+  network) -- a client materialises a *difference* view and keeps it
+  correct by **recompute-on-invalid**, **Schrödinger** (recompute only
+  when a query actually lands in an invalid gap), or the Theorem-3
+  **patch stream** shipped up front.
+
+The workload format is a list of ``(time, row, expires_at)`` insertions;
+see :mod:`repro.workloads` for generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.core.tuples import Row
+from repro.distributed.client import DifferenceViewClient, Replica
+from repro.distributed.events import EventQueue
+from repro.distributed.link import Link
+from repro.distributed.metrics import SyncReport
+from repro.distributed.protocols import (
+    DeleteNotice,
+    Message,
+    PatchShipment,
+    RecomputeRequest,
+    RecomputeResponse,
+    Snapshot,
+    TupleInsert,
+)
+from repro.distributed.server import DifferenceViewServer, OriginServer
+from repro.errors import SimulationError
+
+__all__ = [
+    "ReplicationStrategy",
+    "ReplicationSimulation",
+    "ViewMaintenanceStrategy",
+    "DifferenceViewSimulation",
+    "WorkloadEntry",
+]
+
+#: One workload insertion: (arrival time, row, expiration time).
+WorkloadEntry = Tuple[int, Row, int]
+
+
+class ReplicationStrategy(enum.Enum):
+    """How a replicated base relation is kept in sync (experiment D1)."""
+
+    EXPLICIT_DELETE = "explicit_delete"
+    PERIODIC_SNAPSHOT = "periodic_snapshot"
+    EXPIRATION = "expiration"
+
+
+class ReplicationSimulation:
+    """Server-to-client replication of one relation under a strategy."""
+
+    def __init__(
+        self,
+        schema: Schema | Sequence[str],
+        workload: Sequence[WorkloadEntry],
+        query_times: Sequence[int],
+        strategy: ReplicationStrategy,
+        link: Optional[Link] = None,
+        snapshot_period: int = 10,
+        client_skew: int = 0,
+    ) -> None:
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self.workload = sorted(workload, key=lambda entry: entry[0])
+        self.query_times = sorted(query_times)
+        self.strategy = strategy
+        self.link = link if link is not None else Link()
+        self.snapshot_period = snapshot_period
+        self.events = EventQueue()
+        self.report = SyncReport(strategy=strategy.value)
+        self.client = Replica("client", self.schema, clock_skew=client_skew)
+        self.server = OriginServer("server", self.schema, self._send)
+
+    # -- transport ----------------------------------------------------------
+
+    def _send(self, message: Message, now: Timestamp) -> None:
+        size = message.size_cells()
+        self.link.record_send(size)
+        arrival = self.link.delivery_time(now, size)
+        if arrival is None:
+            self.link.record_loss()
+            return
+
+        def deliver(at: Timestamp, message=message, size=size) -> None:
+            self.link.record_delivery(size)
+            if isinstance(message, TupleInsert):
+                self.client.on_insert(message, at)
+            elif isinstance(message, DeleteNotice):
+                self.client.on_delete(message, at)
+            elif isinstance(message, Snapshot):
+                self.client.on_snapshot(message, at)
+            else:
+                raise SimulationError(f"unexpected message {message!r}")
+
+        self.events.schedule(arrival, deliver)
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self) -> SyncReport:
+        """Execute the scenario; returns the traffic/consistency report."""
+        for time, row, expires_at in self.workload:
+            self.events.schedule(time, self._make_insert(row, ts(expires_at)))
+        if self.strategy is ReplicationStrategy.PERIODIC_SNAPSHOT:
+            horizon = self._horizon()
+            period_start = self.snapshot_period
+            for snap_time in range(period_start, horizon + 1, self.snapshot_period):
+                self.events.schedule(
+                    snap_time,
+                    lambda at: self.server.send_snapshot(at, with_expirations=False),
+                )
+        for query_time in self.query_times:
+            self.events.schedule(query_time, self._run_query)
+        self.events.run_until(self._horizon())
+        self._fill_report()
+        return self.report
+
+    def _make_insert(self, row: Row, expires_at: Timestamp):
+        def action(at: Timestamp) -> None:
+            if self.strategy is ReplicationStrategy.EXPIRATION:
+                self.server.insert_expiration_based(row, expires_at, at)
+            elif self.strategy is ReplicationStrategy.EXPLICIT_DELETE:
+                self.server.insert_explicit_delete(row, expires_at, at)
+                if expires_at.is_finite:
+                    self.events.schedule(
+                        expires_at,
+                        lambda when, row=row: self.server.delete_explicit(row, when),
+                    )
+            else:  # PERIODIC_SNAPSHOT
+                self.server.insert_local_only(row, expires_at)
+
+        return action
+
+    def _run_query(self, at: Timestamp) -> None:
+        truth = self.server.live_rows(at)
+        seen = self.client.visible_rows(at)
+        self.report.queries += 1
+        if seen == truth:
+            self.report.correct_answers += 1
+        else:
+            self.report.incorrect_answers += 1
+            self.report.missing_tuples += len(truth - seen)
+            self.report.extra_tuples += len(seen - truth)
+
+    def _horizon(self) -> int:
+        latest = 0
+        for time, _, expires_at in self.workload:
+            latest = max(latest, time, expires_at)
+        if self.query_times:
+            latest = max(latest, self.query_times[-1])
+        return latest + self.link.latency + self.link.jitter + 1
+
+    def _fill_report(self) -> None:
+        stats = self.link.stats
+        self.report.messages = stats.messages_sent
+        self.report.cells = stats.cells_sent
+        self.report.messages_lost = stats.messages_lost
+        self.report.detail = stats.as_dict()
+
+
+class FanOutSimulation:
+    """One server publishing a relation to *many* heterogeneous clients.
+
+    The paper's open-architecture setting ("servers or lists"): each client
+    has its own link (latency, loss, partitions) and possibly skewed clock.
+    Under the explicit-delete baseline the server's deletion traffic scales
+    with (clients × expirations); under expiration-based maintenance it is
+    exactly (clients × inserts) and consistency survives any partition.
+    """
+
+    def __init__(
+        self,
+        schema: Schema | Sequence[str],
+        workload: Sequence[WorkloadEntry],
+        query_times: Sequence[int],
+        strategy: ReplicationStrategy,
+        links: Sequence[Link],
+        client_skews: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not links:
+            raise SimulationError("a fan-out needs at least one client link")
+        skews = list(client_skews or [0] * len(links))
+        if len(skews) != len(links):
+            raise SimulationError("client_skews must match links in length")
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self.workload = sorted(workload, key=lambda entry: entry[0])
+        self.query_times = sorted(query_times)
+        self.strategy = strategy
+        self.simulations = [
+            ReplicationSimulation(
+                self.schema, self.workload, self.query_times, strategy,
+                link=link, client_skew=skew,
+            )
+            for link, skew in zip(links, skews)
+        ]
+
+    def run(self) -> SyncReport:
+        """Run every client's replication; returns the aggregate report."""
+        reports = [simulation.run() for simulation in self.simulations]
+        total = SyncReport(strategy=f"fanout:{self.strategy.value}")
+        for report in reports:
+            total.queries += report.queries
+            total.correct_answers += report.correct_answers
+            total.incorrect_answers += report.incorrect_answers
+            total.missing_tuples += report.missing_tuples
+            total.extra_tuples += report.extra_tuples
+            total.messages += report.messages
+            total.cells += report.cells
+            total.messages_lost += report.messages_lost
+        total.detail = {
+            "clients": len(reports),
+            "worst_client_consistency": round(
+                min(report.consistency for report in reports), 4
+            ),
+        }
+        return total
+
+
+class ViewMaintenanceStrategy(enum.Enum):
+    """How a remote difference view stays correct."""
+
+    #: Request a fresh materialisation whenever ``texp(e)`` passes.
+    RECOMPUTE_ON_INVALID = "recompute_on_invalid"
+
+    #: Request a fresh materialisation only when a query lands in an
+    #: invalid gap of the Schrödinger validity set.
+    SCHRODINGER = "schrodinger"
+
+    #: Theorem 3: ship materialisation + patch queue once; never ask again.
+    PATCH = "patch"
+
+
+class DifferenceViewSimulation:
+    """A remote client maintaining ``R −exp S`` under a strategy.
+
+    The base relations are fixed at simulation start (the paper's
+    no-updates assumption); everything that happens afterwards is driven
+    purely by expirations -- which is exactly the regime where the three
+    strategies differ.
+    """
+
+    def __init__(
+        self,
+        left: Relation,
+        right: Relation,
+        query_times: Sequence[int],
+        strategy: ViewMaintenanceStrategy,
+        link: Optional[Link] = None,
+    ) -> None:
+        left.schema.check_union_compatible(right.schema)
+        self.left = left
+        self.right = right
+        self.query_times = sorted(query_times)
+        self.strategy = strategy
+        self.link = link if link is not None else Link(latency=0)
+        self.events = EventQueue()
+        self.report = SyncReport(strategy=strategy.value)
+        self.client = DifferenceViewClient("client", left.schema)
+        self.server = DifferenceViewServer("server", left, right, self._send_down)
+        self._pending_metadata: List[Tuple[Timestamp, object]] = []
+
+    # -- transport (down = server->client; up = client->server) ----------------
+
+    def _send_down(self, message: Message, now: Timestamp) -> None:
+        size = message.size_cells()
+        self.link.record_send(size)
+        arrival = self.link.delivery_time(now, size)
+        if arrival is None:
+            self.link.record_loss()
+            return
+
+        def deliver(at: Timestamp, message=message, size=size) -> None:
+            self.link.record_delivery(size)
+            if isinstance(message, RecomputeResponse):
+                expiration, validity = self._pending_metadata.pop(0)
+                self.client.on_view_state(
+                    message, at, expiration=expiration, validity=validity
+                )
+            elif isinstance(message, PatchShipment):
+                self.client.on_patches(message, at)
+            else:
+                raise SimulationError(f"unexpected message {message!r}")
+
+        self.events.schedule(arrival, deliver)
+
+    def _request_recompute(self, at: Timestamp) -> None:
+        """Client -> server: please re-materialise (counted as traffic)."""
+        request = RecomputeRequest(view_name="diff")
+        self.link.record_send(request.size_cells())
+        self.report.recompute_requests += 1
+        arrival = self.link.delivery_time(at, request.size_cells())
+        if arrival is None:
+            self.link.record_loss()
+            return
+
+        def serve(when: Timestamp) -> None:
+            self.link.record_delivery(request.size_cells())
+            metadata = self.server.ship_materialisation(when)
+            self._pending_metadata.append(metadata)
+
+        self.events.schedule(arrival, serve)
+
+    # -- run --------------------------------------------------------------------
+
+    def run(self) -> SyncReport:
+        """Execute the scenario; returns the traffic/consistency report."""
+        # Initial shipment at time 0, installed synchronously (the client
+        # bootstraps before any query arrives); traffic is still counted.
+        self._install_state_synchronously(ts(0))
+        if self.strategy is ViewMaintenanceStrategy.PATCH:
+            self.report.patches_shipped = self.server.ship_patches(ts(0))
+            self.events.run_until(self.link.latency + self.link.jitter)
+
+        if self.strategy is ViewMaintenanceStrategy.RECOMPUTE_ON_INVALID:
+            self.events.schedule(self.events.now, self._schedule_next_invalidation)
+
+        for query_time in self.query_times:
+            # Under PATCH the patch shipment consumed a little simulated
+            # time; earlier query times degrade to "as soon as possible".
+            effective = query_time if self.events.now < query_time else self.events.now
+            self.events.schedule(effective, self._run_query)
+        self.events.run_until(self._horizon())
+        self._fill_report()
+        return self.report
+
+    def _schedule_next_invalidation(self, at: Timestamp) -> None:
+        expiration = self.client.expiration
+        if expiration.is_finite:
+            # The expiration may already have passed while the response was
+            # in flight; refresh immediately in that case.
+            when = expiration if self.events.now < expiration else self.events.now
+            self.events.schedule(when, self._on_invalidation)
+
+    def _on_invalidation(self, at: Timestamp) -> None:
+        self._request_recompute(at)
+        # After the fresh state arrives, watch for the next invalidation.
+        self.events.schedule(
+            at + self.link.latency * 2 + 1, self._schedule_next_invalidation
+        )
+
+    def _install_state_synchronously(self, at: Timestamp) -> None:
+        """Full refresh with immediate installation; traffic still counted."""
+        from repro.core.patching import compute_difference_with_patches
+        from repro.core.validity import difference_validity_exact
+
+        materialised, _ = compute_difference_with_patches(
+            self.server.left, self.server.right, tau=at
+        )
+        rows = tuple((row, texp) for row, texp in materialised.items())
+        validity = difference_validity_exact(
+            self.server.left.exp_at(at), self.server.right.exp_at(at), at
+        )
+        expiration = (
+            validity.intervals[0].end if validity.intervals else ts(0)
+        )
+        response = RecomputeResponse(view_name="diff", snapshot=Snapshot(rows))
+        self.link.record_send(response.size_cells())
+        self.link.record_delivery(response.size_cells())
+        self.server.recomputations_served += 1
+        self.client.on_view_state(response, at, expiration=expiration, validity=validity)
+
+    def _run_query(self, at: Timestamp) -> None:
+        if (
+            self.strategy is ViewMaintenanceStrategy.SCHRODINGER
+            and not self.client.can_answer_locally(at)
+        ):
+            # Synchronous round trip: the query waits for the fresh state.
+            request = RecomputeRequest(view_name="diff")
+            self.link.record_send(request.size_cells())
+            self.link.record_delivery(request.size_cells())
+            self.report.recompute_requests += 1
+            self._install_state_synchronously(at)
+            self.client.remote_answers += 1
+        else:
+            self.client.local_answers += 1
+        truth = self.server.truth_at(at)
+        seen = self.client.visible_rows(at)
+        self.report.queries += 1
+        if seen == truth:
+            self.report.correct_answers += 1
+        else:
+            self.report.incorrect_answers += 1
+            self.report.missing_tuples += len(truth - seen)
+            self.report.extra_tuples += len(seen - truth)
+
+    def _horizon(self) -> int:
+        latest = max(self.query_times, default=0)
+        for relation in (self.left, self.right):
+            for _, texp in relation.items():
+                if texp.is_finite:
+                    latest = max(latest, texp.value)
+        return latest + self.link.latency + self.link.jitter + 2
+
+    def _fill_report(self) -> None:
+        stats = self.link.stats
+        self.report.messages = stats.messages_sent
+        self.report.cells = stats.cells_sent
+        self.report.messages_lost = stats.messages_lost
+        self.report.detail = stats.as_dict()

@@ -1,0 +1,57 @@
+"""The expiration-time-enabled in-memory engine.
+
+Substrate for the paper's data-management story: tables with expiration
+indexes and eager/lazy removal (Section 3.2), ON-EXPIRE triggers,
+expiration-aware integrity constraints, materialised views with the
+Section-3 maintenance policies, transactions, and a logical clock.
+"""
+
+from repro.engine.clock import LogicalClock
+from repro.engine.constraints import (
+    CheckConstraint,
+    Constraint,
+    ForeignKeyConstraint,
+    KeyConstraint,
+)
+from repro.engine.database import Database
+from repro.engine.expiration_index import ExpirationIndex, RemovalPolicy
+from repro.engine.maintenance import IncrementalView, supports_incremental
+from repro.engine.persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.engine.statistics import EngineStatistics
+from repro.engine.table import Table
+from repro.engine.timer_wheel import TimerWheelIndex
+from repro.engine.transactions import Transaction, TransactionState
+from repro.engine.triggers import ExpirationEvent, Trigger, TriggerManager
+from repro.engine.views import MaintenancePolicy, MaterialisedView
+
+__all__ = [
+    "LogicalClock",
+    "CheckConstraint",
+    "Constraint",
+    "ForeignKeyConstraint",
+    "KeyConstraint",
+    "Database",
+    "ExpirationIndex",
+    "RemovalPolicy",
+    "IncrementalView",
+    "supports_incremental",
+    "database_from_dict",
+    "database_to_dict",
+    "load_database",
+    "save_database",
+    "EngineStatistics",
+    "Table",
+    "TimerWheelIndex",
+    "Transaction",
+    "TransactionState",
+    "ExpirationEvent",
+    "Trigger",
+    "TriggerManager",
+    "MaintenancePolicy",
+    "MaterialisedView",
+]

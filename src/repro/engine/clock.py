@@ -1,0 +1,69 @@
+"""Logical clocks.
+
+The paper's model is agnostic about where "now" comes from; what matters is
+a monotone time ``τ`` at which operators are applied.  The engine uses an
+explicit :class:`LogicalClock` -- time advances only when the application
+(or the distributed simulator) says so, which makes every experiment
+deterministic and lets the simulator give each node its own, possibly
+skewed, clock (the loosely-coupled setting of Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.errors import ClockError
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """A monotone logical clock with advance listeners.
+
+    Listeners (e.g. tables processing expirations eagerly) are invoked
+    after each advance with the old and new time.
+    """
+
+    def __init__(self, start: TimeLike = 0) -> None:
+        self._now = ts(start)
+        if self._now.is_infinite:
+            raise ClockError("a clock cannot start at infinity")
+        self._listeners: List[Callable[[Timestamp, Timestamp], None]] = []
+
+    @property
+    def now(self) -> Timestamp:
+        """The current logical time."""
+        return self._now
+
+    def advance_to(self, time: TimeLike) -> Timestamp:
+        """Move time forward to ``time``; no-op if already there.
+
+        Raises :class:`ClockError` on attempts to move backwards -- the
+        expiration machinery is one-directional by design.
+        """
+        stamp = ts(time)
+        if stamp.is_infinite:
+            raise ClockError("cannot advance a clock to infinity")
+        if stamp < self._now:
+            raise ClockError(f"clock cannot move backwards: {stamp} < {self._now}")
+        if stamp == self._now:
+            return self._now
+        previous = self._now
+        self._now = stamp
+        for listener in self._listeners:
+            listener(previous, stamp)
+        return self._now
+
+    def tick(self, delta: int = 1) -> Timestamp:
+        """Advance by ``delta`` ticks."""
+        if delta < 0:
+            raise ClockError(f"cannot tick backwards by {delta}")
+        return self.advance_to(self._now + delta)
+
+    def on_advance(self, listener: Callable[[Timestamp, Timestamp], None]) -> None:
+        """Register a listener called as ``listener(old, new)`` on advances."""
+        self._listeners.append(listener)
+
+    def __repr__(self) -> str:
+        return f"LogicalClock(now={self._now})"

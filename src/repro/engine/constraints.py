@@ -1,0 +1,159 @@
+"""Expiration-aware integrity constraints.
+
+The paper lists integrity-constraint checking among the database services
+that integrate seamlessly with expiration times.  Three constraint kinds
+are provided, each checked *against the unexpired state* at the time of
+the modification -- an expired tuple can neither violate a key nor satisfy
+a foreign-key reference:
+
+* :class:`CheckConstraint` -- a row predicate (SQL ``CHECK``);
+* :class:`KeyConstraint` -- uniqueness over a subset of attributes among
+  unexpired tuples (two tuples with the same key may coexist physically if
+  one of them has already expired under lazy removal);
+* :class:`ForeignKeyConstraint` -- referential integrity with the natural
+  temporal strengthening: the referencing tuple must not *outlive* the
+  referenced one (``texp_child <= texp_parent``), otherwise the reference
+  would dangle between the two expirations.  This is exactly the kind of
+  consistency-with-lower-overhead the paper's introduction advertises: the
+  constraint is checked once at insertion and can never be violated later
+  by expirations alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+from repro.core.algebra.predicates import Predicate
+from repro.core.schema import AttributeRef
+from repro.core.timestamps import Timestamp
+from repro.core.tuples import Row
+from repro.errors import ConstraintViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.database import Database
+    from repro.engine.table import Table
+
+__all__ = [
+    "Constraint",
+    "CheckConstraint",
+    "KeyConstraint",
+    "ForeignKeyConstraint",
+]
+
+
+class Constraint:
+    """Base class; constraints validate one insertion at a time."""
+
+    #: Every constraint carries a unique (per table) name.
+    name: str
+
+    def check(self, table: "Table", row: Row, expires_at: Timestamp) -> None:
+        """Raise :class:`ConstraintViolation` if the insert is illegal."""
+        raise NotImplementedError
+
+
+@dataclass
+class CheckConstraint(Constraint):
+    """A row-level predicate that every inserted tuple must satisfy."""
+
+    name: str
+    predicate: Predicate
+
+    def check(self, table: "Table", row: Row, expires_at: Timestamp) -> None:
+        resolved = self.predicate.resolve(table.schema)
+        if not resolved.matches(row):
+            raise ConstraintViolation(
+                f"check constraint {self.name!r} rejected {row!r} on {table.name!r}"
+            )
+
+
+@dataclass
+class KeyConstraint(Constraint):
+    """Uniqueness of a key among *unexpired* tuples.
+
+    Re-inserting the very same row is always allowed (it merely extends the
+    lifetime under the max-merge rule).
+    """
+
+    name: str
+    attributes: Tuple[AttributeRef, ...]
+
+    def __init__(self, name: str, attributes: Sequence[AttributeRef]) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+
+    def check(self, table: "Table", row: Row, expires_at: Timestamp) -> None:
+        indexes = [table.schema.index(ref) for ref in self.attributes]
+        key = tuple(row[i] for i in indexes)
+        now = table.clock.now
+        for existing, texp in table.relation.items():
+            if existing == row:
+                continue  # lifetime extension of the same tuple
+            if texp <= now:
+                continue  # expired tuples cannot collide
+            if tuple(existing[i] for i in indexes) == key:
+                raise ConstraintViolation(
+                    f"key constraint {self.name!r}: {key!r} already present "
+                    f"in {table.name!r} (row {existing!r}, expires {texp})"
+                )
+
+
+@dataclass
+class ForeignKeyConstraint(Constraint):
+    """Temporal referential integrity.
+
+    The referenced tuple must exist unexpired in the parent table and must
+    live at least as long as the referencing tuple.
+    """
+
+    name: str
+    attributes: Tuple[AttributeRef, ...]
+    parent_table: str
+    parent_attributes: Tuple[AttributeRef, ...]
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[AttributeRef],
+        parent_table: str,
+        parent_attributes: Sequence[AttributeRef],
+    ) -> None:
+        if len(tuple(attributes)) != len(tuple(parent_attributes)):
+            raise ConstraintViolation(
+                f"foreign key {name!r}: attribute count mismatch"
+            )
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.parent_table = parent_table
+        self.parent_attributes = tuple(parent_attributes)
+
+    def check(self, table: "Table", row: Row, expires_at: Timestamp) -> None:
+        if table.database is None:
+            raise ConstraintViolation(
+                f"foreign key {self.name!r} needs a table attached to a database"
+            )
+        parent = table.database.table(self.parent_table)
+        child_indexes = [table.schema.index(ref) for ref in self.attributes]
+        parent_indexes = [parent.schema.index(ref) for ref in self.parent_attributes]
+        key = tuple(row[i] for i in child_indexes)
+        now = table.clock.now
+        best_parent_texp = None
+        for parent_row, parent_texp in parent.relation.items():
+            if parent_texp <= now:
+                continue
+            if tuple(parent_row[i] for i in parent_indexes) != key:
+                continue
+            if expires_at <= parent_texp:
+                return  # found a referenced tuple that outlives the child
+            if best_parent_texp is None or best_parent_texp < parent_texp:
+                best_parent_texp = parent_texp
+        if best_parent_texp is not None:
+            raise ConstraintViolation(
+                f"foreign key {self.name!r}: child {row!r} (expires {expires_at}) "
+                f"outlives every matching parent (latest expires {best_parent_texp})"
+            )
+        raise ConstraintViolation(
+            f"foreign key {self.name!r}: no unexpired parent row in "
+            f"{self.parent_table!r} matches {key!r}"
+        )

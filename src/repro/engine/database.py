@@ -1,0 +1,223 @@
+"""The expiration-enabled database: catalog, clock, views, SQL entry point.
+
+:class:`Database` ties the engine together:
+
+* a catalog of :class:`~repro.engine.table.Table` objects sharing one
+  :class:`~repro.engine.clock.LogicalClock`;
+* materialised views with the Section-3 maintenance policies;
+* expiration processing driven by clock advances (eager tables) or
+  explicit vacuuming (lazy tables);
+* algebra evaluation and a SQL front door (:meth:`Database.sql`).
+
+Time never passes implicitly: call :meth:`advance_to` / :meth:`tick`.
+This determinism is what lets the test suite state the paper's theorems as
+exact assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.algebra.evaluator import EvalResult, Evaluator
+from repro.core.algebra.expressions import BaseRef, Expression
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.engine.clock import LogicalClock
+from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.statistics import EngineStatistics
+from repro.engine.table import Table
+from repro.engine.transactions import Transaction
+from repro.engine.views import MaintenancePolicy, MaterialisedView
+from repro.errors import CatalogError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory, expiration-time-enabled relational database.
+
+    >>> db = Database()
+    >>> pol = db.create_table("Pol", ["uid", "deg"])
+    >>> _ = pol.insert((1, 25), expires_at=10)
+    >>> _ = pol.insert((3, 35), expires_at=10)
+    >>> _ = pol.insert((2, 25), expires_at=15)
+    >>> sorted(db.evaluate(db.table_expr("Pol").project(2)).relation.rows())
+    [(25,), (35,)]
+    >>> _ = db.advance_to(10)
+    >>> sorted(db.evaluate(db.table_expr("Pol").project(2)).relation.rows())
+    [(25,)]
+    """
+
+    def __init__(
+        self,
+        start_time: TimeLike = 0,
+        default_removal_policy: RemovalPolicy = RemovalPolicy.EAGER,
+    ) -> None:
+        self.clock = LogicalClock(start_time)
+        self.statistics = EngineStatistics()
+        self.default_removal_policy = default_removal_policy
+        self._tables: Dict[str, Table] = {}
+        self._views: Dict[str, MaterialisedView] = {}
+
+    # -- catalog -----------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema | Sequence[str],
+        removal_policy: Optional[RemovalPolicy] = None,
+        lazy_batch_size: int = 64,
+    ) -> Table:
+        """Create and register a table; returns it for convenience."""
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"name {name!r} already in use")
+        table = Table(
+            name,
+            schema if isinstance(schema, Schema) else Schema(schema),
+            clock=self.clock,
+            statistics=self.statistics,
+            removal_policy=removal_policy or self.default_removal_policy,
+            lazy_batch_size=lazy_batch_size,
+            database=self,
+        )
+        self._tables[name] = table
+        self.clock.on_advance(table.on_clock_advance)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table; fails while views still reference it."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        dependents = [
+            view.name
+            for view in self._views.values()
+            if name in view.expression.base_names()
+        ]
+        if dependents:
+            raise CatalogError(
+                f"table {name!r} still referenced by views {dependents!r}"
+            )
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name; raises CatalogError if unknown."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)
+
+    def table_expr(self, name: str) -> BaseRef:
+        """An algebra reference to a table (validates the name now)."""
+        self.table(name)
+        return BaseRef(name)
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> Timestamp:
+        """The current logical time."""
+        return self.clock.now
+
+    def advance_to(self, time: TimeLike) -> Timestamp:
+        """Advance the logical clock, processing expirations en route."""
+        return self.clock.advance_to(time)
+
+    def tick(self, delta: int = 1) -> Timestamp:
+        """Advance the clock by ``delta`` ticks."""
+        return self.clock.tick(delta)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def catalog(self, name: str) -> Relation:
+        """Catalog adapter for the evaluator (live base relations)."""
+        return self.table(name).relation
+
+    def schema_resolver(self, name: str) -> Schema:
+        """Schema lookup for planners and expression type-checking."""
+        return self.table(name).schema
+
+    def evaluate(self, expression: Expression, at: TimeLike = None) -> EvalResult:
+        """Materialise an expression at ``at`` (default: now)."""
+        stamp = self.clock.now if at is None else ts(at)
+        return Evaluator(self.catalog, stamp).evaluate(expression)
+
+    # -- views ------------------------------------------------------------------------
+
+    def materialise(
+        self,
+        name: str,
+        expression: Expression,
+        policy: MaintenancePolicy = MaintenancePolicy.SCHRODINGER,
+    ) -> MaterialisedView:
+        """Create a named materialised view maintained under ``policy``."""
+        if name in self._views or name in self._tables:
+            raise CatalogError(f"name {name!r} already in use")
+        for base in expression.base_names():
+            self.table(base)  # validate references
+        view = MaterialisedView(name, expression, self, policy=policy)
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> MaterialisedView:
+        """Look up a materialised view by name."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"unknown view {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        """Whether a view with this name exists."""
+        return name in self._views
+
+    def view_names(self) -> List[str]:
+        """All view names, sorted."""
+        return sorted(self._views)
+
+    def drop_view(self, name: str) -> None:
+        """Remove a materialised view."""
+        if name not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[name]
+
+    # -- transactions -----------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Begin a buffered transaction (see :class:`Transaction`)."""
+        return Transaction(self)
+
+    # -- SQL ---------------------------------------------------------------------------
+
+    def sql(self, text: str):
+        """Execute a SQL statement (see :mod:`repro.sql` for the dialect)."""
+        from repro.sql import execute_sql
+
+        return execute_sql(self, text)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def vacuum_all(self) -> int:
+        """Vacuum every table; returns the number of tuples reclaimed."""
+        return sum(table.vacuum() for table in self._tables.values())
+
+    def total_live_tuples(self) -> int:
+        """Unexpired tuples across all tables (the 'smaller databases' metric)."""
+        return sum(len(table) for table in self._tables.values())
+
+    def total_physical_tuples(self) -> int:
+        """Stored tuples across all tables, including unreclaimed expired ones."""
+        return sum(table.physical_size for table in self._tables.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(now={self.clock.now}, tables={self.table_names()!r}, "
+            f"views={self.view_names()!r})"
+        )

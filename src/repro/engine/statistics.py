@@ -1,0 +1,57 @@
+"""Operational counters for the engine.
+
+The benchmarks quantify the paper's claims ("leaner application code, lower
+transaction volume, smaller databases") by reading these counters: how many
+explicit deletes were issued, how many expirations were processed eagerly
+versus lazily, how often views were recomputed versus patched, and how many
+tuples were shipped to remote nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+__all__ = ["EngineStatistics"]
+
+
+@dataclass
+class EngineStatistics:
+    """A bag of monotonically increasing counters."""
+
+    inserts: int = 0
+    explicit_deletes: int = 0
+    expirations_processed: int = 0
+    tuples_purged: int = 0
+    purge_passes: int = 0
+    triggers_fired: int = 0
+    constraint_checks: int = 0
+    constraint_violations: int = 0
+    view_recomputations: int = 0
+    view_patches_applied: int = 0
+    view_reads: int = 0
+    view_reads_from_materialisation: int = 0
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters by name (stable order for reporting)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def snapshot(self) -> "EngineStatistics":
+        """An immutable-by-convention copy for before/after diffing."""
+        return EngineStatistics(**self.as_dict())
+
+    def diff(self, earlier: "EngineStatistics") -> Dict[str, int]:
+        """Counter deltas since ``earlier`` (only non-zero entries)."""
+        result = {}
+        for name, value in self.as_dict().items():
+            delta = value - getattr(earlier, name)
+            if delta:
+                result[name] = delta
+        return result
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)

@@ -1,0 +1,207 @@
+"""Expiration-enabled base tables.
+
+A :class:`Table` combines a :class:`~repro.core.relation.Relation` (logical
+content), an :class:`~repro.engine.expiration_index.ExpirationIndex`
+(efficient discovery of due tuples), a :class:`TriggerManager`, and a set
+of integrity constraints.  It implements the Section 3.2 removal policies:
+
+* **eager** -- on every clock advance the table drains its index, fires
+  ON-EXPIRE triggers immediately, and physically removes the tuples;
+* **lazy**  -- expired tuples stay physically present (but invisible to
+  reads, which always go through ``exp_τ``); a batched
+  :meth:`Table.vacuum` reclaims them and fires the pending triggers, with
+  trigger latency as the trade-off.
+
+Insertion is the one place (besides triggers) where users see expiration
+times: ``insert(values, expires_at=...)`` or the TTL convenience form
+``insert(values, ttl=30)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
+from repro.core.tuples import ExpiringTuple, Row, make_row
+from repro.engine.clock import LogicalClock
+from repro.engine.expiration_index import ExpirationIndex, RemovalPolicy
+from repro.engine.statistics import EngineStatistics
+from repro.engine.triggers import TriggerManager
+from repro.errors import EngineError, RelationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.engine.constraints import Constraint
+    from repro.engine.database import Database
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named base relation managed by the engine."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        clock: LogicalClock,
+        statistics: Optional[EngineStatistics] = None,
+        removal_policy: RemovalPolicy = RemovalPolicy.EAGER,
+        lazy_batch_size: int = 64,
+        database: Optional["Database"] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.clock = clock
+        self.statistics = statistics if statistics is not None else EngineStatistics()
+        self.removal_policy = removal_policy
+        #: Under lazy removal, vacuum once this many expirations are pending.
+        self.lazy_batch_size = lazy_batch_size
+        self.database = database
+        self.relation = Relation(schema)
+        self.triggers = TriggerManager(name)
+        self.constraints: List["Constraint"] = []
+        #: Called with the stored ExpiringTuple after every successful
+        #: insert (used by incremental view maintenance).
+        self.insert_listeners: List = []
+        #: Called with the deleted row after every explicit delete.
+        self.delete_listeners: List = []
+        self._index = ExpirationIndex()
+        # Lazy removal: due entries accumulate here (already popped from
+        # the index, O(k log n) per advance) until a vacuum processes them.
+        self._due_buffer: List[tuple] = []
+
+    # -- modification ---------------------------------------------------------
+
+    def insert(
+        self,
+        values: Iterable[Any],
+        expires_at: TimeLike = None,
+        ttl: Optional[int] = None,
+    ) -> ExpiringTuple:
+        """Insert a row, expiring at ``expires_at`` or after ``ttl`` ticks.
+
+        Omitting both means no expiration (``∞``).  Duplicate rows keep the
+        later expiration (the model's max-merge rule), so re-insertion is
+        the idiom for *renewing* a session, credential, or cached copy.
+        """
+        if ttl is not None:
+            if expires_at is not None:
+                raise EngineError("pass expires_at or ttl, not both")
+            if ttl <= 0:
+                raise EngineError(f"ttl must be positive, got {ttl}")
+            stamp = self.clock.now + ttl
+        else:
+            stamp = ts(expires_at)
+        if stamp.is_finite and stamp <= self.clock.now:
+            raise RelationError(
+                f"cannot insert an already-expired tuple: {stamp} <= now {self.clock.now}"
+            )
+        row = make_row(values)
+        for constraint in self.constraints:
+            self.statistics.constraint_checks += 1
+            try:
+                constraint.check(self, row, stamp)
+            except Exception:
+                self.statistics.constraint_violations += 1
+                raise
+        stored = self.relation.insert(row, expires_at=stamp)
+        self._index.schedule(stored.row, stored.expires_at)
+        self.statistics.inserts += 1
+        for listener in self.insert_listeners:
+            listener(self, stored)
+        return stored
+
+    def delete(self, values: Iterable[Any]) -> bool:
+        """Explicit delete (the traditional path expiration times replace)."""
+        row = make_row(values)
+        removed = self.relation.delete(row)
+        if removed:
+            self._index.remove(row)
+            self.statistics.explicit_deletes += 1
+            for listener in self.delete_listeners:
+                listener(self, row)
+        return removed
+
+    def renew(self, values: Iterable[Any], ttl: int) -> ExpiringTuple:
+        """Extend a row's lifetime by ``ttl`` ticks from now (re-insertion)."""
+        return self.insert(values, ttl=ttl)
+
+    # -- reading -----------------------------------------------------------------
+
+    def read(self, at: TimeLike = None) -> Relation:
+        """The unexpired content ``exp_τ(R)`` (never shows expired tuples)."""
+        stamp = self.clock.now if at is None else ts(at)
+        return self.relation.exp_at(stamp)
+
+    def __len__(self) -> int:
+        """Number of *unexpired* tuples at the current time."""
+        return len(self.read())
+
+    @property
+    def physical_size(self) -> int:
+        """Stored tuples including not-yet-vacuumed expired ones."""
+        return len(self.relation)
+
+    def next_expiration(self) -> Optional[Timestamp]:
+        """When the next tuple expires (the trigger scheduler's deadline)."""
+        return self._index.next_expiration()
+
+    # -- expiration processing -------------------------------------------------------
+
+    def on_clock_advance(self, old: Timestamp, new: Timestamp) -> None:
+        """Clock listener: process expirations according to the policy."""
+        if self.removal_policy is RemovalPolicy.EAGER:
+            self.process_expirations(new)
+        else:
+            # O(k log n): only the k tuples that actually came due are
+            # touched; they stay physically present (and invisible to
+            # reads) until the batch threshold triggers a vacuum.
+            self._due_buffer.extend(self._index.pop_due(new))
+            if len(self._due_buffer) >= self.lazy_batch_size:
+                self.vacuum(new)
+
+    def process_expirations(self, now: Optional[TimeLike] = None) -> int:
+        """Remove every due tuple, firing ON-EXPIRE triggers; returns count."""
+        stamp = self.clock.now if now is None else ts(now)
+        due = self._due_buffer + self._index.pop_due(stamp)
+        self._due_buffer = []
+        processed = 0
+        for row, texp in due:
+            # Buffered entries may have been renewed (re-inserted with a
+            # later expiration) between coming due and being vacuumed; a
+            # renewed tuple never expired, so it is skipped entirely.
+            current = self.relation.expiration_or_none(row)
+            if current is None or stamp < current:
+                continue
+            self.relation.delete(row)
+            processed += 1
+            self.statistics.expirations_processed += 1
+            self.statistics.tuples_purged += 1
+            fired = self.triggers.fire(ExpiringTuple(row, texp), stamp)
+            self.statistics.triggers_fired += fired
+        if due:
+            self.statistics.purge_passes += 1
+        return processed
+
+    def vacuum(self, now: Optional[TimeLike] = None) -> int:
+        """Batch reclamation under lazy removal (alias of the eager path)."""
+        return self.process_expirations(now)
+
+    # -- metadata ---------------------------------------------------------------------
+
+    def add_constraint(self, constraint: "Constraint") -> None:
+        """Attach an integrity constraint (checked on future inserts)."""
+        if any(c.name == constraint.name for c in self.constraints):
+            raise EngineError(
+                f"duplicate constraint name {constraint.name!r} on {self.name!r}"
+            )
+        self.constraints.append(constraint)
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, arity={self.schema.arity}, "
+            f"live={len(self)}, physical={self.physical_size}, "
+            f"policy={self.removal_policy.value})"
+        )

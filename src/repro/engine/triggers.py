@@ -1,0 +1,103 @@
+"""Triggers that fire on tuple expiration.
+
+The paper: "triggers can be supported that fire on expirations, as can
+integrity constraint checking.  This leads to a seamless integration of
+expiration into database applications."  Expiration is the *only* moment
+(besides insertion/update) at which expiration times are exposed to users,
+so the trigger payload carries the expired row together with its
+expiration time.
+
+Typical uses from the paper's motivating applications: renewing a user
+profile from past behaviour when it expires, invalidating an HTTP session,
+revoking a credential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.algebra.predicates import Predicate
+from repro.core.timestamps import Timestamp
+from repro.core.tuples import ExpiringTuple, Row
+from repro.errors import EngineError
+
+__all__ = ["ExpirationEvent", "TriggerAction", "Trigger", "TriggerManager"]
+
+
+@dataclass(frozen=True)
+class ExpirationEvent:
+    """What a trigger sees: the expired tuple, and when it was noticed.
+
+    ``fired_at`` equals ``tuple.expires_at`` under eager removal; under
+    lazy removal it may be later -- the latency the S32 bench measures.
+    """
+
+    table: str
+    tuple: ExpiringTuple
+    fired_at: Timestamp
+
+
+#: A trigger body: called with the expiration event.
+TriggerAction = Callable[[ExpirationEvent], None]
+
+
+@dataclass
+class Trigger:
+    """A named ON-EXPIRE trigger, optionally guarded by a row predicate."""
+
+    name: str
+    action: TriggerAction
+    predicate: Optional[Predicate] = None
+    #: How many times this trigger has fired.
+    fired: int = 0
+
+    def matches(self, row: Row) -> bool:
+        """Whether this trigger's guard accepts the expired row."""
+        if self.predicate is None:
+            return True
+        return self.predicate.matches(row)
+
+
+class TriggerManager:
+    """The ordered set of ON-EXPIRE triggers of one table."""
+
+    def __init__(self, table_name: str) -> None:
+        self._table_name = table_name
+        self._triggers: List[Trigger] = []
+
+    def register(
+        self,
+        name: str,
+        action: TriggerAction,
+        predicate: Optional[Predicate] = None,
+    ) -> Trigger:
+        """Register a trigger; names must be unique per table."""
+        if any(t.name == name for t in self._triggers):
+            raise EngineError(f"duplicate trigger name {name!r} on {self._table_name!r}")
+        trigger = Trigger(name=name, action=action, predicate=predicate)
+        self._triggers.append(trigger)
+        return trigger
+
+    def drop(self, name: str) -> bool:
+        """Remove a trigger by name; returns whether it existed."""
+        before = len(self._triggers)
+        self._triggers = [t for t in self._triggers if t.name != name]
+        return len(self._triggers) != before
+
+    def fire(self, expired: ExpiringTuple, now: Timestamp) -> int:
+        """Fire all matching triggers for one expired tuple."""
+        event = ExpirationEvent(table=self._table_name, tuple=expired, fired_at=now)
+        count = 0
+        for trigger in self._triggers:
+            if trigger.matches(expired.row):
+                trigger.action(event)
+                trigger.fired += 1
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._triggers)
+
+    def __iter__(self):
+        return iter(self._triggers)

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch a single base class.  The sub-hierarchy mirrors the
+package layout: model-level errors (time, schema, relation), algebra errors,
+engine errors, SQL front-end errors, and distributed-simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TimeError(ReproError):
+    """An invalid timestamp, interval, or time arithmetic operation."""
+
+
+class SchemaError(ReproError):
+    """A schema mismatch: wrong arity, unknown attribute, bad type."""
+
+
+class UnionCompatibilityError(SchemaError):
+    """Arguments of a union-family operator are not union-compatible."""
+
+
+class RelationError(ReproError):
+    """An invalid relation-level operation (bad tuple, expired insert...)."""
+
+
+class AlgebraError(ReproError):
+    """An ill-formed algebra expression (bad attribute index, predicate...)."""
+
+
+class PredicateError(AlgebraError):
+    """An ill-formed selection or join predicate."""
+
+
+class AggregateError(AlgebraError):
+    """An unknown or misapplied aggregate function."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation of an algebra expression failed."""
+
+
+class EngineError(ReproError):
+    """Engine-level failure (catalog, storage, clock...)."""
+
+
+class CatalogError(EngineError):
+    """Unknown or duplicate table/view name in the database catalog."""
+
+
+class ClockError(EngineError):
+    """Attempt to move a logical clock backwards."""
+
+
+class ConstraintViolation(EngineError):
+    """An integrity constraint rejected a modification."""
+
+
+class ViewError(EngineError):
+    """Materialised-view maintenance failure."""
+
+
+class StaleViewError(ViewError):
+    """A view was read at a time outside its validity interval set."""
+
+
+class TransactionError(EngineError):
+    """Transaction misuse (commit without begin, write after abort...)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlLexError(SqlError):
+    """The SQL lexer hit an unrecognised character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class SqlParseError(SqlError):
+    """The SQL parser rejected the token stream."""
+
+
+class SqlPlanError(SqlError):
+    """The planner could not translate a SQL statement to the algebra."""
+
+
+class UnsupportedSqlError(SqlPlanError):
+    """A deliberately unsupported SQL feature (e.g. outer joins, NULLs)."""
+
+
+class SimulationError(ReproError):
+    """Distributed-simulation misconfiguration or protocol violation."""

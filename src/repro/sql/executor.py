@@ -1,0 +1,343 @@
+"""Execution of parsed SQL statements against a Database.
+
+The executor is the thin glue between the SQL front end and the engine:
+DDL manipulates the catalog, DML goes through the tables (so constraints,
+triggers, and statistics all apply), and queries are planned to the
+algebra and evaluated at the database's current logical time.
+
+``EXPIRES AT`` / ``EXPIRES IN`` on INSERT is the dialect's only
+expiration-time surface, mirroring the paper's "exposed to users only on
+insertion and update" principle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.algebra.expressions import Expression, Literal
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.engine.database import Database
+from repro.engine.views import MaintenancePolicy
+from repro.errors import SqlPlanError
+from repro.sql.ast import (
+    AdvanceTime,
+    CreateTable,
+    CreateView,
+    DeleteStatement,
+    DescribeStatement,
+    DropTable,
+    DropView,
+    ExplainStatement,
+    InsertStatement,
+    QueryNode,
+    RenewStatement,
+    SelectQuery,
+    SetOperation,
+    ShowTables,
+    ShowViews,
+    Statement,
+    VacuumStatement,
+)
+from repro.sql.parser import parse_statements
+from repro.sql.planner import plan_query
+
+__all__ = ["SqlResult", "execute_sql", "execute_script"]
+
+_POLICIES = {
+    "recompute": MaintenancePolicy.RECOMPUTE,
+    "patch": MaintenancePolicy.PATCH,
+    "schrodinger": MaintenancePolicy.SCHRODINGER,
+}
+
+
+@dataclass
+class SqlResult:
+    """The outcome of one statement.
+
+    ``relation`` is set for queries (the full, set-semantics result);
+    ``rows`` is its *presentation* -- ordered per ORDER BY and truncated
+    per LIMIT (equal to the unordered rows otherwise).  ``rowcount`` is
+    set for DML, ``names`` for SHOW statements, and ``message`` always
+    carries a human-readable summary.
+    """
+
+    kind: str
+    message: str = ""
+    relation: Optional[Relation] = None
+    rows: Optional[list] = None
+    rowcount: int = 0
+    names: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"SqlResult({self.kind!r}, {self.message!r})"
+
+
+def _source_resolver(db: Database):
+    """FROM-clause resolution: tables by reference, views by inlining."""
+
+    def resolve(name: str) -> Tuple[Expression, Schema]:
+        if db.has_table(name):
+            return db.table_expr(name), db.table(name).schema
+        if db.has_view(name):
+            view = db.view(name)
+            expression = view.expression
+            return expression, expression.infer_schema(db.schema_resolver)
+        raise SqlPlanError(f"unknown table or view {name!r}")
+
+    return resolve
+
+
+def _execute_query(db: Database, query: QueryNode) -> SqlResult:
+    expression = plan_query(query, _source_resolver(db))
+    result = db.evaluate(expression)
+    rows = _present_rows(result.relation, query)
+    return SqlResult(
+        kind="select",
+        message=f"{len(rows)} row(s)",
+        relation=result.relation,
+        rows=rows,
+        rowcount=len(rows),
+    )
+
+
+def _present_rows(relation: Relation, query: QueryNode) -> list:
+    """Apply ORDER BY / LIMIT presentation to a query result."""
+    rows = list(relation.rows())
+    if not isinstance(query, SelectQuery):
+        return sorted(rows, key=repr)
+    if query.order_by:
+        schema = relation.schema
+        keys = []
+        for item in query.order_by:
+            if not schema.has(item.column.name):
+                raise SqlPlanError(
+                    f"ORDER BY column {item.column} is not in the select list"
+                )
+            keys.append((schema.index(item.column.name), item.descending))
+        for index, descending in reversed(keys):
+            rows.sort(key=lambda row: row[index], reverse=descending)
+    else:
+        rows.sort(key=repr)  # deterministic presentation for set results
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def _execute_statement(db: Database, statement: Statement) -> SqlResult:
+    if isinstance(statement, CreateTable):
+        if statement.query is not None:
+            expression = plan_query(statement.query, _source_resolver(db))
+            evaluated = db.evaluate(expression)
+            table = db.create_table(statement.name, evaluated.relation.schema)
+            for row, texp in evaluated.relation.items():
+                table.insert(row, expires_at=texp)
+            return SqlResult(
+                kind="create_table",
+                message=(
+                    f"table {statement.name} created from query "
+                    f"({len(evaluated.relation)} row(s))"
+                ),
+                rowcount=len(evaluated.relation),
+            )
+        db.create_table(statement.name, list(statement.columns))
+        return SqlResult(kind="create_table", message=f"table {statement.name} created")
+
+    if isinstance(statement, InsertStatement):
+        table = db.table(statement.table)
+        if statement.query is not None:
+            expression = plan_query(statement.query, _source_resolver(db))
+            evaluated = db.evaluate(expression)
+            if evaluated.relation.arity != table.schema.arity:
+                raise SqlPlanError(
+                    f"INSERT ... SELECT arity mismatch: query yields "
+                    f"{evaluated.relation.arity} column(s), table "
+                    f"{statement.table!r} has {table.schema.arity}"
+                )
+            inserted = 0
+            for row, texp in evaluated.relation.items():
+                if statement.expires_at is not None or statement.ttl is not None:
+                    table.insert(row, expires_at=statement.expires_at,
+                                 ttl=statement.ttl)
+                else:
+                    # Carry the query's derived expiration times along.
+                    table.insert(row, expires_at=texp)
+                inserted += 1
+            return SqlResult(
+                kind="insert",
+                message=f"{inserted} row(s) inserted into {statement.table}",
+                rowcount=inserted,
+            )
+        for row in statement.rows:
+            table.insert(row, expires_at=statement.expires_at, ttl=statement.ttl)
+        return SqlResult(
+            kind="insert",
+            message=f"{len(statement.rows)} row(s) inserted into {statement.table}",
+            rowcount=len(statement.rows),
+        )
+
+    if isinstance(statement, DeleteStatement):
+        table = db.table(statement.table)
+        if statement.where is None:
+            victims = list(table.read().rows())
+        else:
+            # Plan the predicate against the table's schema via a trivial
+            # single-source query environment.
+            probe = SelectQuery(
+                items=(),
+                source=_probe_source(statement.table),
+                where=statement.where,
+            )
+            predicate = _plan_delete_predicate(db, probe)
+            victims = [row for row in table.read().rows() if predicate.matches(row)]
+        for row in victims:
+            table.delete(row)
+        return SqlResult(
+            kind="delete",
+            message=f"{len(victims)} row(s) deleted from {statement.table}",
+            rowcount=len(victims),
+        )
+
+    if isinstance(statement, (SelectQuery, SetOperation)):
+        return _execute_query(db, statement)
+
+    if isinstance(statement, CreateView):
+        expression = plan_query(statement.query, _source_resolver(db))
+        policy = _POLICIES[statement.policy] if statement.policy else MaintenancePolicy.SCHRODINGER
+        db.materialise(statement.name, expression, policy=policy)
+        return SqlResult(
+            kind="create_view",
+            message=f"materialized view {statement.name} created ({policy.value})",
+        )
+
+    if isinstance(statement, DropTable):
+        db.drop_table(statement.name)
+        return SqlResult(kind="drop_table", message=f"table {statement.name} dropped")
+
+    if isinstance(statement, DropView):
+        db.drop_view(statement.name)
+        return SqlResult(kind="drop_view", message=f"view {statement.name} dropped")
+
+    if isinstance(statement, ShowTables):
+        names = tuple(db.table_names())
+        return SqlResult(kind="show_tables", message=", ".join(names) or "(none)", names=names)
+
+    if isinstance(statement, ShowViews):
+        names = tuple(db.view_names())
+        return SqlResult(kind="show_views", message=", ".join(names) or "(none)", names=names)
+
+    if isinstance(statement, AdvanceTime):
+        if statement.to is not None:
+            now = db.advance_to(statement.to)
+        else:
+            now = db.tick(statement.by or 1)
+        return SqlResult(kind="advance", message=f"now = {now}")
+
+    if isinstance(statement, VacuumStatement):
+        if statement.table is not None:
+            reclaimed = db.table(statement.table).vacuum()
+        else:
+            reclaimed = db.vacuum_all()
+        return SqlResult(
+            kind="vacuum", message=f"{reclaimed} tuple(s) reclaimed", rowcount=reclaimed
+        )
+
+    if isinstance(statement, RenewStatement):
+        table = db.table(statement.table)
+        if statement.where is None:
+            victims = list(table.read().rows())
+        else:
+            probe = SelectQuery(
+                items=(), source=_probe_source(statement.table), where=statement.where
+            )
+            predicate = _plan_delete_predicate(db, probe)
+            victims = [row for row in table.read().rows() if predicate.matches(row)]
+        for row in victims:
+            table.insert(row, expires_at=statement.expires_at, ttl=statement.ttl)
+        return SqlResult(
+            kind="renew",
+            message=f"{len(victims)} row(s) renewed in {statement.table}",
+            rowcount=len(victims),
+        )
+
+    if isinstance(statement, DescribeStatement):
+        return _describe(db, statement.name)
+
+    if isinstance(statement, ExplainStatement):
+        return _explain(db, statement)
+
+    raise SqlPlanError(f"unsupported statement {type(statement).__name__}")
+
+
+def _explain(db: Database, statement: ExplainStatement) -> SqlResult:
+    from repro.core.monotonicity import classify, nonmonotonic_count
+    from repro.core.rewriter import optimise
+
+    expression = plan_query(statement.query, _source_resolver(db))
+    rewritten = optimise(expression, db.schema_resolver)
+    result = db.evaluate(rewritten)
+    lines = [
+        f"plan:       {expression!r}",
+        f"rewritten:  {rewritten!r}",
+        f"class:      {classify(expression).value} "
+        f"({nonmonotonic_count(expression)} non-monotonic operator(s))",
+        f"rows now:   {len(result.relation)}",
+        f"texp(e):    {result.expiration}",
+        f"valid in:   {result.validity!r}",
+    ]
+    return SqlResult(kind="explain", message="\n".join(lines))
+
+
+def _describe(db: Database, name: str) -> SqlResult:
+    if db.has_table(name):
+        table = db.table(name)
+        upcoming = table.next_expiration()
+        message = (
+            f"table {name}({', '.join(table.schema.names)}); "
+            f"{len(table)} live tuple(s), {table.physical_size} stored; "
+            f"removal={table.removal_policy.value}; "
+            f"next expiration={upcoming if upcoming is not None else 'none'}"
+        )
+        return SqlResult(kind="describe", message=message, names=table.schema.names)
+    if db.has_view(name):
+        view = db.view(name)
+        schema = view.expression.infer_schema(db.schema_resolver)
+        message = (
+            f"materialized view {name}({', '.join(schema.names)}); "
+            f"policy={view.policy.value}; monotonic={view.is_monotonic}; "
+            f"texp(e)={view.expiration}; recomputations={view.recomputations}"
+        )
+        return SqlResult(kind="describe", message=message, names=schema.names)
+    raise SqlPlanError(f"unknown table or view {name!r}")
+
+
+def _probe_source(table_name: str):
+    from repro.sql.ast import TableSource
+
+    return TableSource(name=table_name)
+
+
+def _plan_delete_predicate(db: Database, probe: SelectQuery):
+    from repro.sql.planner import _Environment, _plan_condition
+
+    env = _Environment()
+    env.add(probe.source.binding, db.table(probe.source.name).schema)
+    assert probe.where is not None
+    return _plan_condition(probe.where, env)
+
+
+def execute_sql(db: Database, text: str) -> SqlResult:
+    """Parse and execute exactly one statement."""
+    statements = parse_statements(text)
+    if len(statements) != 1:
+        raise SqlPlanError(
+            f"execute_sql expects one statement, got {len(statements)}; "
+            f"use execute_script"
+        )
+    return _execute_statement(db, statements[0])
+
+
+def execute_script(db: Database, text: str) -> List[SqlResult]:
+    """Parse and execute a ``;``-separated script, returning all results."""
+    return [_execute_statement(db, s) for s in parse_statements(text)]

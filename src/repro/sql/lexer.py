@@ -1,0 +1,93 @@
+"""A hand-written lexer for the SQL subset.
+
+Recognises identifiers (optionally ``qualified.names`` as separate tokens
+joined by a ``.`` symbol), integer and decimal literals, single-quoted
+strings with ``''`` escaping, the comparison and punctuation symbols, and
+``--`` line comments.  Keywords are case-insensitive and normalised to
+upper case; identifiers keep their original spelling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SqlLexError
+from repro.sql.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", ";", "*", ".", "=", "<", ">")
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_BODY = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise ``text``; raises :class:`SqlLexError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch in _IDENT_START:
+            start = i
+            while i < n and text[i] in _IDENT_BODY:
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if ch in _DIGITS:
+            start = i
+            while i < n and text[i] in _DIGITS:
+                i += 1
+            if i < n and text[i] == "." and i + 1 < n and text[i + 1] in _DIGITS:
+                i += 1
+                while i < n and text[i] in _DIGITS:
+                    i += 1
+                tokens.append(Token(TokenType.NUMBER, float(text[start:i]), start))
+            else:
+                tokens.append(Token(TokenType.NUMBER, int(text[start:i]), start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: List[str] = []
+            while True:
+                if i >= n:
+                    raise SqlLexError("unterminated string literal", start)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            continue
+        matched = False
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                # Normalise the alternative inequality spelling.
+                value = "!=" if symbol == "<>" else symbol
+                tokens.append(Token(TokenType.SYMBOL, value, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlLexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens

@@ -1,0 +1,57 @@
+"""Workload generators for tests, examples, and benchmarks.
+
+``news`` carries the paper's exact Figure 1 fixture; the other modules
+implement the application domains the paper motivates (sessions, sensor
+monitoring, web caching) plus generic seeded generators.
+"""
+
+from repro.workloads.cache import CACHE_SCHEMA, CacheStats, WebCache
+from repro.workloads.generators import (
+    ConstantLifetime,
+    GeometricLifetime,
+    LifetimeDistribution,
+    UniformLifetime,
+    ZipfLifetime,
+    overlapping_relations,
+    random_relation,
+    random_stream,
+)
+from repro.workloads.news import (
+    PROFILE_SCHEMA,
+    NewsWorkload,
+    figure1_database,
+    figure1_el,
+    figure1_pol,
+)
+from repro.workloads.sensors import READING_SCHEMA, SensorFleet
+from repro.workloads.sessions import (
+    SESSION_SCHEMA,
+    SessionEvent,
+    SessionStore,
+    SessionWorkload,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "WebCache",
+    "ConstantLifetime",
+    "GeometricLifetime",
+    "LifetimeDistribution",
+    "UniformLifetime",
+    "ZipfLifetime",
+    "overlapping_relations",
+    "random_relation",
+    "random_stream",
+    "PROFILE_SCHEMA",
+    "NewsWorkload",
+    "figure1_database",
+    "figure1_el",
+    "figure1_pol",
+    "READING_SCHEMA",
+    "SensorFleet",
+    "SESSION_SCHEMA",
+    "SessionEvent",
+    "SessionStore",
+    "SessionWorkload",
+]

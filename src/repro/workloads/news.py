@@ -1,0 +1,132 @@
+"""The paper's motivating scenario: a dynamic, personalised news service.
+
+User profiles are ``(uid, degree-of-interest)`` pairs; the relation a
+profile lives in denotes its topic.  Core topics (``Pol``, politics) carry
+long lifetimes; short-term topics (``El``, elections) expire quickly.
+
+This module provides the **exact Figure 1 relations** (the fixture every
+figure-reproduction test and bench builds on) and a seeded generator for
+larger news-profile databases with the same structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.relation import Relation, relation_from_rows
+from repro.core.schema import Schema
+from repro.engine.database import Database
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "figure1_pol",
+    "figure1_el",
+    "figure1_database",
+    "NewsWorkload",
+]
+
+#: The schema of a profile relation: user id, degree of interest.
+PROFILE_SCHEMA = Schema(["uid", "deg"])
+
+
+def figure1_pol() -> Relation:
+    """Table 'Pol' of Figure 1: politics interests at time 0.
+
+    ======  ====  ====
+    texp     UID   Deg
+    ======  ====  ====
+    10       1     25
+    15       2     25
+    10       3     35
+    ======  ====  ====
+    """
+    return relation_from_rows(
+        PROFILE_SCHEMA, [((1, 25), 10), ((2, 25), 15), ((3, 35), 10)]
+    )
+
+
+def figure1_el() -> Relation:
+    """Table 'El' of Figure 1: election interests at time 0.
+
+    ======  ====  ====
+    texp     UID   Deg
+    ======  ====  ====
+    5        1     75
+    3        2     85
+    2        4     90
+    ======  ====  ====
+    """
+    return relation_from_rows(
+        PROFILE_SCHEMA, [((1, 75), 5), ((2, 85), 3), ((4, 90), 2)]
+    )
+
+
+def figure1_database() -> Database:
+    """A database holding the Figure 1 tables, clock at time 0."""
+    db = Database()
+    pol = db.create_table("Pol", PROFILE_SCHEMA)
+    for row, texp in figure1_pol().items():
+        pol.insert(row, expires_at=texp)
+    el = db.create_table("El", PROFILE_SCHEMA)
+    for row, texp in figure1_el().items():
+        el.insert(row, expires_at=texp)
+    return db
+
+
+class NewsWorkload:
+    """A scaled-up news-profile workload in the Figure 1 mould.
+
+    ``topics`` maps topic names to mean profile lifetimes; each user gets a
+    profile in each topic with probability ``coverage``.  Degrees are
+    multiples of 5 in [0, 100) so that projections and GROUP BYs produce
+    meaningful duplicate structure, as in the paper's examples.
+    """
+
+    def __init__(
+        self,
+        users: int = 100,
+        topics: Dict[str, int] | None = None,
+        coverage: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        self.users = users
+        self.topics = topics or {"Pol": 40, "El": 8, "Sport": 20}
+        self.coverage = coverage
+        self.seed = seed
+
+    def build_database(self, origin: int = 0) -> Database:
+        """A database with one profile table per topic."""
+        rng = random.Random(self.seed)
+        db = Database(start_time=origin)
+        for topic, mean_lifetime in self.topics.items():
+            table = db.create_table(topic, PROFILE_SCHEMA)
+            for uid in range(1, self.users + 1):
+                if rng.random() > self.coverage:
+                    continue
+                degree = 5 * rng.randrange(20)
+                lifetime = max(1, int(rng.expovariate(1.0 / mean_lifetime)))
+                table.insert((uid, degree), expires_at=origin + lifetime)
+        return db
+
+    def renewal_stream(
+        self, topic: str, horizon: int
+    ) -> List[Tuple[int, Tuple[int, int], int]]:
+        """Profile (re-)insertions over time for a replication workload.
+
+        Each entry is ``(arrival, (uid, degree), expires_at)``: users renew
+        their interest at random times, which in the expiration model is
+        just another insert (the max-merge rule extends the lifetime).
+        """
+        rng = random.Random(self.seed + hash(topic) % 1000)
+        mean_lifetime = self.topics[topic]
+        entries: List[Tuple[int, Tuple[int, int], int]] = []
+        for uid in range(1, self.users + 1):
+            arrival = 0
+            while arrival < horizon:
+                degree = 5 * rng.randrange(20)
+                lifetime = max(1, int(rng.expovariate(1.0 / mean_lifetime)))
+                entries.append((arrival, (uid, degree), arrival + lifetime))
+                arrival += max(1, int(rng.expovariate(1.0 / mean_lifetime)))
+        entries.sort(key=lambda entry: entry[0])
+        return entries

@@ -1,0 +1,141 @@
+"""HTTP session management workload.
+
+One of the paper's flagship applications: "automatic session management in
+HTTP servers".  A session row is ``(session_id, user, created_at)``; every
+request *renews* the session for another ``session_ttl`` ticks, which in
+the expiration model is a plain re-insert (max-merge).  When a session
+expires, an ON-EXPIRE trigger performs the logout bookkeeping that
+traditional systems need a reaper cron job for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.schema import Schema
+from repro.engine.database import Database
+from repro.engine.table import Table
+
+__all__ = ["SESSION_SCHEMA", "SessionEvent", "SessionWorkload", "SessionStore"]
+
+SESSION_SCHEMA = Schema(["sid", "user", "created_at"])
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One workload step: a login or an activity ping."""
+
+    time: int
+    kind: str  # "login" | "activity"
+    sid: int
+    user: int
+
+
+class SessionWorkload:
+    """A seeded stream of logins and activity pings."""
+
+    def __init__(
+        self,
+        users: int = 50,
+        horizon: int = 500,
+        login_rate: float = 0.1,
+        activity_rate: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        self.users = users
+        self.horizon = horizon
+        self.login_rate = login_rate
+        self.activity_rate = activity_rate
+        self.seed = seed
+
+    def events(self) -> List[SessionEvent]:
+        """The deterministic event stream for this workload's seed."""
+        rng = random.Random(self.seed)
+        events: List[SessionEvent] = []
+        next_sid = 1
+        active: dict[int, int] = {}  # user -> sid
+        for time in range(self.horizon):
+            for user in range(1, self.users + 1):
+                if user not in active:
+                    if rng.random() < self.login_rate:
+                        active[user] = next_sid
+                        events.append(SessionEvent(time, "login", next_sid, user))
+                        next_sid += 1
+                else:
+                    draw = rng.random()
+                    if draw < self.activity_rate:
+                        events.append(
+                            SessionEvent(time, "activity", active[user], user)
+                        )
+                    elif draw > 0.97:
+                        # The user walks away; the session will simply
+                        # expire -- nobody sends a logout.
+                        del active[user]
+        return events
+
+
+class SessionStore:
+    """Session management on top of the expiration-enabled engine.
+
+    >>> store = SessionStore(session_ttl=30)
+    >>> sid = store.login(user=7)
+    >>> _ = store.database.tick(29)
+    >>> store.is_active(sid)
+    True
+    >>> store.touch(sid, user=7)     # activity renews the session
+    >>> _ = store.database.tick(25)
+    >>> store.is_active(sid)
+    True
+    """
+
+    def __init__(self, session_ttl: int = 30, database: Optional[Database] = None) -> None:
+        self.session_ttl = session_ttl
+        self.database = database if database is not None else Database()
+        self.table: Table = self.database.create_table("Sessions", SESSION_SCHEMA)
+        self.expired_log: List[Tuple[int, int]] = []  # (sid, user)
+        self.table.triggers.register("on_logout", self._log_expiry)
+        self._created: dict[int, int] = {}
+        self._next_sid = 1
+
+    def _log_expiry(self, event) -> None:
+        sid, user, _created = event.tuple.row
+        self.expired_log.append((sid, user))
+
+    def login(self, user: int) -> int:
+        """Create a session with the store's TTL; returns its id."""
+        sid = self._next_sid
+        self._next_sid += 1
+        created = self.database.now.value
+        self._created[sid] = created
+        self.table.insert((sid, user, created), ttl=self.session_ttl)
+        return sid
+
+    def touch(self, sid: int, user: int) -> None:
+        """Renew on activity: the same row, a later expiration."""
+        created = self._created.get(sid)
+        if created is None:
+            return
+        self.table.insert((sid, user, created), ttl=self.session_ttl)
+
+    def is_active(self, sid: int) -> bool:
+        """Whether the session is unexpired right now."""
+        return any(row[0] == sid for row in self.table.read().rows())
+
+    def active_count(self) -> int:
+        """Number of currently active sessions."""
+        return len(self.table)
+
+    def replay(self, events: List[SessionEvent]) -> None:
+        """Drive the store from a workload event stream."""
+        sid_map: dict[int, int] = {}
+        for event in events:
+            if event.time > self.database.now.value:
+                self.database.advance_to(event.time)
+            if event.kind == "login":
+                sid_map[event.sid] = self.login(event.user)
+            else:
+                sid = sid_map.get(event.sid)
+                if sid is not None:
+                    self.touch(sid, event.user)

@@ -1,0 +1,85 @@
+"""Tests for the traditional baselines (explicit delete, periodic recompute)."""
+
+import pytest
+
+from repro.baselines import ExplicitDeleteManager, PeriodicRecomputeView
+from repro.core.schema import Schema
+from repro.engine.database import Database
+from repro.workloads.news import PROFILE_SCHEMA, figure1_database
+
+
+class TestExplicitDeleteManager:
+    def test_one_transaction_per_lifetime(self):
+        manager = ExplicitDeleteManager("T", Schema(["k", "v"]), reap_interval=1)
+        manager.insert((1, "a"), lifetime=5)
+        manager.insert((2, "b"), lifetime=8)
+        manager.database.advance_to(10)
+        manager.reap()
+        assert manager.delete_transactions == 2
+        assert len(manager.table) == 0
+
+    def test_staleness_between_reaps(self):
+        manager = ExplicitDeleteManager("T", Schema(["k", "v"]), reap_interval=10)
+        manager.insert((1, "a"), lifetime=3)
+        manager.database.advance_to(5)
+        # The lifetime elapsed but the reaper has not run: stale data served.
+        assert manager.stale_tuples() == 1
+        assert set(manager.table.read().rows()) == {(1, "a")}
+        manager.database.advance_to(10)
+        manager.maybe_reap()
+        assert manager.stale_tuples() == 0
+
+    def test_maybe_reap_respects_interval(self):
+        manager = ExplicitDeleteManager("T", Schema(["k"]), reap_interval=10)
+        manager.insert((1,), lifetime=1)
+        manager.database.advance_to(5)
+        assert manager.maybe_reap() == 0  # too early
+        manager.database.advance_to(10)
+        assert manager.maybe_reap() == 1
+
+    def test_engine_comparison_zero_deletes(self):
+        """The paper's headline: the expiration engine needs no deletes."""
+        db = Database()
+        table = db.create_table("T", ["k", "v"])
+        table.insert((1, "a"), expires_at=3)
+        db.advance_to(10)
+        assert db.statistics.explicit_deletes == 0
+        assert db.statistics.transactions_committed == 0
+        assert len(table) == 0
+
+
+class TestPeriodicRecomputeView:
+    def make_view(self, period):
+        db = figure1_database()
+        expr = db.table_expr("Pol").project(1).difference(db.table_expr("El").project(1))
+        return db, PeriodicRecomputeView(expr, db, period=period)
+
+    def test_refreshes_on_schedule(self):
+        db, view = self.make_view(period=5)
+        db.advance_to(4)
+        view.read()
+        assert view.recomputations == 1  # initial only
+        db.advance_to(5)
+        view.read()
+        assert view.recomputations == 2
+
+    def test_stale_between_refreshes(self):
+        db, view = self.make_view(period=10)
+        db.advance_to(4)  # the difference changed at 3
+        assert not view.is_correct_at()
+
+    def test_correct_right_after_refresh(self):
+        db, view = self.make_view(period=5)
+        db.advance_to(5)
+        assert view.is_correct_at()
+
+    def test_wasted_work_on_stable_views(self):
+        """Most periodic refreshes recompute an unchanged monotonic view."""
+        db = figure1_database()
+        expr = db.table_expr("Pol").project(2)
+        view = PeriodicRecomputeView(expr, db, period=2)
+        for when in range(1, 9):
+            db.advance_to(when)
+            view.read()
+        # Periodic: ~4 recomputations; expiration-aware monotonic view: 0.
+        assert view.recomputations >= 4

@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's Figure 1 example database and friends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.engine.database import Database
+from repro.workloads.news import figure1_database, figure1_el, figure1_pol
+
+
+@pytest.fixture
+def pol() -> Relation:
+    """Figure 1(a): the politics table at time 0."""
+    return figure1_pol()
+
+
+@pytest.fixture
+def el() -> Relation:
+    """Figure 1(b): the elections table at time 0."""
+    return figure1_el()
+
+
+@pytest.fixture
+def figure1_db() -> Database:
+    """A database containing the Figure 1 tables, clock at 0."""
+    return figure1_database()
+
+
+@pytest.fixture
+def catalog(pol, el):
+    """An evaluator catalog with the paper's example relations."""
+    return {"Pol": pol, "El": el}

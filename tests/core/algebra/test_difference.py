@@ -1,0 +1,156 @@
+"""Tests for the non-monotonic difference operator (Section 2.6.2).
+
+Covers Equation (10) (tuples), Table 2 (the lifetime case analysis),
+Equation (11) (``texp(e)``), the Figure 3(b)-(d) examples, and the
+Section 3.4.2 validity intervals.
+"""
+
+import pytest
+
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import BaseRef, Literal
+from repro.core.intervals import IntervalSet
+from repro.core.relation import relation_from_rows
+from repro.core.timestamps import INFINITY, ts
+from repro.core.validity import (
+    critical_tuples,
+    difference_validity_exact,
+    difference_validity_paper,
+)
+
+
+def diff_expr():
+    return BaseRef("Pol").project(1).difference(BaseRef("El").project(1))
+
+
+class TestTuples:
+    def test_figure_3b_time_0(self, catalog):
+        result = evaluate(diff_expr(), catalog, tau=0)
+        assert set(result.relation.rows()) == {(3,)}
+
+    def test_figure_3c_time_3_grows(self, catalog):
+        # The difference *grows* as tuples expire in El.
+        result = evaluate(diff_expr(), catalog, tau=3)
+        assert set(result.relation.rows()) == {(2,), (3,)}
+
+    def test_figure_3d_time_5(self, catalog):
+        result = evaluate(diff_expr(), catalog, tau=5)
+        assert set(result.relation.rows()) == {(1,), (2,), (3,)}
+
+    def test_result_keeps_left_expiration(self, catalog):
+        # Equation (10): texp_*(t) = texp_R(t).
+        result = evaluate(diff_expr(), catalog, tau=0)
+        assert result.relation.expiration_of((3,)) == ts(10)
+
+    def test_tuples_only_in_s_are_disregarded(self):
+        left = relation_from_rows(["a"], [((1,), 10)])
+        right = relation_from_rows(["a"], [((1,), 20), ((2,), 30)])
+        result = evaluate(Literal(left).difference(Literal(right)), {})
+        assert len(result.relation) == 0
+
+
+class TestExpressionExpiration:
+    def test_figure_3_expiration_time_3(self, catalog):
+        # uid 2 is critical: texp_Pol=15 > texp_El=3, so texp(e)=3.
+        result = evaluate(diff_expr(), catalog, tau=0)
+        assert result.expiration == ts(3)
+
+    def test_case_3b_no_invalidity(self):
+        # t in both, texp_R <= texp_S: never re-appears, texp(e) = ∞.
+        left = relation_from_rows(["a"], [((1,), 5)])
+        right = relation_from_rows(["a"], [((1,), 9)])
+        result = evaluate(Literal(left).difference(Literal(right)), {})
+        assert result.expiration == INFINITY
+
+    def test_disjoint_relations_never_invalid(self):
+        left = relation_from_rows(["a"], [((1,), 5)])
+        right = relation_from_rows(["a"], [((2,), 3)])
+        result = evaluate(Literal(left).difference(Literal(right)), {})
+        assert result.expiration == INFINITY
+
+    def test_tau_r_is_min_over_critical(self):
+        left = relation_from_rows(["a"], [((1,), 30), ((2,), 30), ((3,), 30)])
+        right = relation_from_rows(["a"], [((1,), 12), ((2,), 7), ((3,), 40)])
+        result = evaluate(Literal(left).difference(Literal(right)), {})
+        assert result.expiration == ts(7)
+
+    def test_same_expiration_everywhere_is_immortal(self):
+        # "relations all of whose tuples have the same expiration time
+        # always result in expressions with infinite expiration time".
+        left = relation_from_rows(["a"], [((1,), 8), ((2,), 8)])
+        right = relation_from_rows(["a"], [((1,), 8), ((3,), 8)])
+        result = evaluate(Literal(left).difference(Literal(right)), {})
+        assert result.expiration == INFINITY
+
+    def test_empty_relations_are_immortal(self):
+        left = relation_from_rows(["a"], [])
+        right = relation_from_rows(["a"], [])
+        result = evaluate(Literal(left).difference(Literal(right)), {})
+        assert result.expiration == INFINITY
+
+
+class TestCriticalTuples:
+    def test_table2_classification(self, pol, el):
+        left = pol.exp_at(0)
+        right = el.exp_at(0)
+        pol_only = relation_from_rows(["uid"], [(r[:1], t) for r, t in left.items()])
+        el_only = relation_from_rows(["uid"], [(r[:1], t) for r, t in right.items()])
+        critical = critical_tuples(pol_only, el_only)
+        rows = {row for row, _, _ in critical}
+        # uid 1 (10>5) and uid 2 (15>3) are critical; uid 3, 4 are not.
+        assert rows == {(1,), (2,)}
+
+    def test_orders(self):
+        left = relation_from_rows(["a"], [((1,), 5), ((2,), 10)])
+        right = relation_from_rows(["a"], [((1,), 5), ((2,), 4)])
+        critical = critical_tuples(left, right)
+        # Equal expirations (case 3b with =) are not critical.
+        assert [(row, int(tr), int(ts_)) for row, tr, ts_ in critical] == [
+            ((2,), 10, 4)
+        ]
+
+
+class TestValidityIntervals:
+    def test_exact_validity_figure3(self, catalog):
+        result = evaluate(diff_expr(), catalog, tau=0)
+        # uid1 invalid on [5,10), uid2 invalid on [3,15) -> union [3,15).
+        assert result.validity == IntervalSet.from_pairs([(0, 3), (15, None)])
+
+    def test_exact_validity_with_gap(self):
+        # One critical tuple: invalid exactly on [texp_S, texp_R).
+        left = relation_from_rows(["a"], [((1,), 10), ((2,), 100)])
+        right = relation_from_rows(["a"], [((1,), 5)])
+        validity = difference_validity_exact(left, right, tau=0)
+        assert validity == IntervalSet.from_pairs([(0, 5), (10, None)])
+
+    def test_paper_formula_uses_s_expirations(self):
+        # Equation (12) as printed: the removed window is bounded by the
+        # min and max of the *S-side* expirations of the critical tuples.
+        left = relation_from_rows(["a"], [((1,), 50), ((2,), 60)])
+        right = relation_from_rows(["a"], [((1,), 5), ((2,), 20)])
+        validity = difference_validity_paper(left, right, tau=0)
+        assert validity == IntervalSet.from_pairs([(0, 5), (20, None)])
+
+    def test_paper_formula_with_single_critical_tuple_degenerates(self):
+        # With one critical tuple min == max, so nothing is removed -- one
+        # of the reasons we treat Equation (12)'s bound as a typo and use
+        # the exact per-tuple union everywhere else.
+        left = relation_from_rows(["a"], [((1,), 50)])
+        right = relation_from_rows(["a"], [((1,), 5)])
+        paper = difference_validity_paper(left, right, tau=0)
+        exact = difference_validity_exact(left, right, tau=0)
+        assert paper == IntervalSet.from_onwards(0)
+        assert exact == IntervalSet.from_pairs([(0, 5), (50, None)])
+
+    def test_validity_respects_tau(self):
+        left = relation_from_rows(["a"], [((1,), 50)])
+        right = relation_from_rows(["a"], [((1,), 5)])
+        validity = difference_validity_exact(left, right, tau=2)
+        assert validity == IntervalSet.from_pairs([(2, 5), (50, None)])
+
+    def test_validity_contains_expiration_window(self, catalog):
+        result = evaluate(diff_expr(), catalog, tau=0)
+        # [τ, texp(e)) is always inside the validity set.
+        assert result.validity.contains(0)
+        assert result.validity.contains(2)
+        assert not result.validity.contains(3)

@@ -1,0 +1,192 @@
+"""Tests for the monotonic operators σ, π, ×, ∪ and derived ⋈, ∩, ρ.
+
+The expiration-time rules under test (Section 2.3-2.4):
+
+* selection passes expirations through (Equation 1);
+* product assigns the min of the parents (Equation 2);
+* projection merges duplicates to the max (Equation 3);
+* union assigns max to shared tuples (Equation 4);
+* join = select over product (Equation 5);
+* intersection assigns minima (Equation 6).
+"""
+
+import pytest
+
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import BaseRef, Literal
+from repro.core.algebra.predicates import col
+from repro.core.relation import Relation, relation_from_rows
+from repro.core.timestamps import INFINITY, ts
+from repro.errors import CatalogError, UnionCompatibilityError
+
+
+class TestSelection:
+    def test_filters_rows(self, catalog):
+        result = evaluate(BaseRef("Pol").select(col("deg") == 25), catalog)
+        assert set(result.relation.rows()) == {(1, 25), (2, 25)}
+
+    def test_preserves_expirations(self, catalog):
+        result = evaluate(BaseRef("Pol").select(col("deg") == 25), catalog)
+        assert result.relation.expiration_of((1, 25)) == ts(10)
+        assert result.relation.expiration_of((2, 25)) == ts(15)
+
+    def test_only_sees_unexpired(self, catalog):
+        result = evaluate(BaseRef("Pol").select(col("deg") == 25), catalog, tau=10)
+        assert set(result.relation.rows()) == {(2, 25)}
+
+    def test_correlated_predicate(self):
+        rel = relation_from_rows(["a", "b"], [((1, 1), 5), ((1, 2), 5)])
+        result = evaluate(Literal(rel).select(col(1) == col(2)), {})
+        assert set(result.relation.rows()) == {(1, 1)}
+
+    def test_expression_expiration_is_infinite(self, catalog):
+        result = evaluate(BaseRef("Pol").select(col("deg") == 25), catalog)
+        assert result.expiration == INFINITY
+
+
+class TestProjection:
+    def test_figure_2c(self, catalog):
+        # π_2(Pol) at time 0: {25, 35}; 25 inherits the max lifetime 15.
+        result = evaluate(BaseRef("Pol").project(2), catalog)
+        assert set(result.relation.rows()) == {(25,), (35,)}
+        assert result.relation.expiration_of((25,)) == ts(15)
+        assert result.relation.expiration_of((35,)) == ts(10)
+
+    def test_figure_2d(self, catalog):
+        # At time 10 only <25> remains.
+        result = evaluate(BaseRef("Pol").project(2), catalog, tau=10)
+        assert set(result.relation.rows()) == {(25,)}
+
+    def test_expired_materialisation_matches_recomputation(self, catalog):
+        # Expiring the time-0 materialisation to time 10 gives Figure 2(d).
+        at_zero = evaluate(BaseRef("Pol").project(2), catalog, tau=0)
+        at_ten = evaluate(BaseRef("Pol").project(2), catalog, tau=10)
+        assert at_zero.relation.exp_at(10).same_content(at_ten.relation)
+
+    def test_project_by_name(self, catalog):
+        result = evaluate(BaseRef("Pol").project("deg"), catalog)
+        assert set(result.relation.rows()) == {(25,), (35,)}
+
+    def test_reordering(self, catalog):
+        result = evaluate(BaseRef("Pol").project(2, 1), catalog)
+        assert (25, 1) in result.relation
+
+
+class TestProduct:
+    def test_min_expiration(self, catalog):
+        result = evaluate(BaseRef("Pol").product(BaseRef("El")), catalog)
+        assert len(result.relation) == 9
+        # Pol<1,25>@10 x El<2,85>@3 -> @3.
+        assert result.relation.expiration_of((1, 25, 2, 85)) == ts(3)
+
+    def test_with_infinite_side(self):
+        left = relation_from_rows(["a"], [((1,), None)])
+        right = relation_from_rows(["b"], [((2,), 7)])
+        result = evaluate(Literal(left).product(Literal(right)), {})
+        assert result.relation.expiration_of((1, 2)) == ts(7)
+
+    def test_schema_concat(self, catalog):
+        result = evaluate(BaseRef("Pol").product(BaseRef("El")), catalog)
+        assert result.relation.schema.names == ("uid", "deg", "uid_r", "deg_r")
+
+
+class TestUnion:
+    def test_shared_tuple_gets_max(self):
+        left = relation_from_rows(["a"], [((1,), 5), ((2,), 9)])
+        right = relation_from_rows(["a"], [((1,), 8)])
+        result = evaluate(Literal(left).union(Literal(right)), {})
+        assert result.relation.expiration_of((1,)) == ts(8)
+        assert result.relation.expiration_of((2,)) == ts(9)
+
+    def test_requires_compatible_arity(self, catalog):
+        bad = relation_from_rows(["x"], [((1,), 5)])
+        with pytest.raises(UnionCompatibilityError):
+            evaluate(BaseRef("Pol").union(Literal(bad)), catalog)
+
+    def test_union_of_projections(self, catalog):
+        expr = BaseRef("Pol").project(1).union(BaseRef("El").project(1))
+        result = evaluate(expr, catalog)
+        assert set(result.relation.rows()) == {(1,), (2,), (3,), (4,)}
+        # uid 1: max(Pol@10, El@5) = 10.
+        assert result.relation.expiration_of((1,)) == ts(10)
+
+
+class TestJoin:
+    def test_figure_2e(self, catalog):
+        # Pol ⋈_{1=3} El at time 0.
+        result = evaluate(BaseRef("Pol").join(BaseRef("El"), on=[(1, 1)]), catalog)
+        assert set(result.relation.rows()) == {(1, 25, 1, 75), (2, 25, 2, 85)}
+        assert result.relation.expiration_of((1, 25, 1, 75)) == ts(5)
+        assert result.relation.expiration_of((2, 25, 2, 85)) == ts(3)
+
+    def test_figure_2f_time_3(self, catalog):
+        result = evaluate(
+            BaseRef("Pol").join(BaseRef("El"), on=[(1, 1)]), catalog, tau=3
+        )
+        assert set(result.relation.rows()) == {(1, 25, 1, 75)}
+
+    def test_figure_2g_time_5_empty(self, catalog):
+        result = evaluate(
+            BaseRef("Pol").join(BaseRef("El"), on=[(1, 1)]), catalog, tau=5
+        )
+        assert len(result.relation) == 0
+
+    def test_join_equals_select_over_product(self, catalog):
+        # Equation (5): R ⋈_p S = σ_p'(R × S), including expiration times.
+        join = evaluate(BaseRef("Pol").join(BaseRef("El"), on=[(1, 1)]), catalog)
+        rewrite = evaluate(
+            BaseRef("Pol").product(BaseRef("El")).select(col(1) == col(3)),
+            catalog,
+        )
+        assert join.relation.same_content(rewrite.relation)
+
+    def test_join_with_residual_predicate(self, catalog):
+        result = evaluate(
+            BaseRef("Pol").join(BaseRef("El"), on=[(1, 1)], predicate=col(4) > 80),
+            catalog,
+        )
+        assert set(result.relation.rows()) == {(2, 25, 2, 85)}
+
+    def test_pure_predicate_join(self, catalog):
+        result = evaluate(
+            BaseRef("Pol").join(BaseRef("El"), predicate=col(1) == col(3)), catalog
+        )
+        assert len(result.relation) == 2
+
+
+class TestIntersect:
+    def test_min_expiration(self):
+        left = relation_from_rows(["a"], [((1,), 5), ((2,), 9)])
+        right = relation_from_rows(["a"], [((1,), 8), ((3,), 4)])
+        result = evaluate(Literal(left).intersect(Literal(right)), {})
+        assert set(result.relation.rows()) == {(1,)}
+        assert result.relation.expiration_of((1,)) == ts(5)
+
+    def test_matches_derived_form(self, catalog):
+        # Equation (6): ∩ = π(σ(×)) with equality on all attribute pairs.
+        direct = evaluate(
+            BaseRef("Pol").project(1).intersect(BaseRef("El").project(1)), catalog
+        )
+        derived = evaluate(
+            BaseRef("Pol")
+            .project(1)
+            .product(BaseRef("El").project(1))
+            .select(col(1) == col(2))
+            .project(1),
+            catalog,
+        )
+        assert direct.relation.same_content(derived.relation)
+
+
+class TestRename:
+    def test_renames_schema_only(self, catalog):
+        result = evaluate(BaseRef("Pol").rename({"deg": "interest"}), catalog)
+        assert result.relation.schema.names == ("uid", "interest")
+        assert set(result.relation.rows()) == {(1, 25), (2, 25), (3, 35)}
+        assert result.relation.expiration_of((1, 25)) == ts(10)
+
+
+class TestErrors:
+    def test_unknown_base_relation(self):
+        with pytest.raises(CatalogError):
+            evaluate(BaseRef("Nope"), {})

@@ -1,0 +1,142 @@
+"""Tests for the semijoin and anti-semijoin operators.
+
+The paper's §3.4.2 notes that difference "can be implemented ... as a left
+outer anti-semijoin"; here the anti-semijoin is a first-class operator that
+generalises difference to key-based matching, with the analogous expiration
+and validity semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import AntiSemiJoin, BaseRef, Literal, SemiJoin
+from repro.core.intervals import IntervalSet
+from repro.core.monotonicity import nonmonotonic_count
+from repro.core.relation import relation_from_rows
+from repro.core.timestamps import INFINITY, ts
+from repro.core.validity import recompute_equals_materialised, validity_oracle
+from repro.errors import AlgebraError
+
+values = st.integers(min_value=0, max_value=3)
+texps = st.one_of(st.integers(min_value=1, max_value=12), st.none())
+
+
+def relations(max_size=6):
+    row = st.tuples(values, values)
+    return st.lists(st.tuples(row, texps), max_size=max_size).map(
+        lambda data: relation_from_rows(["k", "v"], data)
+    )
+
+
+class TestSemiJoin:
+    def test_figure1_matches(self, catalog):
+        # Pol users with an election interest: uids 1 and 2.
+        result = evaluate(BaseRef("Pol").semijoin(BaseRef("El"), on=[(1, 1)]), catalog)
+        assert set(result.relation.rows()) == {(1, 25), (2, 25)}
+
+    def test_expiration_is_min_of_row_and_best_match(self, catalog):
+        result = evaluate(BaseRef("Pol").semijoin(BaseRef("El"), on=[(1, 1)]), catalog)
+        # uid 1: min(texp_Pol=10, best match texp_El=5) = 5.
+        assert result.relation.expiration_of((1, 25)) == ts(5)
+
+    def test_multiple_matches_take_longest(self):
+        left = relation_from_rows(["k", "v"], [((1, 0), 20)])
+        right = relation_from_rows(["k", "w"], [((1, 7), 3), ((1, 8), 9)])
+        result = evaluate(Literal(left).semijoin(Literal(right), on=[(1, 1)]), {})
+        assert result.relation.expiration_of((1, 0)) == ts(9)
+
+    def test_matches_derived_form(self, catalog):
+        # ⋉ = π_{1..α(R)}(R ⋈ S), including expiration times.
+        direct = evaluate(BaseRef("Pol").semijoin(BaseRef("El"), on=[(1, 1)]), catalog)
+        derived = evaluate(
+            BaseRef("Pol").join(BaseRef("El"), on=[(1, 1)]).project(1, 2), catalog
+        )
+        assert direct.relation.same_content(derived.relation)
+
+    def test_is_monotonic(self):
+        expr = BaseRef("R").semijoin(BaseRef("S"), on=[(1, 1)])
+        assert expr.is_monotonic()
+        assert nonmonotonic_count(expr) == 0
+
+    def test_needs_on_pairs(self):
+        with pytest.raises(AlgebraError):
+            SemiJoin(BaseRef("R"), BaseRef("S"), on=[])
+
+    @settings(max_examples=60, deadline=None)
+    @given(left=relations(), right=relations(), tau=st.integers(0, 6),
+           delta=st.integers(0, 10))
+    def test_theorem1_holds(self, left, right, tau, delta):
+        catalog = {"R": left, "S": right}
+        expr = BaseRef("R").semijoin(BaseRef("S"), on=[(1, 1)])
+        materialised = evaluate(expr, catalog, tau=tau)
+        assert materialised.expiration == INFINITY
+        assert recompute_equals_materialised(expr, catalog, materialised, tau + delta)
+
+
+class TestAntiSemiJoin:
+    def test_figure1_nonmatches(self, catalog):
+        result = evaluate(BaseRef("Pol").antijoin(BaseRef("El"), on=[(1, 1)]), catalog)
+        assert set(result.relation.rows()) == {(3, 35)}
+        assert result.relation.expiration_of((3, 35)) == ts(10)
+
+    def test_generalises_difference(self, pol, el):
+        # On single-attribute relations, R ▷ S on the whole tuple == R − S.
+        pol1 = relation_from_rows(["uid"], [(r[:1], t) for r, t in pol.items()])
+        el1 = relation_from_rows(["uid"], [(r[:1], t) for r, t in el.items()])
+        anti = evaluate(Literal(pol1).antijoin(Literal(el1), on=[(1, 1)]), {})
+        diff = evaluate(Literal(pol1).difference(Literal(el1)), {})
+        assert anti.relation.same_content(diff.relation)
+        assert anti.expiration == diff.expiration
+        assert anti.validity == diff.validity
+
+    def test_reappearance_when_match_set_dies(self, catalog):
+        # uid 1 is hidden by its El match until time 5, then re-appears
+        # (recomputation), vanishing at its own texp 10.
+        expr = BaseRef("Pol").antijoin(BaseRef("El"), on=[(1, 1)])
+        result = evaluate(expr, catalog, tau=0)
+        assert result.expiration == ts(3)  # uid 2's match dies first
+        at5 = evaluate(expr, catalog, tau=5)
+        assert set(at5.relation.rows()) == {(1, 25), (2, 25), (3, 35)}
+
+    def test_multiple_matches_hide_until_all_die(self):
+        left = relation_from_rows(["k", "v"], [((1, 0), 30)])
+        right = relation_from_rows(["k", "w"], [((1, 7), 3), ((1, 8), 9)])
+        expr = Literal(left).antijoin(Literal(right), on=[(1, 1)])
+        result = evaluate(expr, {})
+        # Hidden until the LAST match dies at 9 (not the first at 3).
+        assert result.expiration == ts(9)
+        assert result.validity == IntervalSet.from_pairs([(0, 9), (30, None)])
+
+    def test_match_outliving_left_never_invalidates(self):
+        left = relation_from_rows(["k", "v"], [((1, 0), 5)])
+        right = relation_from_rows(["k", "w"], [((1, 7), 30)])
+        expr = Literal(left).antijoin(Literal(right), on=[(1, 1)])
+        result = evaluate(expr, {})
+        assert result.expiration == INFINITY
+
+    def test_is_nonmonotonic(self):
+        expr = BaseRef("R").antijoin(BaseRef("S"), on=[(1, 1)])
+        assert not expr.is_monotonic()
+        assert nonmonotonic_count(expr) == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(left=relations(), right=relations())
+    def test_analytic_validity_equals_oracle(self, left, right):
+        catalog = {"R": left, "S": right}
+        expr = BaseRef("R").antijoin(BaseRef("S"), on=[(1, 1)])
+        analytic = evaluate(expr, catalog, tau=0).validity
+        oracle = validity_oracle(expr, catalog, tau=0)
+        assert analytic == oracle
+
+    @settings(max_examples=60, deadline=None)
+    @given(left=relations(), right=relations(), tau=st.integers(0, 6),
+           delta=st.integers(0, 12))
+    def test_theorem2_holds(self, left, right, tau, delta):
+        catalog = {"R": left, "S": right}
+        expr = BaseRef("R").antijoin(BaseRef("S"), on=[(1, 1)])
+        materialised = evaluate(expr, catalog, tau=tau)
+        later = ts(tau + delta)
+        if later < materialised.expiration:
+            assert recompute_equals_materialised(expr, catalog, materialised, later)

@@ -1,0 +1,251 @@
+"""Property-based tests of the paper's three theorems.
+
+* Theorem 1: for monotonic ``e`` and ``τ <= τ'``,
+  ``exp_τ'(e) = exp_τ'(exp_τ(e))`` -- materialisations of monotonic
+  expressions stay valid forever.
+* Theorem 2: for any ``e`` of operators (1)-(10) and ``τ <= τ' < texp(e)``,
+  the same equation holds.
+* (Theorem 3 is tested in ``tests/core/test_patching.py``.)
+
+Additionally: the evaluator's analytic validity interval set must equal
+the brute-force oracle (recompute-and-compare at every relevant time), and
+with all expirations at ``∞`` the algebra degrades to its textbook (SPCU)
+behaviour.
+
+Expressions and relations are generated randomly with hypothesis; the
+generators deliberately create heavy overlap and duplicate expiration
+times to hit the interesting cases (critical tuples, neutral slices,
+partitions dying together).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import ExpirationStrategy
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import (
+    Aggregate,
+    AggregateSpec,
+    BaseRef,
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    Select,
+    Union,
+)
+from repro.core.algebra.predicates import col
+from repro.core.relation import Relation, relation_from_rows
+from repro.core.timestamps import INFINITY, ts
+from repro.core.validity import (
+    recompute_equals_materialised,
+    relevant_times,
+    validity_oracle,
+)
+
+# -- generators -----------------------------------------------------------
+
+# Small domains force collisions: shared rows between R and S, duplicate
+# values within partitions, ties in expiration times.
+values = st.integers(min_value=0, max_value=3)
+texps = st.one_of(st.integers(min_value=1, max_value=12), st.none())
+
+
+def relations(arity=2, max_size=6):
+    row = st.tuples(*([values] * arity))
+    return st.lists(st.tuples(row, texps), max_size=max_size).map(
+        lambda data: relation_from_rows([f"c{i}" for i in range(1, arity + 1)], data)
+    )
+
+
+@st.composite
+def monotonic_expressions(draw):
+    """A random expression over bases R, S using only (1)-(6)."""
+    depth = draw(st.integers(min_value=0, max_value=2))
+    return _draw_monotonic(draw, depth)
+
+
+def _draw_monotonic(draw, depth) -> Expression:
+    if depth == 0:
+        return BaseRef(draw(st.sampled_from(["R", "S"])))
+    choice = draw(st.sampled_from(["select", "project", "union", "product", "join", "intersect"]))
+    child = _draw_monotonic(draw, depth - 1)
+    arity = _arity(child)
+    if choice == "select":
+        attr = draw(st.integers(min_value=1, max_value=arity))
+        constant = draw(values)
+        return Select(child, col(attr) == constant)
+    if choice == "project":
+        candidates = [refs for refs in ((1,), (2,), (1, 2), (2, 1)) if max(refs) <= arity]
+        return Project(child, draw(st.sampled_from(candidates)))
+    other = BaseRef(draw(st.sampled_from(["R", "S"])))
+    if choice == "union":
+        return Union(child, other) if arity == 2 else Union(other, other)
+    if choice == "intersect":
+        return Intersect(child, other) if arity == 2 else Intersect(other, other)
+    if choice == "product":
+        return Product(child, other)
+    # join on first attributes
+    return Join(child, other, on=[(1, 1)])
+
+
+def _arity(expression: Expression) -> int:
+    """Arity over the fixed two-column bases (cheap structural version)."""
+    return expression.infer_schema(lambda name: relation_from_rows(["a", "b"], []).schema).arity
+
+
+@st.composite
+def nonmonotonic_expressions(draw):
+    """Difference or aggregation over shallow monotonic arguments."""
+    kind = draw(st.sampled_from(["difference", "aggregate"]))
+    if kind == "difference":
+        left = draw(st.sampled_from(["base", "project"]))
+        if left == "base":
+            return Difference(BaseRef("R"), BaseRef("S"))
+        return Difference(Project(BaseRef("R"), (1,)), Project(BaseRef("S"), (1,)))
+    function = draw(st.sampled_from(["count", "min", "max", "sum", "avg"]))
+    strategy = draw(st.sampled_from(list(ExpirationStrategy)))
+    attribute = None if function == "count" else 2
+    group_by = draw(st.sampled_from([(1,), (2,), ()]))
+    return Aggregate(
+        BaseRef("R"), group_by, AggregateSpec(function, attribute), strategy=strategy
+    )
+
+
+# -- Theorem 1 ----------------------------------------------------------------
+
+
+class TestTheorem1:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        r=relations(),
+        s=relations(),
+        expr=monotonic_expressions(),
+        tau=st.integers(min_value=0, max_value=6),
+        delta=st.integers(min_value=0, max_value=10),
+    )
+    def test_monotonic_materialisations_stay_valid(self, r, s, expr, tau, delta):
+        catalog = {"R": r, "S": s}
+        materialised = evaluate(expr, catalog, tau=tau)
+        assert materialised.expiration == INFINITY
+        later = tau + delta
+        assert recompute_equals_materialised(expr, catalog, materialised, later)
+
+    @settings(max_examples=60, deadline=None)
+    @given(r=relations(), s=relations(), expr=monotonic_expressions())
+    def test_monotonic_validity_is_all_time(self, r, s, expr):
+        result = evaluate(expr, {"R": r, "S": s}, tau=0)
+        # I(e) = [τ, ∞) for monotonic expressions (Section 3.4).
+        assert result.validity.contains(0)
+        for point in relevant_times(expr, {"R": r, "S": s}, 0):
+            assert result.validity.contains(point)
+
+
+# -- Theorem 2 -----------------------------------------------------------------
+
+
+class TestTheorem2:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        r=relations(),
+        s=relations(),
+        expr=nonmonotonic_expressions(),
+        tau=st.integers(min_value=0, max_value=6),
+        delta=st.integers(min_value=0, max_value=12),
+    )
+    def test_valid_strictly_before_expiration(self, r, s, expr, tau, delta):
+        catalog = {"R": r, "S": s}
+        materialised = evaluate(expr, catalog, tau=tau)
+        later = ts(tau + delta)
+        if later < materialised.expiration:
+            assert recompute_equals_materialised(expr, catalog, materialised, later)
+
+    @settings(max_examples=100, deadline=None)
+    @given(r=relations(), s=relations(), expr=nonmonotonic_expressions())
+    def test_expiration_is_tight_for_difference(self, r, s, expr):
+        """texp(e) is a *lower bound*: validity holds right up to it."""
+        catalog = {"R": r, "S": s}
+        materialised = evaluate(expr, catalog, tau=0)
+        expiration = materialised.expiration
+        if expiration.is_finite and expiration.value > 0:
+            assert recompute_equals_materialised(
+                expr, catalog, materialised, expiration.value - 1
+            )
+
+
+# -- Analytic validity vs brute-force oracle ----------------------------------------
+
+
+class TestValidityExactness:
+    @settings(max_examples=100, deadline=None)
+    @given(r=relations(max_size=5), s=relations(max_size=5), expr=nonmonotonic_expressions())
+    def test_analytic_validity_equals_oracle(self, r, s, expr):
+        catalog = {"R": r, "S": s}
+        analytic = evaluate(expr, catalog, tau=0).validity
+        oracle = validity_oracle(expr, catalog, tau=0)
+        assert analytic == oracle
+
+    @settings(max_examples=60, deadline=None)
+    @given(r=relations(max_size=4), s=relations(max_size=4))
+    def test_nested_validity_is_sound(self, r, s):
+        """For nested non-monotonic plans the analytic set never claims
+        validity the oracle refutes (it may be conservative)."""
+        expr = Select(
+            Difference(Project(BaseRef("R"), (1,)), Project(BaseRef("S"), (1,))),
+            col(1) >= 0,
+        )
+        catalog = {"R": r, "S": s}
+        analytic = evaluate(expr, catalog, tau=0).validity
+        oracle = validity_oracle(expr, catalog, tau=0)
+        assert (analytic - oracle).is_empty
+
+
+# -- Textbook degradation -------------------------------------------------------------
+
+
+class TestTextbookDegradation:
+    """With every texp = ∞ the operators must behave like the SPCU algebra."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        rows_r=st.lists(st.tuples(values, values), max_size=6),
+        rows_s=st.lists(st.tuples(values, values), max_size=6),
+        expr=monotonic_expressions(),
+        tau=st.integers(min_value=0, max_value=100),
+    )
+    def test_monotonic_time_independent(self, rows_r, rows_s, expr, tau):
+        r = relation_from_rows(["a", "b"], [(row, None) for row in rows_r])
+        s = relation_from_rows(["a", "b"], [(row, None) for row in rows_s])
+        catalog = {"R": r, "S": s}
+        now = set(evaluate(expr, catalog, tau=0).relation.rows())
+        later = set(evaluate(expr, catalog, tau=tau).relation.rows())
+        assert now == later
+
+    def test_set_semantics_match_python_sets(self):
+        rows_r = {(1, 1), (1, 2), (2, 2)}
+        rows_s = {(1, 2), (3, 3)}
+        r = relation_from_rows(["a", "b"], [(row, None) for row in rows_r])
+        s = relation_from_rows(["a", "b"], [(row, None) for row in rows_s])
+        catalog = {"R": r, "S": s}
+        assert set(
+            evaluate(Union(BaseRef("R"), BaseRef("S")), catalog).relation.rows()
+        ) == rows_r | rows_s
+        assert set(
+            evaluate(Intersect(BaseRef("R"), BaseRef("S")), catalog).relation.rows()
+        ) == rows_r & rows_s
+        assert set(
+            evaluate(Difference(BaseRef("R"), BaseRef("S")), catalog).relation.rows()
+        ) == rows_r - rows_s
+        assert set(
+            evaluate(Product(BaseRef("R"), BaseRef("S")), catalog).relation.rows()
+        ) == {lr + sr for lr in rows_r for sr in rows_s}
+
+    def test_infinite_expirations_never_invalidate(self):
+        r = relation_from_rows(["a", "b"], [((1, 2), None)])
+        s = relation_from_rows(["a", "b"], [((1, 2), None)])
+        catalog = {"R": r, "S": s}
+        result = evaluate(Difference(BaseRef("R"), BaseRef("S")), catalog)
+        assert result.expiration == INFINITY

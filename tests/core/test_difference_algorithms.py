@@ -1,0 +1,107 @@
+"""Tests for the three physical difference implementations (§3.4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.difference_algorithms import (
+    ALGORITHMS,
+    difference_with_patches,
+    hash_difference,
+    nested_loop_difference,
+    sort_merge_difference,
+)
+from repro.core.patching import DifferencePatcher, compute_difference_with_patches
+from repro.core.relation import relation_from_rows
+from repro.core.timestamps import ts
+from repro.errors import AlgebraError
+
+values = st.integers(min_value=0, max_value=4)
+texps = st.one_of(st.integers(min_value=1, max_value=15), st.none())
+
+
+def relations(max_size=8):
+    row = st.tuples(values, values)
+    return st.lists(st.tuples(row, texps), max_size=max_size).map(
+        lambda data: relation_from_rows(["a", "b"], data)
+    )
+
+
+class TestAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(left=relations(), right=relations(), tau=st.integers(0, 8))
+    def test_all_three_agree(self, left, right, tau):
+        results = {
+            name: algorithm(left, right, tau)
+            for name, algorithm in ALGORITHMS.items()
+        }
+        baseline_rel, baseline_patches = results["hash"]
+        for name, (relation, patches) in results.items():
+            assert relation.same_content(baseline_rel), name
+            assert patches == baseline_patches, name
+
+    @settings(max_examples=60, deadline=None)
+    @given(left=relations(), right=relations())
+    def test_matches_the_patching_module(self, left, right):
+        relation, patches = hash_difference(left, right, 0)
+        reference_rel, patcher = compute_difference_with_patches(left, right, tau=0)
+        assert relation.same_content(reference_rel)
+        # Same patch multiset as the reference patcher holds.
+        drained = []
+        while patcher.peek_due() is not None:
+            drained.extend(patcher.due_patches(patcher.peek_due()))
+        assert sorted(patches, key=repr) == sorted(drained, key=repr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(left=relations(), right=relations(),
+           times=st.lists(st.integers(0, 20), min_size=1, max_size=5))
+    def test_patches_reconstruct_the_difference_over_time(self, left, right, times):
+        """Theorem 3 works with any executor's patch list."""
+        relation, patches = sort_merge_difference(left, right, 0)
+        patcher = DifferencePatcher(list(patches))
+        state = relation.copy()
+        for when in sorted(times):
+            patcher.apply_to(state, when)
+            visible_left = left.exp_at(when)
+            visible_right = right.exp_at(when)
+            truth = {
+                row
+                for row in visible_left.rows()
+                if visible_right.expiration_or_none(row) is None
+            }
+            assert set(state.exp_at(when).rows()) == truth
+
+
+class TestBasics:
+    def test_figure3(self, pol, el):
+        pol1 = relation_from_rows(["uid"], [(r[:1], t) for r, t in pol.items()])
+        el1 = relation_from_rows(["uid"], [(r[:1], t) for r, t in el.items()])
+        for name in ALGORITHMS:
+            relation, patches = difference_with_patches(pol1, el1, 0, algorithm=name)
+            assert set(relation.rows()) == {(3,)}, name
+            assert [(p.row, int(p.due), int(p.expires_at)) for p in patches] == [
+                ((2,), 3, 15),
+                ((1,), 5, 10),
+            ], name
+
+    def test_patches_in_due_order(self):
+        left = relation_from_rows(["a"], [((1,), 30), ((2,), 30), ((3,), 30)])
+        right = relation_from_rows(["a"], [((1,), 9), ((2,), 3), ((3,), 6)])
+        for name in ALGORITHMS:
+            _, patches = difference_with_patches(left, right, 0, algorithm=name)
+            dues = [int(p.due) for p in patches]
+            assert dues == sorted(dues), name
+
+    def test_unknown_algorithm(self):
+        left = relation_from_rows(["a"], [])
+        with pytest.raises(AlgebraError):
+            difference_with_patches(left, left, 0, algorithm="quantum")
+
+    def test_respects_tau(self):
+        left = relation_from_rows(["a"], [((1,), 10)])
+        right = relation_from_rows(["a"], [((1,), 5)])
+        for name in ALGORITHMS:
+            relation, patches = difference_with_patches(left, right, 6, algorithm=name)
+            # At τ=6 the match has already expired: tuple present, no patch.
+            assert set(relation.rows()) == {(1,)}, name
+            assert patches == [], name

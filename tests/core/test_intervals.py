@@ -1,0 +1,183 @@
+"""Tests for half-open intervals and interval sets (Schrödinger machinery)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import ALL_TIME, EMPTY_SET, Interval, IntervalSet
+from repro.core.timestamps import INFINITY, Timestamp, ts
+from repro.errors import TimeError
+
+
+def interval_sets(max_bound: int = 60):
+    """Hypothesis strategy for interval sets over a small finite window."""
+
+    def build(pairs):
+        cleaned = []
+        for a, b in pairs:
+            lo, hi = min(a, b), max(a, b)
+            if lo == hi:
+                hi = lo + 1
+            cleaned.append((lo, hi))
+        return IntervalSet.from_pairs(cleaned)
+
+    pair = st.tuples(
+        st.integers(min_value=0, max_value=max_bound),
+        st.integers(min_value=0, max_value=max_bound),
+    )
+    return st.lists(pair, max_size=6).map(build)
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(2, 5)
+        assert 2 in interval
+        assert 4 in interval
+        assert 5 not in interval
+        assert 1 not in interval
+
+    def test_unbounded(self):
+        interval = Interval(3, INFINITY)
+        assert 10**9 in interval
+        assert interval.duration == INFINITY
+
+    def test_duration(self):
+        assert Interval(2, 5).duration == ts(3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TimeError):
+            Interval(5, 5)
+        with pytest.raises(TimeError):
+            Interval(6, 5)
+
+    def test_infinite_start_rejected(self):
+        with pytest.raises(TimeError):
+            Interval(INFINITY, INFINITY)
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 5).overlaps(Interval(5, 9))  # half-open
+        assert Interval(0, INFINITY).overlaps(Interval(100, 200))
+
+    def test_adjacent(self):
+        assert Interval(0, 5).adjacent(Interval(5, 9))
+        assert not Interval(0, 5).adjacent(Interval(6, 9))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 3).intersect(Interval(3, 9)) is None
+
+    def test_value_semantics(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert hash(Interval(1, 2)) == hash(Interval(1, 2))
+        assert Interval(1, 2) != Interval(1, 3)
+
+
+class TestNormalisation:
+    def test_merges_overlaps(self):
+        s = IntervalSet([Interval(0, 5), Interval(3, 8)])
+        assert s.intervals == (Interval(0, 8),)
+
+    def test_coalesces_adjacent(self):
+        s = IntervalSet([Interval(0, 5), Interval(5, 8)])
+        assert s.intervals == (Interval(0, 8),)
+
+    def test_sorts(self):
+        s = IntervalSet([Interval(10, 12), Interval(0, 2)])
+        assert s.intervals == (Interval(0, 2), Interval(10, 12))
+
+    def test_infinite_tail_absorbs(self):
+        s = IntervalSet([Interval(5, INFINITY), Interval(7, 9)])
+        assert s.intervals == (Interval(5, INFINITY),)
+
+    def test_canonical_equality(self):
+        a = IntervalSet.from_pairs([(0, 3), (3, 7)])
+        b = IntervalSet.from_pairs([(0, 7)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMembership:
+    def test_contains(self):
+        s = IntervalSet.from_pairs([(0, 5), (10, None)])
+        assert s.contains(3)
+        assert not s.contains(7)
+        assert s.contains(100)
+
+    def test_empty(self):
+        assert EMPTY_SET.is_empty
+        assert not EMPTY_SET.contains(0)
+        assert not bool(EMPTY_SET)
+
+    def test_all_time(self):
+        assert ALL_TIME.contains(0)
+        assert ALL_TIME.contains(10**9)
+
+    def test_next_valid_time(self):
+        s = IntervalSet.from_pairs([(5, 8), (12, None)])
+        assert s.next_valid_time(0) == ts(5)
+        assert s.next_valid_time(6) == ts(6)
+        assert s.next_valid_time(9) == ts(12)
+        assert EMPTY_SET.next_valid_time(0) is None
+
+    def test_previous_valid_time(self):
+        s = IntervalSet.from_pairs([(5, 8), (12, 20)])
+        assert s.previous_valid_time(25) == ts(19)
+        assert s.previous_valid_time(13) == ts(13)
+        assert s.previous_valid_time(10) == ts(7)
+        assert s.previous_valid_time(3) is None
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = IntervalSet.from_pairs([(0, 5)])
+        b = IntervalSet.from_pairs([(3, 9)])
+        assert (a | b) == IntervalSet.from_pairs([(0, 9)])
+
+    def test_intersection(self):
+        a = IntervalSet.from_pairs([(0, 5), (10, 20)])
+        b = IntervalSet.from_pairs([(3, 12)])
+        assert (a & b) == IntervalSet.from_pairs([(3, 5), (10, 12)])
+
+    def test_difference(self):
+        a = IntervalSet.from_pairs([(0, 10)])
+        b = IntervalSet.from_pairs([(3, 5)])
+        assert (a - b) == IntervalSet.from_pairs([(0, 3), (5, 10)])
+
+    def test_complement(self):
+        s = IntervalSet.from_pairs([(3, 5), (8, None)])
+        assert s.complement() == IntervalSet.from_pairs([(0, 3), (5, 8)])
+
+    def test_complement_of_empty(self):
+        assert EMPTY_SET.complement() == ALL_TIME
+        assert ALL_TIME.complement() == EMPTY_SET
+
+    def test_paper_difference_shape(self):
+        # The Section 3.4.2 shape: [τ,∞) minus one invalid window.
+        validity = IntervalSet.from_onwards(0) - IntervalSet.single(3, 15)
+        assert validity == IntervalSet.from_pairs([(0, 3), (15, None)])
+
+    @given(a=interval_sets(), b=interval_sets())
+    def test_de_morgan(self, a, b):
+        assert (a | b).complement() == a.complement() & b.complement()
+        assert (a & b).complement() == a.complement() | b.complement()
+
+    @given(a=interval_sets())
+    def test_double_complement(self, a):
+        assert a.complement().complement() == a
+
+    @given(a=interval_sets(), b=interval_sets())
+    def test_difference_via_complement(self, a, b):
+        assert a - b == a & b.complement()
+
+    @given(a=interval_sets(), b=interval_sets(), t=st.integers(min_value=0, max_value=70))
+    def test_pointwise_semantics(self, a, b, t):
+        assert (a | b).contains(t) == (a.contains(t) or b.contains(t))
+        assert (a & b).contains(t) == (a.contains(t) and b.contains(t))
+        assert (a - b).contains(t) == (a.contains(t) and not b.contains(t))
+        assert a.complement().contains(t) == (not a.contains(t))
+
+    @given(a=interval_sets())
+    def test_union_idempotent(self, a):
+        assert a | a == a
+        assert a & a == a

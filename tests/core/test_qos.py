@@ -1,0 +1,130 @@
+"""Tests for QoS-bounded query answering (§5 extension)."""
+
+import pytest
+
+from repro.core.algebra.evaluator import evaluate
+from repro.core.algebra.expressions import BaseRef
+from repro.core.qos import (
+    DelayBound,
+    QosAnswerer,
+    QosContract,
+    StalenessBound,
+)
+from repro.core.timestamps import ts
+from repro.errors import ReproError
+
+
+def diff_expr():
+    # Validity over Figure 1 data: [0,3) U [15, inf).
+    return BaseRef("Pol").project(1).difference(BaseRef("El").project(1))
+
+
+def make_answerer(catalog, contract):
+    materialised = evaluate(diff_expr(), catalog, tau=0)
+    return QosAnswerer(diff_expr(), catalog, materialised, contract)
+
+
+class TestContracts:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            StalenessBound(-1)
+        with pytest.raises(ReproError):
+            DelayBound(-1)
+        with pytest.raises(ReproError):
+            QosContract(prefer="sideways")
+
+
+class TestStaleness:
+    def test_exact_inside_validity(self, catalog):
+        answerer = make_answerer(catalog, QosContract(staleness=StalenessBound(5)))
+        answer = answerer.answer(1)
+        assert answer.effective_time == ts(1)
+        assert answerer.report.exact == 1
+
+    def test_stale_within_bound(self, catalog):
+        # Query at 4; last valid tick is 2 -> staleness 2 <= bound 5.
+        answerer = make_answerer(catalog, QosContract(staleness=StalenessBound(5)))
+        answer = answerer.answer(4)
+        assert answer.effective_time == ts(2)
+        assert answer.from_materialisation
+        assert answerer.report.served_stale == 1
+        assert answerer.report.worst_staleness == 2
+
+    def test_recompute_beyond_bound(self, catalog):
+        # Query at 10; staleness would be 8 > bound 5 -> recompute.
+        answerer = make_answerer(catalog, QosContract(staleness=StalenessBound(5)))
+        answer = answerer.answer(10)
+        assert answer.recomputed
+        assert answerer.report.recomputed == 1
+        # Recomputation is fully fresh.
+        assert answer.effective_time == ts(10)
+
+    def test_answers_correct_for_effective_time(self, catalog):
+        answerer = make_answerer(catalog, QosContract(staleness=StalenessBound(20)))
+        for when in range(0, 20):
+            answer = answerer.answer(when)
+            truth = evaluate(diff_expr(), catalog, tau=answer.effective_time)
+            assert set(answer.relation.rows()) == set(truth.relation.rows())
+            if not answer.recomputed:
+                assert when - answer.effective_time.value <= 20
+
+
+class TestDelay:
+    def test_delay_within_bound(self, catalog):
+        # Query at 13; next valid time is 15 -> delay 2.
+        answerer = make_answerer(catalog, QosContract(delay=DelayBound(3)))
+        answer = answerer.answer(13)
+        assert answer.effective_time == ts(15)
+        assert answerer.report.served_delayed == 1
+        assert answerer.report.worst_delay == 2
+
+    def test_delay_beyond_bound_recomputes(self, catalog):
+        # Query at 5; next valid time 15 -> delay 10 > 3.
+        answerer = make_answerer(catalog, QosContract(delay=DelayBound(3)))
+        answer = answerer.answer(5)
+        assert answer.recomputed
+
+
+class TestCombined:
+    def test_prefer_stale(self, catalog):
+        contract = QosContract(
+            staleness=StalenessBound(20), delay=DelayBound(20), prefer="stale"
+        )
+        answerer = make_answerer(catalog, contract)
+        answer = answerer.answer(10)
+        assert answer.effective_time == ts(2)  # moved backward
+
+    def test_prefer_delay(self, catalog):
+        contract = QosContract(
+            staleness=StalenessBound(20), delay=DelayBound(20), prefer="delay"
+        )
+        answerer = make_answerer(catalog, contract)
+        answer = answerer.answer(10)
+        assert answer.effective_time == ts(15)  # moved forward
+
+    def test_falls_through_preferences(self, catalog):
+        # Delay preferred but out of bound; staleness in bound -> stale.
+        contract = QosContract(
+            staleness=StalenessBound(20), delay=DelayBound(1), prefer="delay"
+        )
+        answerer = make_answerer(catalog, contract)
+        answer = answerer.answer(10)
+        assert answer.effective_time == ts(2)
+
+    def test_no_bounds_always_recomputes_outside_validity(self, catalog):
+        answerer = make_answerer(catalog, QosContract())
+        assert answerer.answer(10).recomputed
+        assert not answerer.answer(16).recomputed
+
+    def test_report_aggregates(self, catalog):
+        contract = QosContract(staleness=StalenessBound(4))
+        answerer = make_answerer(catalog, contract)
+        for when in (1, 4, 6, 10, 16):
+            answerer.answer(when)
+        report = answerer.report
+        assert report.queries == 5
+        assert report.exact == 2        # 1 and 16
+        assert report.served_stale == 2  # 4 and 6 (staleness 2 and 4)
+        assert report.recomputed == 1   # 10
+        assert 0 < report.mean_staleness < 4
+        assert report.recompute_rate == pytest.approx(0.2)

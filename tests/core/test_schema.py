@@ -1,0 +1,120 @@
+"""Tests for schemas: positions, names, derivation, compatibility."""
+
+import pytest
+
+from repro.core.schema import Schema, anonymous_schema
+from repro.errors import SchemaError, UnionCompatibilityError
+
+
+class TestBasics:
+    def test_arity_and_names(self):
+        schema = Schema(["uid", "deg"])
+        assert schema.arity == 2
+        assert schema.names == ("uid", "deg")
+        assert len(schema) == 2
+        assert list(schema) == ["uid", "deg"]
+
+    def test_positions_are_one_based(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.position("a") == 1
+        assert schema.position("c") == 3
+        assert schema.position(2) == 2
+        assert schema.index("c") == 2
+
+    def test_name_lookup(self):
+        schema = Schema(["a", "b"])
+        assert schema.name(1) == "a"
+        assert schema.has("b")
+        assert not schema.has("z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+        with pytest.raises(SchemaError):
+            Schema([42])
+
+    def test_out_of_range_position(self):
+        schema = Schema(["a"])
+        with pytest.raises(SchemaError):
+            schema.position(2)
+        with pytest.raises(SchemaError):
+            schema.position(0)
+
+    def test_unknown_name(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).position("b")
+
+    def test_bad_ref_type(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).position(1.5)
+
+
+class TestDerivation:
+    def test_project(self):
+        schema = Schema(["a", "b", "c"])
+        assert Schema(["c", "a"]).names == schema.project(["c", "a"]).names
+
+    def test_project_by_position(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.project([3, 1]).names == ("c", "a")
+
+    def test_project_duplicate_names_disambiguated(self):
+        schema = Schema(["a", "b"])
+        assert schema.project(["a", "a"]).names == ("a", "a_2")
+
+    def test_project_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).project([])
+
+    def test_concat(self):
+        left = Schema(["uid", "deg"])
+        right = Schema(["uid", "deg"])
+        assert left.concat(right).names == ("uid", "deg", "uid_r", "deg_r")
+
+    def test_concat_no_clash(self):
+        assert Schema(["a"]).concat(Schema(["b"])).names == ("a", "b")
+
+    def test_rename(self):
+        schema = Schema(["a", "b"]).rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).rename({"z": "x"})
+
+    def test_extend(self):
+        assert Schema(["a"]).extend("count").names == ("a", "count")
+
+    def test_extend_avoids_clash(self):
+        assert Schema(["count"]).extend("count").names == ("count", "count_")
+
+
+class TestCompatibility:
+    def test_union_compatible(self):
+        Schema(["a", "b"]).check_union_compatible(Schema(["x", "y"]))
+
+    def test_union_incompatible(self):
+        with pytest.raises(UnionCompatibilityError):
+            Schema(["a"]).check_union_compatible(Schema(["x", "y"]))
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+
+    def test_hash(self):
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_anonymous(self):
+        assert anonymous_schema(3).names == ("a1", "a2", "a3")
+        with pytest.raises(SchemaError):
+            anonymous_schema(0)

@@ -1,0 +1,68 @@
+"""Tests for rows and expiring tuples."""
+
+import pytest
+
+from repro.core.timestamps import INFINITY, ts
+from repro.core.tuples import ExpiringTuple, make_row
+from repro.errors import RelationError
+
+
+class TestMakeRow:
+    def test_builds_tuple(self):
+        assert make_row([1, "a"]) == (1, "a")
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(RelationError):
+            make_row([[1, 2]])
+
+    def test_accepts_generators(self):
+        assert make_row(x for x in range(3)) == (0, 1, 2)
+
+
+class TestExpiringTuple:
+    def test_fields(self):
+        t = ExpiringTuple((1, 25), 10)
+        assert t.row == (1, 25)
+        assert t.expires_at == ts(10)
+        assert t.arity == 2
+
+    def test_default_infinity(self):
+        assert ExpiringTuple((1,), None).expires_at == INFINITY
+
+    def test_expiry_boundary_is_inclusive(self):
+        # exp_τ keeps tuples with texp > τ, so at τ == texp the tuple is gone.
+        t = ExpiringTuple((1,), 10)
+        assert t.alive_at(9)
+        assert not t.alive_at(10)
+        assert t.expired_at(10)
+        assert not t.expired_at(9)
+
+    def test_infinite_never_expires(self):
+        t = ExpiringTuple((1,), None)
+        assert t.alive_at(10**12)
+
+    def test_positional_access_is_one_based(self):
+        t = ExpiringTuple((7, 8, 9), 1)
+        assert t.value(1) == 7
+        assert t.value(3) == 9
+        with pytest.raises(RelationError):
+            t.value(0)
+        with pytest.raises(RelationError):
+            t.value(4)
+
+    def test_immutable(self):
+        t = ExpiringTuple((1,), 5)
+        with pytest.raises(AttributeError):
+            t.row = (2,)
+
+    def test_with_expiration(self):
+        t = ExpiringTuple((1,), 5).with_expiration(9)
+        assert t.expires_at == ts(9)
+
+    def test_value_semantics(self):
+        assert ExpiringTuple((1,), 5) == ExpiringTuple((1,), 5)
+        assert ExpiringTuple((1,), 5) != ExpiringTuple((1,), 6)
+        assert hash(ExpiringTuple((1,), 5)) == hash(ExpiringTuple((1,), 5))
+
+    def test_str(self):
+        assert "@ 5" in str(ExpiringTuple((1,), 5))

@@ -1,0 +1,71 @@
+"""Tests for the logical clock."""
+
+import pytest
+
+from repro.core.timestamps import INFINITY, ts
+from repro.engine.clock import LogicalClock
+from repro.errors import ClockError
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now == ts(0)
+
+    def test_custom_start(self):
+        assert LogicalClock(5).now == ts(5)
+
+    def test_advance(self):
+        clock = LogicalClock()
+        assert clock.advance_to(7) == ts(7)
+        assert clock.now == ts(7)
+
+    def test_tick(self):
+        clock = LogicalClock(3)
+        clock.tick()
+        clock.tick(4)
+        assert clock.now == ts(8)
+
+    def test_no_backwards(self):
+        clock = LogicalClock(5)
+        with pytest.raises(ClockError):
+            clock.advance_to(4)
+
+    def test_same_time_is_noop(self):
+        clock = LogicalClock(5)
+        clock.advance_to(5)
+        assert clock.now == ts(5)
+
+    def test_no_infinity(self):
+        with pytest.raises(ClockError):
+            LogicalClock().advance_to(INFINITY)
+        with pytest.raises(ClockError):
+            LogicalClock(INFINITY)
+
+    def test_negative_tick(self):
+        with pytest.raises(ClockError):
+            LogicalClock().tick(-1)
+
+
+class TestListeners:
+    def test_called_with_old_and_new(self):
+        clock = LogicalClock()
+        seen = []
+        clock.on_advance(lambda old, new: seen.append((int(old), int(new))))
+        clock.advance_to(3)
+        clock.advance_to(8)
+        assert seen == [(0, 3), (3, 8)]
+
+    def test_not_called_on_noop(self):
+        clock = LogicalClock(2)
+        seen = []
+        clock.on_advance(lambda old, new: seen.append(new))
+        clock.advance_to(2)
+        assert seen == []
+
+    def test_multiple_listeners_in_order(self):
+        clock = LogicalClock()
+        order = []
+        clock.on_advance(lambda old, new: order.append("first"))
+        clock.on_advance(lambda old, new: order.append("second"))
+        clock.tick()
+        assert order == ["first", "second"]

@@ -1,0 +1,135 @@
+"""Tests for expiration-aware integrity constraints."""
+
+import pytest
+
+from repro.core.algebra.predicates import col
+from repro.engine.constraints import (
+    CheckConstraint,
+    ForeignKeyConstraint,
+    KeyConstraint,
+)
+from repro.engine.database import Database
+from repro.errors import ConstraintViolation, EngineError
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+class TestCheckConstraint:
+    def test_accepts_valid(self, db):
+        table = db.create_table("T", ["k", "v"])
+        table.add_constraint(CheckConstraint("positive", col("v") > 0))
+        table.insert((1, 5))
+
+    def test_rejects_invalid(self, db):
+        table = db.create_table("T", ["k", "v"])
+        table.add_constraint(CheckConstraint("positive", col("v") > 0))
+        with pytest.raises(ConstraintViolation):
+            table.insert((1, 0))
+        assert len(table) == 0
+        assert db.statistics.constraint_violations == 1
+
+    def test_positional_predicate(self, db):
+        table = db.create_table("T", ["k", "v"])
+        table.add_constraint(CheckConstraint("c", col(1) == col(2)))
+        table.insert((3, 3))
+        with pytest.raises(ConstraintViolation):
+            table.insert((3, 4))
+
+
+class TestKeyConstraint:
+    def test_rejects_duplicate_key(self, db):
+        table = db.create_table("T", ["k", "v"])
+        table.add_constraint(KeyConstraint("pk", ["k"]))
+        table.insert((1, 5), expires_at=10)
+        with pytest.raises(ConstraintViolation):
+            table.insert((1, 6), expires_at=10)
+
+    def test_same_row_renewal_allowed(self, db):
+        table = db.create_table("T", ["k", "v"])
+        table.add_constraint(KeyConstraint("pk", ["k"]))
+        table.insert((1, 5), expires_at=10)
+        table.insert((1, 5), expires_at=20)  # renewal, not a violation
+
+    def test_expired_rows_do_not_collide(self, db):
+        table = db.create_table("T", ["k", "v"], lazy_batch_size=10**6)
+        table.removal_policy = type(table.removal_policy).LAZY
+        table.add_constraint(KeyConstraint("pk", ["k"]))
+        table.insert((1, 5), expires_at=10)
+        db.advance_to(10)
+        # The old row is expired (even if physically present): no clash.
+        table.insert((1, 6), expires_at=20)
+
+    def test_composite_key(self, db):
+        table = db.create_table("T", ["a", "b", "v"])
+        table.add_constraint(KeyConstraint("pk", ["a", "b"]))
+        table.insert((1, 1, 5))
+        table.insert((1, 2, 5))
+        with pytest.raises(ConstraintViolation):
+            table.insert((1, 1, 9))
+
+
+class TestForeignKey:
+    def test_child_must_reference_parent(self, db):
+        parent = db.create_table("P", ["id", "name"])
+        child = db.create_table("C", ["pid", "x"])
+        child.add_constraint(ForeignKeyConstraint("fk", ["pid"], "P", ["id"]))
+        parent.insert((1, "a"), expires_at=100)
+        child.insert((1, 9), expires_at=50)
+        with pytest.raises(ConstraintViolation):
+            child.insert((2, 9), expires_at=50)
+
+    def test_child_cannot_outlive_parent(self, db):
+        parent = db.create_table("P", ["id", "name"])
+        child = db.create_table("C", ["pid", "x"])
+        child.add_constraint(ForeignKeyConstraint("fk", ["pid"], "P", ["id"]))
+        parent.insert((1, "a"), expires_at=20)
+        with pytest.raises(ConstraintViolation):
+            child.insert((1, 9), expires_at=30)
+        child.insert((1, 9), expires_at=20)  # equal lifetime is fine
+
+    def test_infinite_parent_allows_infinite_child(self, db):
+        parent = db.create_table("P", ["id"])
+        child = db.create_table("C", ["pid"])
+        child.add_constraint(ForeignKeyConstraint("fk", ["pid"], "P", ["id"]))
+        parent.insert((1,))
+        child.insert((1,))
+
+    def test_longest_matching_parent_wins(self, db):
+        parent = db.create_table("P", ["id", "v"])
+        child = db.create_table("C", ["pid"])
+        child.add_constraint(ForeignKeyConstraint("fk", ["pid"], "P", ["id"]))
+        parent.insert((1, 0), expires_at=10)
+        parent.insert((1, 1), expires_at=50)
+        child.insert((1,), expires_at=40)  # fits the second parent row
+
+    def test_expired_parent_does_not_satisfy(self, db):
+        parent = db.create_table("P", ["id"], lazy_batch_size=10**6)
+        parent.removal_policy = type(parent.removal_policy).LAZY
+        child = db.create_table("C", ["pid"])
+        child.add_constraint(ForeignKeyConstraint("fk", ["pid"], "P", ["id"]))
+        parent.insert((1,), expires_at=5)
+        db.advance_to(5)
+        with pytest.raises(ConstraintViolation):
+            child.insert((1,), expires_at=10)
+
+    def test_mismatched_attribute_counts(self):
+        with pytest.raises(ConstraintViolation):
+            ForeignKeyConstraint("fk", ["a", "b"], "P", ["id"])
+
+
+class TestConstraintManagement:
+    def test_duplicate_names_rejected(self, db):
+        table = db.create_table("T", ["k"])
+        table.add_constraint(CheckConstraint("c", col(1) > 0))
+        with pytest.raises(EngineError):
+            table.add_constraint(CheckConstraint("c", col(1) > 1))
+
+    def test_checks_counted(self, db):
+        table = db.create_table("T", ["k"])
+        table.add_constraint(CheckConstraint("c", col(1) > 0))
+        table.insert((1,))
+        table.insert((2,))
+        assert db.statistics.constraint_checks == 2

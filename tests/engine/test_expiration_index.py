@@ -1,0 +1,130 @@
+"""Tests for the heap-based expiration index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timestamps import INFINITY, ts
+from repro.engine.expiration_index import ExpirationIndex, RemovalPolicy
+
+
+class TestScheduling:
+    def test_schedule_and_pop(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 5)
+        index.schedule((2,), 3)
+        assert len(index) == 2
+        due = index.pop_due(4)
+        assert [(row, int(texp)) for row, texp in due] == [((2,), 3)]
+        assert len(index) == 1
+
+    def test_pop_order(self):
+        index = ExpirationIndex()
+        for i, texp in enumerate([9, 2, 5]):
+            index.schedule((i,), texp)
+        due = index.pop_due(10)
+        assert [int(texp) for _, texp in due] == [2, 5, 9]
+
+    def test_infinite_never_scheduled(self):
+        index = ExpirationIndex()
+        index.schedule((1,), INFINITY)
+        assert len(index) == 0
+        assert index.next_expiration() is None
+
+    def test_next_expiration(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 7)
+        index.schedule((2,), 3)
+        assert index.next_expiration() == ts(3)
+
+    def test_boundary_inclusive(self):
+        # A tuple with texp = τ is expired at τ (exp keeps texp > τ).
+        index = ExpirationIndex()
+        index.schedule((1,), 5)
+        assert index.pop_due(5) == [((1,), ts(5))]
+
+
+class TestRescheduling:
+    def test_reschedule_replaces(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 5)
+        index.schedule((1,), 9)  # renewal
+        assert index.pop_due(5) == []  # old entry is a tombstone
+        assert index.pop_due(9) == [((1,), ts(9))]
+
+    def test_reschedule_to_infinity_unschedules(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 5)
+        index.schedule((1,), INFINITY)
+        assert len(index) == 0
+        assert index.pop_due(100) == []
+
+    def test_remove(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 5)
+        index.remove((1,))
+        assert len(index) == 0
+        assert index.pop_due(10) == []
+
+    def test_tombstones_reclaimed(self):
+        index = ExpirationIndex()
+        for _ in range(10):
+            index.schedule((1,), 5)
+        assert index.heap_size == 10
+        index.pop_due(10)
+        assert index.heap_size == 0
+
+    def test_next_expiration_skips_tombstones(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 3)
+        index.schedule((1,), 9)
+        assert index.next_expiration() == ts(9)
+
+
+class TestPendingAndClear:
+    def test_pending(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 5)
+        index.schedule((2,), 7)
+        assert dict(index.pending()) == {(1,): ts(5), (2,): ts(7)}
+
+    def test_clear(self):
+        index = ExpirationIndex()
+        index.schedule((1,), 5)
+        index.clear()
+        assert len(index) == 0
+        assert index.heap_size == 0
+
+
+class TestPolicyEnum:
+    def test_values(self):
+        assert RemovalPolicy.EAGER.value == "eager"
+        assert RemovalPolicy.LAZY.value == "lazy"
+
+
+class TestPropertyBased:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),  # row key
+                st.integers(min_value=1, max_value=30),  # texp
+            ),
+            max_size=30,
+        ),
+        checkpoint=st.integers(min_value=0, max_value=35),
+    )
+    def test_pop_due_matches_model(self, operations, checkpoint):
+        """The index agrees with a naive dict model under re-scheduling."""
+        index = ExpirationIndex()
+        model = {}
+        for key, texp in operations:
+            index.schedule((key,), texp)
+            model[(key,)] = texp  # raw index semantics: last schedule wins
+        due = index.pop_due(checkpoint)
+        expected = {row for row, texp in model.items() if texp <= checkpoint}
+        assert {row for row, _ in due} == expected
+        # What remains live matches the model's survivors.
+        assert dict(index.pending()) == {
+            row: ts(texp) for row, texp in model.items() if texp > checkpoint
+        }

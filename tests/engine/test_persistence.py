@@ -1,0 +1,90 @@
+"""Tests for JSON snapshots of databases."""
+
+import json
+
+import pytest
+
+from repro.core.timestamps import INFINITY, ts
+from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.engine.views import MaintenancePolicy
+from repro.errors import EngineError
+from repro.workloads.news import figure1_database
+
+
+class TestRoundtrip:
+    def test_tables_and_rows(self, figure1_db):
+        restored = database_from_dict(database_to_dict(figure1_db))
+        assert restored.table_names() == ["El", "Pol"]
+        assert restored.table("Pol").relation.same_content(
+            figure1_db.table("Pol").relation
+        )
+        assert restored.now == figure1_db.now
+
+    def test_clock_preserved(self, figure1_db):
+        figure1_db.advance_to(7)
+        restored = database_from_dict(database_to_dict(figure1_db))
+        assert restored.now == ts(7)
+        # Expired tuples were eagerly removed before the snapshot.
+        assert set(restored.table("El").read().rows()) == set()
+
+    def test_infinite_expirations(self, figure1_db):
+        figure1_db.table("Pol").insert((9, 99))
+        restored = database_from_dict(database_to_dict(figure1_db))
+        assert restored.table("Pol").relation.expiration_of((9, 99)) == INFINITY
+
+    def test_views_rematerialised(self, figure1_db):
+        expr = figure1_db.table_expr("Pol").project(1).difference(
+            figure1_db.table_expr("El").project(1)
+        )
+        figure1_db.materialise("watch", expr, policy=MaintenancePolicy.PATCH)
+        restored = database_from_dict(database_to_dict(figure1_db))
+        view = restored.view("watch")
+        assert view.policy is MaintenancePolicy.PATCH
+        assert set(view.read().rows()) == {(3,)}
+        restored.advance_to(5)
+        assert set(view.read().rows()) == {(1,), (2,), (3,)}
+
+    def test_removal_policy_preserved(self):
+        from repro.engine.database import Database
+
+        db = Database(default_removal_policy=RemovalPolicy.LAZY)
+        db.create_table("T", ["a"], lazy_batch_size=7)
+        restored = database_from_dict(database_to_dict(db))
+        assert restored.table("T").removal_policy is RemovalPolicy.LAZY
+        assert restored.table("T").lazy_batch_size == 7
+
+    def test_expirations_still_fire_after_restore(self, figure1_db):
+        restored = database_from_dict(database_to_dict(figure1_db))
+        fired = []
+        restored.table("Pol").triggers.register(
+            "t", lambda event: fired.append(event.tuple.row)
+        )
+        restored.advance_to(10)
+        assert sorted(fired) == [(1, 25), (3, 35)]
+
+    def test_file_roundtrip(self, figure1_db, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_database(figure1_db, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == 1
+        restored = load_database(path)
+        assert restored.table("El").relation.same_content(
+            figure1_db.table("El").relation
+        )
+
+
+class TestValidation:
+    def test_non_json_values_rejected(self, figure1_db):
+        figure1_db.create_table("Weird", ["a"]).insert(((1, 2),))  # nested tuple
+        with pytest.raises(EngineError):
+            database_to_dict(figure1_db)
+
+    def test_unknown_format(self):
+        with pytest.raises(EngineError):
+            database_from_dict({"format": 99})

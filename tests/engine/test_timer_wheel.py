@@ -1,0 +1,161 @@
+"""Tests for the timer-wheel expiration index.
+
+Includes a cross-implementation equivalence property: the wheel and the
+heap index must agree with a naive dict model (and hence each other) on
+arbitrary schedules, re-schedules, and time jumps -- including jumps far
+past the wheel horizon (the cascading path).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timestamps import INFINITY, ts
+from repro.engine.expiration_index import ExpirationIndex
+from repro.engine.timer_wheel import TimerWheelIndex
+from repro.errors import EngineError
+
+
+class TestBasics:
+    def test_schedule_and_pop(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 5)
+        wheel.schedule((2,), 3)
+        assert len(wheel) == 2
+        assert [(row, int(t)) for row, t in wheel.pop_due(4)] == [((2,), 3)]
+        assert [(row, int(t)) for row, t in wheel.pop_due(5)] == [((1,), 5)]
+
+    def test_pop_is_ordered(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        for i, texp in enumerate([9, 2, 5]):
+            wheel.schedule((i,), texp)
+        assert [int(t) for _, t in wheel.pop_due(10)] == [2, 5, 9]
+
+    def test_overflow_cascades(self):
+        wheel = TimerWheelIndex(wheel_size=4)
+        wheel.schedule((1,), 100)  # far beyond the horizon
+        assert wheel.pop_due(50) == []
+        assert len(wheel) == 1
+        assert wheel.pop_due(100) == [((1,), ts(100))]
+
+    def test_huge_jump_collects_everything(self):
+        wheel = TimerWheelIndex(wheel_size=4)
+        for i in range(20):
+            wheel.schedule((i,), i + 1)
+        due = wheel.pop_due(10_000)
+        assert len(due) == 20
+        assert [int(t) for _, t in due] == sorted(int(t) for _, t in due)
+
+    def test_reschedule_replaces(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 3)
+        wheel.schedule((1,), 6)
+        assert wheel.pop_due(3) == []
+        assert wheel.pop_due(6) == [((1,), ts(6))]
+
+    def test_infinite_unschedules(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 3)
+        wheel.schedule((1,), INFINITY)
+        assert len(wheel) == 0
+        assert wheel.pop_due(10) == []
+
+    def test_remove(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 3)
+        wheel.remove((1,))
+        assert wheel.pop_due(10) == []
+
+    def test_next_expiration(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        assert wheel.next_expiration() is None
+        wheel.schedule((1,), 7)
+        wheel.schedule((2,), 300)  # overflow
+        assert wheel.next_expiration() == ts(7)
+        wheel.pop_due(7)
+        assert wheel.next_expiration() == ts(300)
+
+    def test_clear(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 3)
+        wheel.clear()
+        assert len(wheel) == 0
+        assert wheel.heap_size == 0
+
+    def test_bad_size(self):
+        with pytest.raises(EngineError):
+            TimerWheelIndex(wheel_size=1)
+
+
+class TestEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        operations=st.lists(
+            st.one_of(
+                st.tuples(st.just("schedule"), st.integers(0, 9), st.integers(1, 400)),
+                st.tuples(st.just("remove"), st.integers(0, 9), st.just(0)),
+                st.tuples(st.just("pop"), st.just(0), st.integers(0, 500)),
+            ),
+            max_size=40,
+        ),
+        wheel_size=st.sampled_from([2, 4, 16, 64]),
+    )
+    def test_wheel_matches_heap_and_model(self, operations, wheel_size):
+        wheel = TimerWheelIndex(wheel_size=wheel_size)
+        heap = ExpirationIndex()
+        model = {}
+        now = 0
+        for op, key, value in operations:
+            row = (key,)
+            if op == "schedule":
+                texp = now + value  # keep schedules in the future-ish
+                wheel.schedule(row, texp)
+                heap.schedule(row, texp)
+                model[row] = texp
+            elif op == "remove":
+                wheel.remove(row)
+                heap.remove(row)
+                model.pop(row, None)
+            else:
+                now = max(now, value)
+                due_wheel = wheel.pop_due(now)
+                due_heap = heap.pop_due(now)
+                due_model = sorted(
+                    ((row, texp) for row, texp in model.items() if texp <= now),
+                    key=lambda item: item[1],
+                )
+                for row, _ in due_model:
+                    del model[row]
+                # Same (row, texp) multiset; ties in texp may order freely.
+                assert sorted((r, int(t)) for r, t in due_wheel) == sorted(
+                    (r, t) for r, t in due_model
+                )
+                # And texps come out non-decreasing.
+                texps = [int(t) for _, t in due_wheel]
+                assert texps == sorted(texps)
+                assert sorted(due_wheel, key=repr) == sorted(due_heap, key=repr)
+        # Survivors agree everywhere.
+        assert dict(wheel.pending()) == {r: ts(t) for r, t in model.items()}
+        assert dict(heap.pending()) == dict(wheel.pending())
+
+
+class TestTableIntegration:
+    def test_table_runs_on_a_wheel(self):
+        """The engine only uses the shared index interface."""
+        from repro.core.schema import Schema
+        from repro.engine.clock import LogicalClock
+        from repro.engine.table import Table
+
+        clock = LogicalClock()
+        table = Table("T", Schema(["k"]), clock)
+        table._index = TimerWheelIndex(wheel_size=16)  # swap the substrate
+        clock.on_advance(table.on_clock_advance)
+        fired = []
+        table.triggers.register("t", lambda event: fired.append(event.tuple.row))
+        table.insert((1,), expires_at=5)
+        table.insert((2,), expires_at=300)
+        clock.advance_to(5)
+        assert fired == [(1,)]
+        assert len(table) == 1
+        clock.advance_to(300)
+        assert len(table) == 0

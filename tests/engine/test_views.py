@@ -1,0 +1,191 @@
+"""Tests for materialised views and their maintenance policies."""
+
+import pytest
+
+from repro.core.aggregates import ExpirationStrategy
+from repro.core.algebra.expressions import BaseRef
+from repro.core.algebra.predicates import col
+from repro.core.timestamps import INFINITY, ts
+from repro.engine.views import MaintenancePolicy
+from repro.errors import CatalogError, ViewError
+
+
+def diff_expr(db):
+    return db.table_expr("Pol").project(1).difference(db.table_expr("El").project(1))
+
+
+class TestMonotonicViews:
+    def test_never_recomputes(self, figure1_db):
+        view = figure1_db.materialise("v", figure1_db.table_expr("Pol").project(2))
+        assert view.is_monotonic
+        for when in (0, 5, 10, 12, 15, 20):
+            figure1_db.advance_to(when)
+            got = set(view.read().rows())
+            truth = set(
+                figure1_db.evaluate(figure1_db.table_expr("Pol").project(2))
+                .relation.rows()
+            )
+            assert got == truth
+        assert view.recomputations == 0
+
+    def test_expiration_infinite(self, figure1_db):
+        view = figure1_db.materialise("v", figure1_db.table_expr("Pol").project(2))
+        assert view.expiration == INFINITY
+
+
+class TestRecomputePolicy:
+    def test_serves_until_expiration(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.RECOMPUTE
+        )
+        assert view.expiration == ts(3)
+        figure1_db.advance_to(2)
+        assert set(view.read().rows()) == {(3,)}
+        assert view.recomputations == 0
+
+    def test_recomputes_at_expiration(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.RECOMPUTE
+        )
+        figure1_db.advance_to(3)
+        assert set(view.read().rows()) == {(2,), (3,)}
+        assert view.recomputations == 1
+
+    def test_always_correct(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.RECOMPUTE
+        )
+        for when in range(0, 20):
+            figure1_db.advance_to(when)
+            truth = set(figure1_db.evaluate(diff_expr(figure1_db)).relation.rows())
+            assert set(view.read().rows()) == truth
+
+
+class TestSchrodingerPolicy:
+    def test_skips_recompute_in_valid_gaps(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.SCHRODINGER
+        )
+        figure1_db.advance_to(2)
+        view.read()
+        assert view.recomputations == 0
+        # Jump over the invalid window [3,15): at 15 the view is valid
+        # again (everything expired), so still no recomputation.
+        figure1_db.advance_to(15)
+        view.read()
+        assert view.recomputations == 0
+
+    def test_recomputes_inside_invalid_gap(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.SCHRODINGER
+        )
+        figure1_db.advance_to(5)
+        assert set(view.read().rows()) == {(1,), (2,), (3,)}
+        assert view.recomputations == 1
+
+    def test_always_correct(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.SCHRODINGER
+        )
+        for when in range(0, 20):
+            figure1_db.advance_to(when)
+            truth = set(figure1_db.evaluate(diff_expr(figure1_db)).relation.rows())
+            assert set(view.read().rows()) == truth
+
+
+class TestPatchPolicy:
+    def test_requires_difference_root(self, figure1_db):
+        with pytest.raises(ViewError):
+            figure1_db.materialise(
+                "v",
+                figure1_db.table_expr("Pol").project(2),
+                policy=MaintenancePolicy.PATCH,
+            )
+
+    def test_rejects_nonmonotonic_children(self, figure1_db):
+        inner = diff_expr(figure1_db)
+        with pytest.raises(ViewError):
+            figure1_db.materialise(
+                "v",
+                inner.difference(figure1_db.table_expr("El").project(1)),
+                policy=MaintenancePolicy.PATCH,
+            )
+
+    def test_zero_recomputations_always_correct(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.PATCH
+        )
+        assert view.expiration == INFINITY
+        for when in range(0, 20):
+            figure1_db.advance_to(when)
+            truth = set(figure1_db.evaluate(diff_expr(figure1_db)).relation.rows())
+            assert set(view.read().rows()) == truth
+        assert view.recomputations == 0
+        assert view.patches_applied == 2  # uids 1 and 2 re-appeared
+
+    def test_no_reading_backwards(self, figure1_db):
+        view = figure1_db.materialise(
+            "v", diff_expr(figure1_db), policy=MaintenancePolicy.PATCH
+        )
+        view.read(at=5)
+        with pytest.raises(ViewError):
+            view.read(at=4)
+
+
+class TestAggregateViews:
+    def test_conservative_histogram_invalidates_at_10(self, figure1_db):
+        expr = (
+            figure1_db.table_expr("Pol")
+            .aggregate(group_by=[2], function="count",
+                       strategy=ExpirationStrategy.CONSERVATIVE)
+            .project(2, 3)
+        )
+        view = figure1_db.materialise("v", expr, policy=MaintenancePolicy.RECOMPUTE)
+        assert view.expiration == ts(10)
+        figure1_db.advance_to(10)
+        assert set(view.read().rows()) == {(25, 1)}
+        assert view.recomputations == 1
+
+    def test_exact_strategy_extends_validity(self, figure1_db):
+        # With the exact strategy texp(e) is the first true value change,
+        # which for the Pol histogram is also 10 -- but the *tuples* carry
+        # better lifetimes; the view over the single group <35> dies with
+        # its partition and never invalidates.
+        expr = (
+            figure1_db.table_expr("Pol")
+            .select(col(2) == 35)
+            .aggregate(group_by=[2], function="count",
+                       strategy=ExpirationStrategy.EXACT)
+            .project(2, 3)
+        )
+        view = figure1_db.materialise("v", expr, policy=MaintenancePolicy.SCHRODINGER)
+        assert view.expiration == INFINITY
+        for when in range(0, 15):
+            figure1_db.advance_to(when)
+            view.read()
+        assert view.recomputations == 0
+
+
+class TestCatalogIntegration:
+    def test_view_registry(self, figure1_db):
+        figure1_db.materialise("v", figure1_db.table_expr("Pol").project(2))
+        assert figure1_db.view_names() == ["v"]
+        assert figure1_db.view("v") is not None
+        figure1_db.drop_view("v")
+        with pytest.raises(CatalogError):
+            figure1_db.view("v")
+
+    def test_name_collision(self, figure1_db):
+        with pytest.raises(CatalogError):
+            figure1_db.materialise("Pol", figure1_db.table_expr("Pol"))
+
+    def test_unknown_base_rejected(self, figure1_db):
+        from repro.core.algebra.expressions import BaseRef
+
+        with pytest.raises(CatalogError):
+            figure1_db.materialise("v", BaseRef("Nope"))
+
+    def test_drop_table_with_dependent_view_rejected(self, figure1_db):
+        figure1_db.materialise("v", figure1_db.table_expr("Pol").project(2))
+        with pytest.raises(CatalogError):
+            figure1_db.drop_table("Pol")

@@ -1,0 +1,110 @@
+"""Tests for the interactive SQL shell."""
+
+import io
+
+import pytest
+
+from repro.cli import format_result, main, run_statement, run_stream
+from repro.engine.database import Database
+from repro.sql.executor import SqlResult, execute_sql
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def run(db, text, interactive=False):
+    out = io.StringIO()
+    errors = run_stream(db, io.StringIO(text), out, interactive=interactive)
+    return errors, out.getvalue()
+
+
+class TestFormatResult:
+    def test_select_table_rendering(self, db):
+        execute_sql(db, "CREATE TABLE t (a, b)")
+        execute_sql(db, "INSERT INTO t VALUES (1, 'x')")
+        text = format_result(execute_sql(db, "SELECT * FROM t"))
+        assert "a" in text and "b" in text
+        assert "'x'" in text
+        assert "(1 row(s))" in text
+
+    def test_empty_select(self, db):
+        execute_sql(db, "CREATE TABLE t (a)")
+        text = format_result(execute_sql(db, "SELECT * FROM t"))
+        assert text == "(no rows)"
+
+    def test_non_select(self, db):
+        text = format_result(execute_sql(db, "CREATE TABLE t (a)"))
+        assert "created" in text
+
+
+class TestRunStatement:
+    def test_success(self, db):
+        out = io.StringIO()
+        assert run_statement(db, "CREATE TABLE t (a)", out)
+        assert "created" in out.getvalue()
+
+    def test_error_reported_not_raised(self, db):
+        out = io.StringIO()
+        assert not run_statement(db, "SELECT * FROM missing", out)
+        assert "error:" in out.getvalue()
+
+    def test_blank_is_noop(self, db):
+        out = io.StringIO()
+        assert run_statement(db, "   ", out)
+        assert out.getvalue() == ""
+
+
+class TestRunStream:
+    def test_script(self, db):
+        errors, output = run(
+            db,
+            "CREATE TABLE t (a);\nINSERT INTO t VALUES (1) EXPIRES AT 5;\n"
+            "SELECT * FROM t;\nADVANCE TO 5;\nSELECT * FROM t;",
+        )
+        assert errors == 0
+        assert "(1 row(s))" in output
+        assert "(no rows)" in output
+
+    def test_multiline_statement(self, db):
+        errors, output = run(db, "CREATE TABLE t\n  (a, b);\nSHOW TABLES;")
+        assert errors == 0
+        assert "t" in output
+
+    def test_script_mode_stops_on_error(self, db):
+        errors, output = run(db, "BOGUS;\nCREATE TABLE t (a);")
+        assert errors == 1
+        assert not db.has_table("t")
+
+    def test_interactive_mode_continues_on_error(self, db):
+        errors, output = run(db, "BOGUS;\nCREATE TABLE t (a);", interactive=True)
+        assert errors == 1
+        assert db.has_table("t")
+        assert "sql>" in output
+
+    def test_interactive_quit(self, db):
+        errors, output = run(db, "quit\n", interactive=True)
+        assert errors == 0
+
+    def test_trailing_statement_without_semicolon(self, db):
+        errors, output = run(db, "CREATE TABLE t (a)")
+        assert errors == 0
+        assert db.has_table("t")
+
+
+class TestMain:
+    def test_script_file(self, tmp_path, capsys):
+        script = tmp_path / "setup.sql"
+        script.write_text("CREATE TABLE t (a);\nSHOW TABLES;\n")
+        assert main([str(script)]) == 0
+        captured = capsys.readouterr()
+        assert "t" in captured.out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/x.sql"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "SQL shell" in capsys.readouterr().out

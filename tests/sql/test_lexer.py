@@ -1,0 +1,76 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select SELECT Select") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "SELECT"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Pol my_table _x9") == [
+            (TokenType.IDENT, "Pol"),
+            (TokenType.IDENT, "my_table"),
+            (TokenType.IDENT, "_x9"),
+        ]
+
+    def test_integers_and_floats(self):
+        assert kinds("42 3.5") == [
+            (TokenType.NUMBER, 42),
+            (TokenType.NUMBER, 3.5),
+        ]
+
+    def test_integer_then_dot(self):
+        # "P.deg" style qualification: dot stays a symbol after an ident.
+        assert kinds("P.deg") == [
+            (TokenType.IDENT, "P"),
+            (TokenType.SYMBOL, "."),
+            (TokenType.IDENT, "deg"),
+        ]
+
+    def test_strings(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_string_escaping(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert [v for _, v in kinds("<= >= != <> = < > ( ) , ; *")] == [
+            "<=", ">=", "!=", "!=", "=", "<", ">", "(", ")", ",", ";", "*",
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT -- comment\n1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, 1),
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlLexError) as info:
+            tokenize("SELECT @")
+        assert info.value.position == 7
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_positions(self):
+        tokens = tokenize("SELECT deg")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

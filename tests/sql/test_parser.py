@@ -1,0 +1,213 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlParseError, UnsupportedSqlError
+from repro.sql.ast import (
+    AdvanceTime,
+    AggregateCall,
+    AndCondition,
+    ColumnRef,
+    CompareCondition,
+    CreateTable,
+    CreateView,
+    DeleteStatement,
+    DropTable,
+    DropView,
+    InsertStatement,
+    NotCondition,
+    OrCondition,
+    SelectQuery,
+    SetOperation,
+    ShowTables,
+    ShowViews,
+    Star,
+    VacuumStatement,
+)
+from repro.sql.parser import parse_sql, parse_statements
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_sql("CREATE TABLE Pol (uid, deg)")
+        assert stmt == CreateTable(name="Pol", columns=("uid", "deg"))
+
+    def test_create_view_with_policy(self):
+        stmt = parse_sql(
+            "CREATE MATERIALIZED VIEW v AS SELECT uid FROM Pol WITH POLICY PATCH"
+        )
+        assert isinstance(stmt, CreateView)
+        assert stmt.policy == "patch"
+
+    def test_plain_view_unsupported(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_sql("CREATE VIEW v AS SELECT uid FROM Pol")
+
+    def test_drop(self):
+        assert parse_sql("DROP TABLE t") == DropTable(name="t")
+        assert parse_sql("DROP VIEW v") == DropView(name="v")
+
+    def test_show(self):
+        assert parse_sql("SHOW TABLES") == ShowTables()
+        assert parse_sql("SHOW VIEWS") == ShowViews()
+
+
+class TestDml:
+    def test_insert_expires_at(self):
+        stmt = parse_sql("INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10")
+        assert stmt == InsertStatement(
+            table="Pol", rows=(((1, 25)),), expires_at=10
+        ) or stmt.rows == ((1, 25),)
+        assert stmt.expires_at == 10
+        assert stmt.ttl is None
+
+    def test_insert_expires_in(self):
+        stmt = parse_sql("INSERT INTO Pol VALUES (1, 25) EXPIRES IN 7")
+        assert stmt.ttl == 7
+
+    def test_insert_no_expiration(self):
+        stmt = parse_sql("INSERT INTO Pol VALUES (1, 25)")
+        assert stmt.expires_at is None and stmt.ttl is None
+
+    def test_insert_multiple_rows(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b') EXPIRES AT 9")
+        assert stmt.rows == ((1, "a"), (2, "b"))
+
+    def test_insert_string_values(self):
+        stmt = parse_sql("INSERT INTO t VALUES ('x')")
+        assert stmt.rows == (("x",),)
+
+    def test_delete_where(self):
+        stmt = parse_sql("DELETE FROM Pol WHERE uid = 1")
+        assert isinstance(stmt, DeleteStatement)
+        assert stmt.where == CompareCondition(ColumnRef("uid"), "=", 1)
+
+    def test_delete_all(self):
+        assert parse_sql("DELETE FROM Pol").where is None
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM Pol")
+        assert isinstance(stmt.items[0].expression, Star)
+        assert stmt.source.name == "Pol"
+
+    def test_columns_with_aliases(self):
+        stmt = parse_sql("SELECT uid AS u, deg FROM Pol")
+        assert stmt.items[0].alias == "u"
+        assert stmt.items[1].expression == ColumnRef("deg")
+
+    def test_where_precedence(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, OrCondition)
+        assert isinstance(stmt.where.parts[1], AndCondition)
+
+    def test_parentheses(self):
+        stmt = parse_sql("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, AndCondition)
+
+    def test_not(self):
+        stmt = parse_sql("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, NotCondition)
+
+    def test_join(self):
+        stmt = parse_sql(
+            "SELECT P.uid FROM Pol AS P JOIN El AS E ON P.uid = E.uid"
+        )
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].source.alias == "E"
+        condition = stmt.joins[0].condition
+        assert condition == CompareCondition(
+            ColumnRef("uid", "P"), "=", ColumnRef("uid", "E")
+        )
+
+    def test_implicit_alias(self):
+        stmt = parse_sql("SELECT * FROM Pol P")
+        assert stmt.source.alias == "P"
+
+    def test_group_by_with_aggregates(self):
+        stmt = parse_sql("SELECT deg, COUNT(*) FROM Pol GROUP BY deg")
+        assert stmt.group_by == (ColumnRef("deg"),)
+        assert stmt.items[1].expression == AggregateCall("count", None)
+
+    def test_aggregate_with_argument(self):
+        stmt = parse_sql("SELECT MIN(deg) FROM Pol")
+        assert stmt.items[0].expression == AggregateCall("min", ColumnRef("deg"))
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT SUM(*) FROM Pol")
+
+    def test_strategy_clause(self):
+        stmt = parse_sql(
+            "SELECT deg, COUNT(*) FROM Pol GROUP BY deg WITH STRATEGY conservative"
+        )
+        assert stmt.strategy == "conservative"
+
+    def test_set_operations(self):
+        stmt = parse_sql("SELECT uid FROM Pol EXCEPT SELECT uid FROM El")
+        assert isinstance(stmt, SetOperation)
+        assert stmt.operator == "except"
+
+    def test_chained_set_operations_left_assoc(self):
+        stmt = parse_sql(
+            "SELECT uid FROM A UNION SELECT uid FROM B INTERSECT SELECT uid FROM C"
+        )
+        assert isinstance(stmt, SetOperation)
+        assert stmt.operator == "intersect"
+        assert isinstance(stmt.left, SetOperation)
+        assert stmt.left.operator == "union"
+
+    def test_union_all_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_sql("SELECT uid FROM A UNION ALL SELECT uid FROM B")
+
+
+class TestTimeControl:
+    def test_advance_to(self):
+        assert parse_sql("ADVANCE TO 10") == AdvanceTime(to=10)
+
+    def test_advance_by(self):
+        assert parse_sql("ADVANCE BY 5") == AdvanceTime(by=5)
+
+    def test_tick(self):
+        assert parse_sql("TICK") == AdvanceTime(by=1)
+
+    def test_vacuum(self):
+        assert parse_sql("VACUUM") == VacuumStatement(table=None)
+        assert parse_sql("VACUUM Pol") == VacuumStatement(table="Pol")
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_statements(
+            "CREATE TABLE t (a); INSERT INTO t VALUES (1); SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_parse_sql_rejects_scripts(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT * FROM t; SELECT * FROM t")
+
+    def test_empty(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("")
+
+
+class TestErrors:
+    def test_garbage(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("FLY ME TO THE MOON")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT uid")
+
+    def test_bad_insert(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("INSERT INTO t VALUES (1) EXPIRES SOON")
+
+    def test_error_mentions_offset(self):
+        with pytest.raises(SqlParseError) as info:
+            parse_sql("SELECT FROM t")
+        assert "offset" in str(info.value)

@@ -1,0 +1,103 @@
+"""Sanity checks on the public API surface and module doctests."""
+
+import doctest
+import importlib
+
+import pytest
+
+import repro
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.timestamps",
+    "repro.core.intervals",
+    "repro.core.schema",
+    "repro.core.tuples",
+    "repro.core.relation",
+    "repro.core.aggregates",
+    "repro.core.approximate",
+    "repro.core.monotonicity",
+    "repro.core.qos",
+    "repro.core.validity",
+    "repro.core.patching",
+    "repro.core.rewriter",
+    "repro.core.algebra",
+    "repro.core.algebra.predicates",
+    "repro.core.algebra.expressions",
+    "repro.core.algebra.evaluator",
+    "repro.core.algebra.serde",
+    "repro.engine",
+    "repro.engine.clock",
+    "repro.engine.database",
+    "repro.engine.expiration_index",
+    "repro.engine.maintenance",
+    "repro.engine.persistence",
+    "repro.engine.table",
+    "repro.engine.views",
+    "repro.sql",
+    "repro.cli",
+    "repro.distributed",
+    "repro.workloads",
+    "repro.baselines",
+]
+
+DOCTEST_MODULES = [
+    "repro.core.timestamps",
+    "repro.core.intervals",
+    "repro.core.schema",
+    "repro.core.tuples",
+    "repro.core.relation",
+    "repro.core.patching",
+    "repro.core.algebra.evaluator",
+    "repro.core.algebra.serde",
+    "repro.engine.database",
+    "repro.sql",
+    "repro.workloads.sessions",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PUBLIC_MODULES)
+    def test_importable(self, name):
+        importlib.import_module(name)
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        for module_name in PUBLIC_MODULES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("name", DOCTEST_MODULES)
+    def test_module_doctests(self, name):
+        module = importlib.import_module(name)
+        failures, _ = doctest.testmod(module, verbose=False)
+        assert failures == 0
+
+
+class TestQuickstartFlow:
+    def test_readme_flow(self):
+        """The README quickstart, kept honest by CI."""
+        from repro import Database
+
+        db = Database()
+        pol = db.create_table("Pol", ["uid", "deg"])
+        pol.insert((1, 25), expires_at=10)
+        pol.insert((2, 25), expires_at=15)
+        pol.insert((3, 35), expires_at=10)
+
+        view = db.materialise("interests", db.table_expr("Pol").project(2))
+        assert sorted(view.read().rows()) == [(25,), (35,)]
+        db.advance_to(10)
+        assert sorted(view.read().rows()) == [(25,)]
+        assert view.recomputations == 0
