@@ -5,21 +5,48 @@ connected by a high-latency, lossy, partition-prone link.  Used by the D1
 and TH3/S34b benches to quantify the paper's claimed benefits: lower
 transaction volume, no deletion traffic, and consistency under
 disconnection for expiration-based maintenance.
+
+The fault-tolerance layer adds a reliable session
+(:mod:`repro.distributed.reliability`), anti-entropy repair
+(:mod:`repro.distributed.anti_entropy`), and scripted fault injection
+(:mod:`repro.distributed.faults`) on top of the same deterministic core.
 """
 
+from repro.distributed.anti_entropy import (
+    AntiEntropyConfig,
+    apply_repair,
+    bucket_hashes,
+    bucket_of,
+    build_digest,
+    build_repair,
+    diff_digests,
+)
 from repro.distributed.client import DifferenceViewClient, Replica
 from repro.distributed.events import EventQueue
+from repro.distributed.faults import BurstLoss, FaultSchedule, LinkFlap, NodeCrash
 from repro.distributed.link import Link, LinkStats
 from repro.distributed.metrics import SyncReport
 from repro.distributed.node import Node
 from repro.distributed.protocols import (
+    Ack,
     DeleteNotice,
+    Digest,
+    Envelope,
     Message,
     PatchShipment,
     RecomputeRequest,
     RecomputeResponse,
+    RepairRequest,
+    RepairResponse,
     Snapshot,
     TupleInsert,
+)
+from repro.distributed.reliability import (
+    ReliabilityConfig,
+    ReliableReceiver,
+    ReliableSender,
+    RetryPolicy,
+    SessionStats,
 )
 from repro.distributed.server import DifferenceViewServer, OriginServer
 from repro.distributed.simulator import (
@@ -39,13 +66,34 @@ __all__ = [
     "LinkStats",
     "SyncReport",
     "Node",
+    "Ack",
     "DeleteNotice",
+    "Digest",
+    "Envelope",
     "Message",
     "PatchShipment",
     "RecomputeRequest",
     "RecomputeResponse",
+    "RepairRequest",
+    "RepairResponse",
     "Snapshot",
     "TupleInsert",
+    "AntiEntropyConfig",
+    "apply_repair",
+    "bucket_hashes",
+    "bucket_of",
+    "build_digest",
+    "build_repair",
+    "diff_digests",
+    "BurstLoss",
+    "FaultSchedule",
+    "LinkFlap",
+    "NodeCrash",
+    "ReliabilityConfig",
+    "ReliableReceiver",
+    "ReliableSender",
+    "RetryPolicy",
+    "SessionStats",
     "DifferenceViewServer",
     "OriginServer",
     "DifferenceViewSimulation",

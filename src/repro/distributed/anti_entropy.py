@@ -1,0 +1,173 @@
+"""Anti-entropy repair: periodic digest exchange over unexpired rows.
+
+Retransmission (:mod:`repro.distributed.reliability`) repairs *individual*
+lost messages, but it cannot repair what the sender no longer remembers:
+an acknowledged insert wiped out by a client crash, or a message abandoned
+after ``max_attempts``.  Anti-entropy closes that gap the classic way
+(cf. Grapevine / Dynamo): the server periodically sends a :class:`Digest`
+of per-bucket hashes over its *unexpired* rows; the client hashes its own
+visible rows the same way, asks for the buckets that differ
+(:class:`RepairRequest`), and replaces their contents with the server's
+authoritative :class:`RepairResponse`.
+
+Two properties make this protocol a natural fit for the paper's model:
+
+* Hashing ``exp_τ``-visible rows only means *expired divergence repairs
+  itself for free* -- a replica that missed an insert whose tuple has
+  since expired needs no repair traffic at all, exactly mirroring the
+  expiration-aware retransmission cancellation.
+* Repair is idempotent and commutes with in-flight inserts (bucket
+  replacement installs the server's row set with its expiration times;
+  a duplicate arrival later merely re-asserts them).
+
+Digests hash rows only (not expiration times) so the same machinery works
+for the explicit-delete baseline, whose replicas never learn lifetimes --
+there, anti-entropy also heals lost :class:`DeleteNotice`\\ s, which is the
+baseline's only defence against serving dead tuples forever.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.relation import Relation
+from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.core.tuples import Row
+from repro.distributed.protocols import Digest, RepairRequest, RepairResponse
+from repro.errors import ProtocolError, SimulationError
+
+__all__ = [
+    "AntiEntropyConfig",
+    "bucket_of",
+    "bucket_hashes",
+    "diff_digests",
+    "build_digest",
+    "build_repair",
+    "apply_repair",
+]
+
+
+@dataclass(frozen=True)
+class AntiEntropyConfig:
+    """Knobs for the periodic digest exchange."""
+
+    period: int = 20
+    num_buckets: int = 8
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise SimulationError(f"anti-entropy period must be >= 1, got {self.period}")
+        if self.num_buckets < 1:
+            raise SimulationError(
+                f"anti-entropy needs >= 1 bucket, got {self.num_buckets}"
+            )
+
+
+def _stable_hash(payload: str) -> int:
+    """A process-independent 32-bit hash (``hash()`` is salted per run)."""
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def bucket_of(row: Row, num_buckets: int) -> int:
+    """The bucket a row belongs to; stable across processes and runs."""
+    return _stable_hash(repr(row)) % num_buckets
+
+
+def bucket_hashes(rows: Iterable[Row], num_buckets: int) -> Dict[int, int]:
+    """Per-bucket hash of a row set; buckets with no rows are omitted.
+
+    Hashes are order-independent (rows are sorted by representation
+    before hashing), so two nodes with the same visible rows always agree.
+    """
+    buckets: Dict[int, List[Row]] = {}
+    for row in rows:
+        buckets.setdefault(bucket_of(row, num_buckets), []).append(row)
+    return {
+        index: _stable_hash("|".join(repr(row) for row in sorted(members, key=repr)))
+        for index, members in buckets.items()
+    }
+
+
+def diff_digests(mine: Dict[int, int], theirs: Dict[int, int]) -> Tuple[int, ...]:
+    """The buckets on which the two digests disagree (either direction)."""
+    mismatched = {
+        index
+        for index in set(mine) | set(theirs)
+        if mine.get(index) != theirs.get(index)
+    }
+    return tuple(sorted(mismatched))
+
+
+def build_digest(relation: Relation, at: TimeLike, num_buckets: int) -> Digest:
+    """Digest of ``relation``'s rows visible at ``at``."""
+    stamp = ts(at)
+    hashes = bucket_hashes(relation.exp_at(stamp).rows(), num_buckets)
+    return Digest(
+        at=stamp,
+        num_buckets=num_buckets,
+        buckets=tuple(sorted(hashes.items())),
+    )
+
+
+def build_repair(
+    relation: Relation,
+    at: TimeLike,
+    buckets: Sequence[int],
+    num_buckets: int,
+    with_expirations: bool,
+) -> RepairResponse:
+    """Authoritative contents of ``buckets`` from the server's live rows.
+
+    ``with_expirations`` mirrors the maintenance strategy: the expiration
+    protocol ships lifetimes (and pays one cell each); the explicit-delete
+    baseline hides them.
+    """
+    stamp = ts(at)
+    wanted = set(buckets)
+    rows: List[Tuple[Row, Optional[Timestamp]]] = []
+    for row, texp in relation.exp_at(stamp).items():
+        if bucket_of(row, num_buckets) in wanted:
+            rows.append((row, texp if with_expirations else None))
+    rows.sort(key=lambda item: repr(item[0]))
+    return RepairResponse(buckets=tuple(sorted(wanted)), rows=tuple(rows))
+
+
+def apply_repair(
+    relation: Relation,
+    response: RepairResponse,
+    num_buckets: int,
+) -> int:
+    """Replace the repaired buckets' contents in ``relation``.
+
+    Every stored row falling in a repaired bucket is dropped (this is how
+    a lost delete, or a stale resurrected row, finally dies), then the
+    authoritative rows are installed with the server's expiration times
+    (``override``, not ``insert``: repair is ground truth, not a merge).
+    Returns the number of rows that changed (removed or [re]installed
+    with a different expiration).
+    """
+    wanted = set(response.buckets)
+    for row, texp in response.rows:
+        if bucket_of(row, num_buckets) not in wanted:
+            raise ProtocolError(
+                f"repair row {row!r} falls outside the repaired buckets {sorted(wanted)}"
+            )
+    changed = 0
+    stale = [
+        row
+        for row in relation.rows()
+        if bucket_of(row, num_buckets) in wanted
+    ]
+    incoming = {row: texp for row, texp in response.rows}
+    for row in stale:
+        if row not in incoming:
+            relation.delete(row)
+            changed += 1
+    for row, texp in response.rows:
+        stamp = ts(texp)
+        if relation.expiration_or_none(row) != stamp:
+            relation.override(row, expires_at=stamp)
+            changed += 1
+    return changed

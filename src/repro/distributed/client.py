@@ -25,11 +25,13 @@ from repro.core.relation import Relation
 from repro.core.schema import Schema
 from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
 from repro.core.tuples import Row
+from repro.distributed.anti_entropy import apply_repair
 from repro.distributed.node import Node
 from repro.distributed.protocols import (
     DeleteNotice,
     PatchShipment,
     RecomputeResponse,
+    RepairResponse,
     Snapshot,
     TupleInsert,
 )
@@ -47,6 +49,7 @@ class Replica(Node):
         self.inserts_received = 0
         self.deletes_received = 0
         self.snapshots_received = 0
+        self.repairs_received = 0
 
     # -- message handlers ----------------------------------------------------
 
@@ -67,6 +70,18 @@ class Replica(Node):
         for row, texp in message.rows:
             self.relation.insert(row, expires_at=texp if texp is not None else INFINITY)
         self.snapshots_received += 1
+
+    def on_repair(self, message: RepairResponse, at: Timestamp, num_buckets: int) -> int:
+        """Apply an anti-entropy bucket repair; returns rows changed."""
+        changed = apply_repair(self.relation, message, num_buckets)
+        self.repairs_received += 1
+        return changed
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Lose the replica (a crash without durable storage)."""
+        self.relation = Relation(self.schema)
 
     # -- local queries -----------------------------------------------------------
 
@@ -97,16 +112,40 @@ class DifferenceViewClient(Node):
         self,
         message: RecomputeResponse,
         at: Timestamp,
-        expiration: Timestamp = INFINITY,
+        expiration: Optional[Timestamp] = None,
         validity: Optional[IntervalSet] = None,
     ) -> None:
-        """Install a fresh materialisation (with its metadata)."""
+        """Install a fresh materialisation (with its metadata).
+
+        The metadata defaults to what the message itself carries (the
+        reliable transport ships it in-band so retransmitted or reordered
+        responses stay self-describing); explicit arguments override.
+        """
         self.relation = Relation(self.schema)
         for row, texp in message.snapshot.rows:
             self.relation.insert(row, expires_at=texp if texp is not None else INFINITY)
+        if expiration is None:
+            expiration = (
+                message.expires_at if message.expires_at is not None else INFINITY
+            )
+        if validity is None:
+            validity = (
+                message.validity
+                if message.validity is not None
+                else IntervalSet.all_time()
+            )
         self.expiration = expiration
-        self.validity = validity if validity is not None else IntervalSet.all_time()
+        self.validity = validity
         self.snapshots_received += 1
+
+    # -- crash recovery ------------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Lose the materialisation, patch queue, and metadata (a crash)."""
+        self.relation = Relation(self.schema)
+        self.patcher = None
+        self.expiration = ts(0)
+        self.validity = IntervalSet.empty()
 
     def on_patches(self, message: PatchShipment, at: Timestamp) -> None:
         """Install the Theorem-3 patch queue for local maintenance."""

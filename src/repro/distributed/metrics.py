@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.core.intervals import IntervalSet
 
 __all__ = ["SyncReport"]
 
@@ -12,12 +14,24 @@ __all__ = ["SyncReport"]
 class SyncReport:
     """The outcome of one loosely-coupled maintenance run.
 
-    * Traffic: ``messages`` / ``cells`` as counted by the link.
+    * Traffic: ``messages`` / ``cells`` as counted by the link(s); when a
+      reliable session or anti-entropy runs, acks, digests, and repairs
+      are included (reverse-channel traffic is traffic).
     * Consistency: a query is *correct* when the client's visible row set
       equals the server-side ground truth at the query's global time;
       ``missing_tuples`` / ``extra_tuples`` sum the per-query set
       differences (extra tuples are the dangerous kind -- the client acts
       on data that no longer exists).
+    * Convergence (filled when the simulation tracks it): ``divergence``
+      is the set of time windows during which the replica differed from
+      ground truth, sampled every probe tick; ``converged`` says whether
+      the final window closed before the horizon; ``max_staleness`` is the
+      longest single window and ``divergence_ticks`` their total measure.
+    * Fault tolerance: ``retransmissions`` actually resent,
+      ``retransmissions_avoided`` cancelled because the tuple had already
+      expired (with ``cells_avoided`` the traffic thereby saved -- the
+      paper-specific win), ``repairs_applied`` anti-entropy bucket
+      repairs that changed at least one row.
     """
 
     strategy: str
@@ -31,7 +45,19 @@ class SyncReport:
     messages_lost: int = 0
     recompute_requests: int = 0
     patches_shipped: int = 0
-    detail: Dict[str, int] = field(default_factory=dict)
+    retransmissions: int = 0
+    retransmissions_avoided: int = 0
+    cells_avoided: int = 0
+    acks: int = 0
+    digests: int = 0
+    repairs_applied: int = 0
+    converged: bool = True
+    converged_at: Optional[int] = None
+    convergence_lag: Optional[int] = None
+    divergence_ticks: int = 0
+    max_staleness: int = 0
+    divergence: Optional[IntervalSet] = None
+    detail: Dict[str, object] = field(default_factory=dict)
 
     @property
     def consistency(self) -> float:
@@ -51,4 +77,22 @@ class SyncReport:
             "missing": self.missing_tuples,
             "extra": self.extra_tuples,
             "recompute_requests": self.recompute_requests,
+        }
+
+    def fault_tolerance_row(self) -> Dict[str, object]:
+        """The convergence/robustness columns for the fault benches."""
+        return {
+            "strategy": self.strategy,
+            "messages": self.messages,
+            "cells": self.cells,
+            "lost": self.messages_lost,
+            "retransmissions": self.retransmissions,
+            "retrans_avoided": self.retransmissions_avoided,
+            "cells_avoided": self.cells_avoided,
+            "repairs": self.repairs_applied,
+            "consistency": round(self.consistency, 4),
+            "converged": self.converged,
+            "converged_at": self.converged_at,
+            "divergence_ticks": self.divergence_ticks,
+            "max_staleness": self.max_staleness,
         }

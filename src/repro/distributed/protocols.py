@@ -11,9 +11,21 @@ Three families, one per maintenance strategy compared in experiment D1:
   the materialisation plus the helper priority queue up front; the client
   patches locally and never calls back.
 
+The fault-tolerance layer adds two more families:
+
+* **Reliable session** (:mod:`repro.distributed.reliability`): every data
+  message travels inside a sequence-numbered :class:`Envelope`; the
+  receiver answers with cumulative/selective :class:`Ack`\\ s.
+* **Anti-entropy** (:mod:`repro.distributed.anti_entropy`): periodic
+  :class:`Digest` exchange of per-bucket hashes over the unexpired rows,
+  followed by :class:`RepairRequest`/:class:`RepairResponse` for the
+  buckets that diverged.
+
 Message sizes are accounted in abstract *cells* (attribute values plus one
 cell per expiration time carried), so benches can report traffic without
-pretending to know a wire format.
+pretending to know a wire format.  Session/anti-entropy overhead is
+accounted the same way: one cell per sequence number, ack cursor, or
+bucket hash, two cells per validity interval.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core.intervals import IntervalSet
 from repro.core.patching import Patch
 from repro.core.timestamps import Timestamp
 from repro.core.tuples import Row
@@ -33,6 +46,11 @@ __all__ = [
     "PatchShipment",
     "RecomputeRequest",
     "RecomputeResponse",
+    "Envelope",
+    "Ack",
+    "Digest",
+    "RepairRequest",
+    "RepairResponse",
 ]
 
 
@@ -105,10 +123,105 @@ class RecomputeRequest(Message):
 
 @dataclass(frozen=True)
 class RecomputeResponse(Message):
-    """The server's fresh materialisation for a view."""
+    """The server's fresh materialisation for a view.
+
+    ``expires_at`` / ``validity`` carry the expression-level metadata
+    (``texp(e)`` and the Schrödinger interval set) *inside* the message,
+    with honest size accounting: one cell for the expiration, two per
+    validity interval.  ``None`` means the metadata travels elsewhere (or
+    not at all) and costs nothing.
+    """
 
     view_name: str
     snapshot: Snapshot
+    expires_at: Optional[Timestamp] = None
+    validity: Optional[IntervalSet] = None
 
     def size_cells(self) -> int:
-        return 1 + self.snapshot.size_cells()
+        size = 1 + self.snapshot.size_cells()
+        if self.expires_at is not None:
+            size += 1
+        if self.validity is not None:
+            size += 2 * len(self.validity)
+        return size
+
+
+# -- reliable session layer ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Envelope(Message):
+    """A sequence-numbered frame of the reliable session layer.
+
+    The header costs one cell (the sequence number); retransmissions of
+    the same envelope pay the full size again.
+    """
+
+    seq: int
+    payload: Message
+
+    def size_cells(self) -> int:
+        return 1 + self.payload.size_cells()
+
+
+@dataclass(frozen=True)
+class Ack(Message):
+    """A cumulative + selective acknowledgement.
+
+    Every envelope with ``seq <= cumulative`` has been received, plus the
+    (out-of-order) sequence numbers listed in ``selective``.
+    """
+
+    cumulative: int
+    selective: Tuple[int, ...] = ()
+
+    def size_cells(self) -> int:
+        return 1 + len(self.selective)
+
+
+# -- anti-entropy ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Digest(Message):
+    """Per-bucket hashes of the sender's unexpired rows at time ``at``.
+
+    ``buckets`` maps every bucket index to a stable hash of the rows the
+    sender considers live at ``at``; one cell per bucket hash plus one for
+    the reference time.
+    """
+
+    at: Timestamp
+    num_buckets: int
+    buckets: Tuple[Tuple[int, int], ...]
+
+    def size_cells(self) -> int:
+        return 1 + len(self.buckets)
+
+
+@dataclass(frozen=True)
+class RepairRequest(Message):
+    """The digest receiver asking for the contents of diverged buckets."""
+
+    buckets: Tuple[int, ...]
+
+    def size_cells(self) -> int:
+        return max(1, len(self.buckets))
+
+
+@dataclass(frozen=True)
+class RepairResponse(Message):
+    """Authoritative contents of the requested buckets.
+
+    The receiver *replaces* its rows in these buckets with ``rows``
+    (which carry expiration times exactly when the maintenance strategy
+    ships them).
+    """
+
+    buckets: Tuple[int, ...]
+    rows: Tuple[Tuple[Row, Optional[Timestamp]], ...]
+
+    def size_cells(self) -> int:
+        return max(1, len(self.buckets)) + sum(
+            len(row) + (1 if texp is not None else 0) for row, texp in self.rows
+        )

@@ -19,15 +19,19 @@ from repro.core.schema import Schema
 from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
 from repro.core.tuples import Row
 from repro.core.validity import difference_validity_exact
+from repro.distributed.anti_entropy import build_digest, build_repair
 from repro.distributed.node import Node
 from repro.distributed.protocols import (
     DeleteNotice,
+    Digest,
     Message,
     PatchShipment,
     RecomputeResponse,
+    RepairResponse,
     Snapshot,
     TupleInsert,
 )
+from repro.errors import ProtocolError
 
 __all__ = ["OriginServer", "DifferenceViewServer"]
 
@@ -77,6 +81,22 @@ class OriginServer(Node):
             rows.append((row, texp if with_expirations else None))
         self._send(Snapshot(rows=tuple(rows)), now)
 
+    # -- anti-entropy ------------------------------------------------------------
+
+    def make_digest(self, now: Timestamp, num_buckets: int) -> Digest:
+        """Per-bucket hashes of the live rows, for the periodic exchange."""
+        return build_digest(self.relation, now, num_buckets)
+
+    def make_repair(
+        self,
+        now: Timestamp,
+        buckets: Tuple[int, ...],
+        num_buckets: int,
+        with_expirations: bool,
+    ) -> RepairResponse:
+        """Authoritative bucket contents for an anti-entropy repair."""
+        return build_repair(self.relation, now, buckets, num_buckets, with_expirations)
+
 
 class DifferenceViewServer(Node):
     """Materialises ``R −exp S`` on request and ships it to a client."""
@@ -109,11 +129,11 @@ class DifferenceViewServer(Node):
     def ship_materialisation(self, now: Timestamp, view_name: str = "diff"):
         """Materialise at ``now``; returns (expiration, validity) metadata.
 
-        The snapshot message carries per-tuple expirations; the metadata is
-        assumed to travel in the same message (its size is negligible
-        relative to the tuples).
+        The metadata is embedded in the response message (and counted in
+        its size): a retransmitted or reordered response must remain
+        self-describing under the reliable transport.
         """
-        materialised, patcher = compute_difference_with_patches(
+        materialised, _ = compute_difference_with_patches(
             self.left, self.right, tau=now
         )
         rows = tuple((row, texp) for row, texp in materialised.items())
@@ -121,7 +141,15 @@ class DifferenceViewServer(Node):
             self.left.exp_at(now), self.right.exp_at(now), now
         )
         expiration = validity.intervals[0].end if validity.intervals else ts(0)
-        self._send(RecomputeResponse(view_name=view_name, snapshot=Snapshot(rows)), now)
+        self._send(
+            RecomputeResponse(
+                view_name=view_name,
+                snapshot=Snapshot(rows),
+                expires_at=expiration,
+                validity=validity,
+            ),
+            now,
+        )
         self.recomputations_served += 1
         return expiration, validity
 
@@ -140,5 +168,12 @@ def _drain(patcher) -> list:
         due = patcher.peek_due()
         if due is None:
             break
-        patches.extend(patcher.due_patches(due))
+        batch = patcher.due_patches(due)
+        if not batch:
+            # A patcher that advertises a due time but yields nothing for
+            # it would loop this drain forever; fail loudly instead.
+            raise ProtocolError(
+                f"patcher peeked due time {due} but returned no due patches"
+            )
+        patches.extend(batch)
     return patches

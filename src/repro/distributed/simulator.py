@@ -12,6 +12,22 @@ Two scenario classes, both deterministic given their seeds:
   when a query actually lands in an invalid gap), or the Theorem-3
   **patch stream** shipped up front.
 
+Both accept the fault-tolerance stack as configuration:
+
+* ``reliability=ReliabilityConfig(...)`` runs every data message through
+  the reliable session layer (sequence numbers, acks on a reverse link,
+  expiration-aware retransmission);
+* ``anti_entropy=AntiEntropyConfig(...)`` (replication only) adds the
+  periodic digest/repair exchange;
+* ``faults=FaultSchedule([...])`` injects scripted crashes, link flaps,
+  and loss bursts.
+
+When any of the three is configured (or ``track_convergence=True``), the
+simulation probes client-vs-truth divergence every ``probe_period`` ticks
+and fills the :class:`SyncReport` convergence fields: the divergence
+windows as an :class:`IntervalSet`, time-to-convergence, max staleness,
+retransmissions sent, and retransmissions avoided via expiration.
+
 The workload format is a list of ``(time, row, expires_at)`` insertions;
 see :mod:`repro.workloads` for generators.
 """
@@ -19,24 +35,41 @@ see :mod:`repro.workloads` for generators.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.intervals import IntervalSet
 from repro.core.relation import Relation
 from repro.core.schema import Schema
-from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.core.timestamps import Timestamp, ts
 from repro.core.tuples import Row
+from repro.distributed.anti_entropy import (
+    AntiEntropyConfig,
+    bucket_hashes,
+    diff_digests,
+)
 from repro.distributed.client import DifferenceViewClient, Replica
 from repro.distributed.events import EventQueue
+from repro.distributed.faults import FaultSchedule
 from repro.distributed.link import Link
 from repro.distributed.metrics import SyncReport
 from repro.distributed.protocols import (
+    Ack,
     DeleteNotice,
+    Digest,
+    Envelope,
     Message,
     PatchShipment,
     RecomputeRequest,
     RecomputeResponse,
+    RepairRequest,
+    RepairResponse,
     Snapshot,
     TupleInsert,
+)
+from repro.distributed.reliability import (
+    ReliabilityConfig,
+    ReliableReceiver,
+    ReliableSender,
 )
 from repro.distributed.server import DifferenceViewServer, OriginServer
 from repro.errors import SimulationError
@@ -46,11 +79,69 @@ __all__ = [
     "ReplicationSimulation",
     "ViewMaintenanceStrategy",
     "DifferenceViewSimulation",
+    "FanOutSimulation",
     "WorkloadEntry",
 ]
 
 #: One workload insertion: (arrival time, row, expiration time).
 WorkloadEntry = Tuple[int, Row, int]
+
+
+def _mirror_link(link: Link, seed_shift: int = 7919) -> Link:
+    """A reverse link with the same characteristics as ``link``.
+
+    Partitions are shared (a flap usually severs both directions); the
+    RNG is independently seeded so loss/jitter draws do not correlate.
+    """
+    partitions = [
+        (iv.start.value, iv.end.value if iv.end.is_finite else None)
+        for iv in link.down_times
+    ]
+    return Link(
+        latency=link.latency,
+        jitter=link.jitter,
+        loss_probability=link.loss_probability,
+        partitions=partitions,
+        queue_during_partition=link.queue_during_partition,
+        seed=link.seed + seed_shift,
+        bandwidth=link.bandwidth,
+    )
+
+
+class _ConvergenceTracker:
+    """Samples client-vs-truth divergence into half-open windows."""
+
+    def __init__(self) -> None:
+        self.pairs: List[Tuple[int, int]] = []
+        self._open_since: Optional[int] = None
+
+    def observe(self, at: Timestamp, diverged: bool) -> None:
+        tick = at.value
+        if diverged and self._open_since is None:
+            self._open_since = tick
+        elif not diverged and self._open_since is not None:
+            self.pairs.append((self._open_since, tick))
+            self._open_since = None
+
+    def finish(self, horizon: int) -> bool:
+        """Close any open window at the horizon; returns ``converged``."""
+        if self._open_since is not None:
+            self.pairs.append((self._open_since, horizon + 1))
+            self._open_since = None
+            return False
+        return True
+
+    def fill(self, report: SyncReport, horizon: int, quiesced_at: int) -> None:
+        report.converged = self.finish(horizon)
+        report.divergence = IntervalSet.from_pairs(self.pairs)
+        report.divergence_ticks = sum(end - start for start, end in self.pairs)
+        report.max_staleness = max(
+            (end - start for start, end in self.pairs), default=0
+        )
+        report.converged_at = self.pairs[-1][1] if self.pairs else None
+        if report.converged and report.converged_at is not None:
+            report.convergence_lag = max(0, report.converged_at - quiesced_at)
+        report.detail["divergence_windows"] = list(self.pairs)
 
 
 class ReplicationStrategy(enum.Enum):
@@ -73,63 +164,228 @@ class ReplicationSimulation:
         link: Optional[Link] = None,
         snapshot_period: int = 10,
         client_skew: int = 0,
+        reliability: Optional[ReliabilityConfig] = None,
+        anti_entropy: Optional[AntiEntropyConfig] = None,
+        faults: Optional[FaultSchedule] = None,
+        back_link: Optional[Link] = None,
+        track_convergence: Optional[bool] = None,
+        probe_period: int = 1,
+        horizon: Optional[int] = None,
     ) -> None:
+        if probe_period < 1:
+            raise SimulationError(f"probe_period must be >= 1, got {probe_period}")
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         self.workload = sorted(workload, key=lambda entry: entry[0])
         self.query_times = sorted(query_times)
         self.strategy = strategy
         self.link = link if link is not None else Link()
         self.snapshot_period = snapshot_period
+        self.reliability = reliability
+        self.anti_entropy = anti_entropy
+        self.faults = faults if faults is not None else FaultSchedule()
+        self.probe_period = probe_period
+        self._horizon_override = horizon
+        fault_tolerant = bool(reliability or anti_entropy or len(self.faults))
+        self.track_convergence = (
+            fault_tolerant if track_convergence is None else track_convergence
+        )
+        # The reverse channel exists whenever something needs to travel
+        # client -> server (acks, repair requests).
+        if back_link is not None:
+            self.back_link: Optional[Link] = back_link
+        elif reliability or anti_entropy:
+            self.back_link = _mirror_link(self.link)
+        else:
+            self.back_link = None
+        links = [self.link] + ([self.back_link] if self.back_link else [])
+        self.faults.apply_to_links(links)
         self.events = EventQueue()
         self.report = SyncReport(strategy=strategy.value)
         self.client = Replica("client", self.schema, clock_skew=client_skew)
         self.server = OriginServer("server", self.schema, self._send)
+        self._crashed = False
+        self._crash_drops = 0
+        self._lifetimes: Dict[Row, Timestamp] = {}
+        self._tracker = _ConvergenceTracker()
+        if reliability is not None:
+            self._sender: Optional[ReliableSender] = ReliableSender(
+                self._transmit_data,
+                self.events,
+                policy=reliability.retry,
+                seed=reliability.seed,
+            )
+            self._receiver: Optional[ReliableReceiver] = ReliableReceiver(
+                self._apply_payload, self._send_ack, stats=self._sender.stats
+            )
+        else:
+            self._sender = None
+            self._receiver = None
 
     # -- transport ----------------------------------------------------------
 
     def _send(self, message: Message, now: Timestamp) -> None:
+        """The server's outbound hook: raw or through the session layer."""
+        if self._sender is None:
+            self._transmit_data(message, now)
+            return
+        channel = "snapshot" if isinstance(message, Snapshot) else None
+        self._sender.send(
+            message, now, expires_at=self._sender_expiry(message), channel=channel
+        )
+
+    def _sender_expiry(self, message: Message) -> Optional[Timestamp]:
+        """When the *sender* knows this message stops mattering.
+
+        For expiration-shipped inserts the lifetime is in the message; for
+        baseline inserts the server still knows it locally (the replica
+        does not).  A delete notice never stops mattering -- the baseline
+        must deliver it reliably, forever; that asymmetry is the paper's
+        point.
+        """
+        if isinstance(message, TupleInsert):
+            if message.expires_at is not None:
+                return message.expires_at
+            return self._lifetimes.get(message.row)
+        return None
+
+    def _transmit_data(self, message: Message, now: Timestamp) -> None:
+        """Put one server->client message on the forward link."""
         size = message.size_cells()
-        self.link.record_send(size)
-        arrival = self.link.delivery_time(now, size)
+        arrival = self.link.transmit(now, size)
         if arrival is None:
-            self.link.record_loss()
             return
 
         def deliver(at: Timestamp, message=message, size=size) -> None:
+            if self._crashed:
+                self._crash_drops += 1
+                return
             self.link.record_delivery(size)
-            if isinstance(message, TupleInsert):
-                self.client.on_insert(message, at)
-            elif isinstance(message, DeleteNotice):
-                self.client.on_delete(message, at)
-            elif isinstance(message, Snapshot):
-                self.client.on_snapshot(message, at)
+            if self._receiver is not None and isinstance(message, Envelope):
+                self._receiver.on_envelope(message, at)
             else:
-                raise SimulationError(f"unexpected message {message!r}")
+                self._apply_payload(message, at)
 
         self.events.schedule(arrival, deliver)
+
+    def _apply_payload(self, message: Message, at: Timestamp) -> None:
+        """Hand one (deduplicated) payload to the replica."""
+        if isinstance(message, TupleInsert):
+            self.client.on_insert(message, at)
+        elif isinstance(message, DeleteNotice):
+            self.client.on_delete(message, at)
+        elif isinstance(message, Snapshot):
+            self.client.on_snapshot(message, at)
+        elif isinstance(message, Digest):
+            self._on_client_digest(message, at)
+        elif isinstance(message, RepairResponse):
+            assert self.anti_entropy is not None
+            changed = self.client.on_repair(message, at, self.anti_entropy.num_buckets)
+            if changed:
+                self.report.repairs_applied += 1
+        else:
+            raise SimulationError(f"unexpected message {message!r}")
+
+    def _send_ack(self, ack: Ack, at: Timestamp) -> None:
+        """Client -> server acknowledgement over the reverse link."""
+        assert self.back_link is not None and self._sender is not None
+        size = ack.size_cells()
+        arrival = self.back_link.transmit(at, size)
+        if arrival is None:
+            return
+
+        def deliver(when: Timestamp, ack=ack, size=size) -> None:
+            self.back_link.record_delivery(size)
+            self._sender.on_ack(ack, when)
+
+        self.events.schedule(arrival, deliver)
+
+    # -- anti-entropy ----------------------------------------------------------
+
+    def _send_digest(self, at: Timestamp) -> None:
+        assert self.anti_entropy is not None
+        digest = self.server.make_digest(at, self.anti_entropy.num_buckets)
+        self.report.digests += 1
+        self._transmit_data(digest, at)
+
+    def _on_client_digest(self, digest: Digest, at: Timestamp) -> None:
+        """Client compares bucket hashes and pulls diverged buckets."""
+        assert self.anti_entropy is not None and self.back_link is not None
+        mine = bucket_hashes(
+            self.client.relation.exp_at(digest.at).rows(), digest.num_buckets
+        )
+        mismatched = diff_digests(mine, dict(digest.buckets))
+        if not mismatched:
+            return
+        request = RepairRequest(buckets=mismatched)
+        arrival = self.back_link.transmit(at, request.size_cells())
+        if arrival is None:
+            return
+
+        def serve(when: Timestamp, request=request) -> None:
+            self.back_link.record_delivery(request.size_cells())
+            response = self.server.make_repair(
+                when,
+                request.buckets,
+                self.anti_entropy.num_buckets,
+                with_expirations=self.strategy is ReplicationStrategy.EXPIRATION,
+            )
+            self._transmit_data(response, when)
+
+        self.events.schedule(arrival, serve)
+
+    # -- faults -----------------------------------------------------------------
+
+    def _schedule_crashes(self) -> None:
+        for crash in self.faults.crashes:
+            self.events.schedule(crash.at, self._crash)
+            self.events.schedule(
+                crash.restart_at,
+                lambda at, lose=crash.lose_state: self._restart(at, lose),
+            )
+
+    def _crash(self, at: Timestamp) -> None:
+        self._crashed = True
+
+    def _restart(self, at: Timestamp, lose_state: bool) -> None:
+        self._crashed = False
+        if lose_state:
+            self.client.reset_state()
+            if self._receiver is not None:
+                self._receiver.reset()
 
     # -- run ------------------------------------------------------------------
 
     def run(self) -> SyncReport:
         """Execute the scenario; returns the traffic/consistency report."""
+        horizon = self._horizon()
         for time, row, expires_at in self.workload:
             self.events.schedule(time, self._make_insert(row, ts(expires_at)))
         if self.strategy is ReplicationStrategy.PERIODIC_SNAPSHOT:
-            horizon = self._horizon()
-            period_start = self.snapshot_period
-            for snap_time in range(period_start, horizon + 1, self.snapshot_period):
+            for snap_time in range(
+                self.snapshot_period, horizon + 1, self.snapshot_period
+            ):
                 self.events.schedule(
                     snap_time,
                     lambda at: self.server.send_snapshot(at, with_expirations=False),
                 )
         for query_time in self.query_times:
             self.events.schedule(query_time, self._run_query)
-        self.events.run_until(self._horizon())
-        self._fill_report()
+        self._schedule_crashes()
+        if self.anti_entropy is not None:
+            for when in range(
+                self.anti_entropy.period, horizon + 1, self.anti_entropy.period
+            ):
+                self.events.schedule(when, self._send_digest)
+        if self.track_convergence:
+            for when in range(0, horizon + 1, self.probe_period):
+                self.events.schedule(when, self._probe)
+        self.events.run_until(horizon)
+        self._fill_report(horizon)
         return self.report
 
     def _make_insert(self, row: Row, expires_at: Timestamp):
         def action(at: Timestamp) -> None:
+            self._lifetimes[row] = expires_at
             if self.strategy is ReplicationStrategy.EXPIRATION:
                 self.server.insert_expiration_based(row, expires_at, at)
             elif self.strategy is ReplicationStrategy.EXPLICIT_DELETE:
@@ -146,8 +402,14 @@ class ReplicationSimulation:
 
     def _run_query(self, at: Timestamp) -> None:
         truth = self.server.live_rows(at)
-        seen = self.client.visible_rows(at)
         self.report.queries += 1
+        if self._crashed:
+            # The client is down: the query goes unanswered, which we
+            # count as wrong-by-omission (everything live is missing).
+            self.report.incorrect_answers += 1
+            self.report.missing_tuples += len(truth)
+            return
+        seen = self.client.visible_rows(at)
         if seen == truth:
             self.report.correct_answers += 1
         else:
@@ -155,20 +417,54 @@ class ReplicationSimulation:
             self.report.missing_tuples += len(truth - seen)
             self.report.extra_tuples += len(seen - truth)
 
+    def _probe(self, at: Timestamp) -> None:
+        truth = self.server.live_rows(at)
+        seen = set() if self._crashed else self.client.visible_rows(at)
+        self._tracker.observe(at, seen != truth)
+
+    def _quiesced_at(self) -> int:
+        latest = max((time for time, _, _ in self.workload), default=0)
+        return max(latest, self.faults.last_activity())
+
     def _horizon(self) -> int:
+        if self._horizon_override is not None:
+            return self._horizon_override
         latest = 0
         for time, _, expires_at in self.workload:
             latest = max(latest, time, expires_at)
         if self.query_times:
             latest = max(latest, self.query_times[-1])
-        return latest + self.link.latency + self.link.jitter + 1
+        latest = max(latest, self.faults.last_activity())
+        margin = self.link.latency + self.link.jitter + 1
+        if self.reliability is not None:
+            margin += self.reliability.retry.max_total_delay()
+        if self.anti_entropy is not None:
+            margin += 2 * self.anti_entropy.period + 2 * self.link.latency
+        return latest + margin
 
-    def _fill_report(self) -> None:
+    def _fill_report(self, horizon: int) -> None:
         stats = self.link.stats
         self.report.messages = stats.messages_sent
         self.report.cells = stats.cells_sent
         self.report.messages_lost = stats.messages_lost
-        self.report.detail = stats.as_dict()
+        self.report.detail = dict(stats.as_dict())
+        if self.back_link is not None:
+            back = self.back_link.stats
+            self.report.messages += back.messages_sent
+            self.report.cells += back.cells_sent
+            self.report.messages_lost += back.messages_lost
+            self.report.detail["back"] = back.as_dict()
+        if self._sender is not None:
+            session = self._sender.stats
+            self.report.retransmissions = session.retransmissions
+            self.report.retransmissions_avoided = session.retransmissions_avoided
+            self.report.cells_avoided = session.cells_avoided
+            self.report.acks = session.acks_sent
+            self.report.detail["session"] = session.as_dict()
+        if self._crash_drops:
+            self.report.detail["crash_drops"] = self._crash_drops
+        if self.track_convergence:
+            self._tracker.fill(self.report, horizon, self._quiesced_at())
 
 
 class FanOutSimulation:
@@ -179,6 +475,9 @@ class FanOutSimulation:
     Under the explicit-delete baseline the server's deletion traffic scales
     with (clients × expirations); under expiration-based maintenance it is
     exactly (clients × inserts) and consistency survives any partition.
+
+    The fault-tolerance stack applies uniformly: each client simulation
+    gets its own session (seeded per client) over the shared configs.
     """
 
     def __init__(
@@ -189,6 +488,9 @@ class FanOutSimulation:
         strategy: ReplicationStrategy,
         links: Sequence[Link],
         client_skews: Optional[Sequence[int]] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        anti_entropy: Optional[AntiEntropyConfig] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         if not links:
             raise SimulationError("a fan-out needs at least one client link")
@@ -203,8 +505,15 @@ class FanOutSimulation:
             ReplicationSimulation(
                 self.schema, self.workload, self.query_times, strategy,
                 link=link, client_skew=skew,
+                reliability=(
+                    ReliabilityConfig(retry=reliability.retry,
+                                      seed=reliability.seed + index)
+                    if reliability is not None else None
+                ),
+                anti_entropy=anti_entropy,
+                faults=faults,
             )
-            for link, skew in zip(links, skews)
+            for index, (link, skew) in enumerate(zip(links, skews))
         ]
 
     def run(self) -> SyncReport:
@@ -220,6 +529,11 @@ class FanOutSimulation:
             total.messages += report.messages
             total.cells += report.cells
             total.messages_lost += report.messages_lost
+            total.retransmissions += report.retransmissions
+            total.retransmissions_avoided += report.retransmissions_avoided
+            total.cells_avoided += report.cells_avoided
+            total.repairs_applied += report.repairs_applied
+            total.converged = total.converged and report.converged
         total.detail = {
             "clients": len(reports),
             "worst_client_consistency": round(
@@ -249,7 +563,12 @@ class DifferenceViewSimulation:
     The base relations are fixed at simulation start (the paper's
     no-updates assumption); everything that happens afterwards is driven
     purely by expirations -- which is exactly the regime where the three
-    strategies differ.
+    strategies differ.  The fault-tolerance stack (``reliability``,
+    ``faults``) wraps the server->client data channel; a state-losing
+    crash is where the strategies' recovery stories diverge: recompute /
+    Schrödinger clients re-request on demand, a patch client has nothing
+    left to patch and stays diverged (the Theorem-3 contract assumes the
+    queue survives).
     """
 
     def __init__(
@@ -259,6 +578,12 @@ class DifferenceViewSimulation:
         query_times: Sequence[int],
         strategy: ViewMaintenanceStrategy,
         link: Optional[Link] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        faults: Optional[FaultSchedule] = None,
+        back_link: Optional[Link] = None,
+        track_convergence: Optional[bool] = None,
+        probe_period: int = 1,
+        horizon: Optional[int] = None,
     ) -> None:
         left.schema.check_union_compatible(right.schema)
         self.left = left
@@ -266,57 +591,151 @@ class DifferenceViewSimulation:
         self.query_times = sorted(query_times)
         self.strategy = strategy
         self.link = link if link is not None else Link(latency=0)
+        self.reliability = reliability
+        self.faults = faults if faults is not None else FaultSchedule()
+        self.probe_period = probe_period
+        self._horizon_override = horizon
+        fault_tolerant = bool(reliability or len(self.faults))
+        self.track_convergence = (
+            fault_tolerant if track_convergence is None else track_convergence
+        )
+        if back_link is not None:
+            self.back_link: Optional[Link] = back_link
+        elif reliability:
+            self.back_link = _mirror_link(self.link)
+        else:
+            self.back_link = None
+        links = [self.link] + ([self.back_link] if self.back_link else [])
+        self.faults.apply_to_links(links)
         self.events = EventQueue()
         self.report = SyncReport(strategy=strategy.value)
         self.client = DifferenceViewClient("client", left.schema)
         self.server = DifferenceViewServer("server", left, right, self._send_down)
-        self._pending_metadata: List[Tuple[Timestamp, object]] = []
+        self._crashed = False
+        self._crash_drops = 0
+        self._tracker = _ConvergenceTracker()
+        if reliability is not None:
+            self._sender: Optional[ReliableSender] = ReliableSender(
+                self._transmit_down,
+                self.events,
+                policy=reliability.retry,
+                seed=reliability.seed,
+            )
+            self._receiver: Optional[ReliableReceiver] = ReliableReceiver(
+                self._apply_payload, self._send_ack, stats=self._sender.stats
+            )
+        else:
+            self._sender = None
+            self._receiver = None
 
     # -- transport (down = server->client; up = client->server) ----------------
 
     def _send_down(self, message: Message, now: Timestamp) -> None:
+        if self._sender is None:
+            self._transmit_down(message, now)
+            return
+        expires_at = None
+        channel = None
+        if isinstance(message, RecomputeResponse):
+            # A response whose view has since expired is not worth
+            # retransmitting: the client will have to re-request anyway.
+            expires_at = message.expires_at
+            channel = f"view:{message.view_name}"
+        self._sender.send(message, now, expires_at=expires_at, channel=channel)
+
+    def _transmit_down(self, message: Message, now: Timestamp) -> None:
         size = message.size_cells()
-        self.link.record_send(size)
-        arrival = self.link.delivery_time(now, size)
+        arrival = self.link.transmit(now, size)
         if arrival is None:
-            self.link.record_loss()
             return
 
         def deliver(at: Timestamp, message=message, size=size) -> None:
+            if self._crashed:
+                self._crash_drops += 1
+                return
             self.link.record_delivery(size)
-            if isinstance(message, RecomputeResponse):
-                expiration, validity = self._pending_metadata.pop(0)
-                self.client.on_view_state(
-                    message, at, expiration=expiration, validity=validity
-                )
-            elif isinstance(message, PatchShipment):
-                self.client.on_patches(message, at)
+            if self._receiver is not None and isinstance(message, Envelope):
+                self._receiver.on_envelope(message, at)
             else:
-                raise SimulationError(f"unexpected message {message!r}")
+                self._apply_payload(message, at)
 
         self.events.schedule(arrival, deliver)
+
+    def _apply_payload(self, message: Message, at: Timestamp) -> None:
+        if isinstance(message, RecomputeResponse):
+            self.client.on_view_state(message, at)
+        elif isinstance(message, PatchShipment):
+            self.client.on_patches(message, at)
+        else:
+            raise SimulationError(f"unexpected message {message!r}")
+
+    def _send_ack(self, ack: Ack, at: Timestamp) -> None:
+        assert self.back_link is not None and self._sender is not None
+        size = ack.size_cells()
+        arrival = self.back_link.transmit(at, size)
+        if arrival is None:
+            return
+
+        def deliver(when: Timestamp, ack=ack, size=size) -> None:
+            self.back_link.record_delivery(size)
+            self._sender.on_ack(ack, when)
+
+        self.events.schedule(arrival, deliver)
+
+    def _request_link(self) -> Link:
+        """Client->server requests travel on the reverse link when it exists."""
+        return self.back_link if self.back_link is not None else self.link
 
     def _request_recompute(self, at: Timestamp) -> None:
         """Client -> server: please re-materialise (counted as traffic)."""
         request = RecomputeRequest(view_name="diff")
-        self.link.record_send(request.size_cells())
         self.report.recompute_requests += 1
-        arrival = self.link.delivery_time(at, request.size_cells())
+        up = self._request_link()
+        arrival = up.transmit(at, request.size_cells())
         if arrival is None:
-            self.link.record_loss()
             return
 
         def serve(when: Timestamp) -> None:
-            self.link.record_delivery(request.size_cells())
-            metadata = self.server.ship_materialisation(when)
-            self._pending_metadata.append(metadata)
+            up.record_delivery(request.size_cells())
+            self.server.ship_materialisation(when)
 
         self.events.schedule(arrival, serve)
+
+    # -- faults -----------------------------------------------------------------
+
+    def _schedule_crashes(self) -> None:
+        for crash in self.faults.crashes:
+            self.events.schedule(crash.at, self._crash)
+            self.events.schedule(
+                crash.restart_at,
+                lambda at, lose=crash.lose_state: self._restart(at, lose),
+            )
+
+    def _crash(self, at: Timestamp) -> None:
+        self._crashed = True
+
+    def _restart(self, at: Timestamp, lose_state: bool) -> None:
+        self._crashed = False
+        if not lose_state:
+            return
+        self.client.reset_state()
+        if self._receiver is not None:
+            self._receiver.reset()
+        if self.strategy is ViewMaintenanceStrategy.RECOMPUTE_ON_INVALID:
+            # The invalidation watcher died with the old state; restart it
+            # with a fresh materialisation.
+            self._request_recompute(at)
+            self.events.schedule(
+                at + self.link.latency * 2 + 1, self._schedule_next_invalidation
+            )
+        # Schrödinger recovers on the next query (empty validity forces a
+        # round trip); PATCH has no recovery path by design.
 
     # -- run --------------------------------------------------------------------
 
     def run(self) -> SyncReport:
         """Execute the scenario; returns the traffic/consistency report."""
+        horizon = self._horizon()
         # Initial shipment at time 0, installed synchronously (the client
         # bootstraps before any query arrives); traffic is still counted.
         self._install_state_synchronously(ts(0))
@@ -332,8 +751,13 @@ class DifferenceViewSimulation:
             # time; earlier query times degrade to "as soon as possible".
             effective = query_time if self.events.now < query_time else self.events.now
             self.events.schedule(effective, self._run_query)
-        self.events.run_until(self._horizon())
-        self._fill_report()
+        self._schedule_crashes()
+        if self.track_convergence:
+            start = self.events.now.value
+            for when in range(start, horizon + 1, self.probe_period):
+                self.events.schedule(when, self._probe)
+        self.events.run_until(horizon)
+        self._fill_report(horizon)
         return self.report
 
     def _schedule_next_invalidation(self, at: Timestamp) -> None:
@@ -366,29 +790,39 @@ class DifferenceViewSimulation:
         expiration = (
             validity.intervals[0].end if validity.intervals else ts(0)
         )
-        response = RecomputeResponse(view_name="diff", snapshot=Snapshot(rows))
+        response = RecomputeResponse(
+            view_name="diff",
+            snapshot=Snapshot(rows),
+            expires_at=expiration,
+            validity=validity,
+        )
         self.link.record_send(response.size_cells())
         self.link.record_delivery(response.size_cells())
         self.server.recomputations_served += 1
         self.client.on_view_state(response, at, expiration=expiration, validity=validity)
 
     def _run_query(self, at: Timestamp) -> None:
+        truth = self.server.truth_at(at)
+        self.report.queries += 1
+        if self._crashed:
+            self.report.incorrect_answers += 1
+            self.report.missing_tuples += len(truth)
+            return
         if (
             self.strategy is ViewMaintenanceStrategy.SCHRODINGER
             and not self.client.can_answer_locally(at)
         ):
             # Synchronous round trip: the query waits for the fresh state.
             request = RecomputeRequest(view_name="diff")
-            self.link.record_send(request.size_cells())
-            self.link.record_delivery(request.size_cells())
+            up = self._request_link()
+            up.record_send(request.size_cells())
+            up.record_delivery(request.size_cells())
             self.report.recompute_requests += 1
             self._install_state_synchronously(at)
             self.client.remote_answers += 1
         else:
             self.client.local_answers += 1
-        truth = self.server.truth_at(at)
         seen = self.client.visible_rows(at)
-        self.report.queries += 1
         if seen == truth:
             self.report.correct_answers += 1
         else:
@@ -396,17 +830,48 @@ class DifferenceViewSimulation:
             self.report.missing_tuples += len(truth - seen)
             self.report.extra_tuples += len(seen - truth)
 
+    def _probe(self, at: Timestamp) -> None:
+        truth = self.server.truth_at(at)
+        seen = set() if self._crashed else self.client.visible_rows(at)
+        self._tracker.observe(at, seen != truth)
+
+    def _quiesced_at(self) -> int:
+        return max(self.faults.last_activity(), 0)
+
     def _horizon(self) -> int:
+        if self._horizon_override is not None:
+            return self._horizon_override
         latest = max(self.query_times, default=0)
         for relation in (self.left, self.right):
             for _, texp in relation.items():
                 if texp.is_finite:
                     latest = max(latest, texp.value)
-        return latest + self.link.latency + self.link.jitter + 2
+        latest = max(latest, self.faults.last_activity())
+        margin = self.link.latency + self.link.jitter + 2
+        if self.reliability is not None:
+            margin += self.reliability.retry.max_total_delay()
+        return latest + margin
 
-    def _fill_report(self) -> None:
+    def _fill_report(self, horizon: int) -> None:
         stats = self.link.stats
         self.report.messages = stats.messages_sent
         self.report.cells = stats.cells_sent
         self.report.messages_lost = stats.messages_lost
-        self.report.detail = stats.as_dict()
+        self.report.detail = dict(stats.as_dict())
+        if self.back_link is not None:
+            back = self.back_link.stats
+            self.report.messages += back.messages_sent
+            self.report.cells += back.cells_sent
+            self.report.messages_lost += back.messages_lost
+            self.report.detail["back"] = back.as_dict()
+        if self._sender is not None:
+            session = self._sender.stats
+            self.report.retransmissions = session.retransmissions
+            self.report.retransmissions_avoided = session.retransmissions_avoided
+            self.report.cells_avoided = session.cells_avoided
+            self.report.acks = session.acks_sent
+            self.report.detail["session"] = session.as_dict()
+        if self._crash_drops:
+            self.report.detail["crash_drops"] = self._crash_drops
+        if self.track_convergence:
+            self._tracker.fill(self.report, horizon, self._quiesced_at())

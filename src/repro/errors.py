@@ -99,3 +99,11 @@ class UnsupportedSqlError(SqlPlanError):
 
 class SimulationError(ReproError):
     """Distributed-simulation misconfiguration or protocol violation."""
+
+
+class ProtocolError(SimulationError):
+    """A reliability or anti-entropy protocol invariant was violated."""
+
+
+class FaultInjectionError(SimulationError):
+    """An invalid fault schedule or an inapplicable injected fault."""

@@ -1,0 +1,132 @@
+"""Tests for anti-entropy digests and bucket repair."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import INFINITY, ts
+from repro.distributed.anti_entropy import (
+    AntiEntropyConfig,
+    apply_repair,
+    bucket_hashes,
+    bucket_of,
+    build_digest,
+    build_repair,
+    diff_digests,
+)
+from repro.distributed.protocols import RepairResponse
+from repro.errors import ProtocolError, SimulationError
+
+SCHEMA = Schema(["k", "v"])
+
+
+def relation(rows):
+    rel = Relation(SCHEMA)
+    for row, texp in rows:
+        rel.insert(row, expires_at=texp)
+    return rel
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AntiEntropyConfig(period=0)
+        with pytest.raises(SimulationError):
+            AntiEntropyConfig(num_buckets=0)
+
+
+class TestDigests:
+    def test_bucket_assignment_is_stable_and_in_range(self):
+        rows = [(i, "x") for i in range(50)]
+        buckets = [bucket_of(row, 8) for row in rows]
+        assert buckets == [bucket_of(row, 8) for row in rows]
+        assert all(0 <= b < 8 for b in buckets)
+        assert len(set(buckets)) > 1  # rows actually spread out
+
+    def test_hashes_are_order_independent(self):
+        rows = [(1, "a"), (2, "b"), (3, "c"), (4, "d")]
+        assert bucket_hashes(rows, 4) == bucket_hashes(list(reversed(rows)), 4)
+
+    def test_equal_row_sets_produce_equal_digests(self):
+        rows = [((i, "x"), ts(50)) for i in range(10)]
+        a = build_digest(relation(rows), 5, num_buckets=4)
+        b = build_digest(relation(rows), 5, num_buckets=4)
+        assert a.buckets == b.buckets
+        assert diff_digests(dict(a.buckets), dict(b.buckets)) == ()
+
+    def test_digest_sees_only_unexpired_rows(self):
+        rows = [((1, "a"), ts(10)), ((2, "b"), ts(100))]
+        early = build_digest(relation(rows), 5, num_buckets=4)
+        late = build_digest(relation(rows), 50, num_buckets=4)
+        assert early.buckets != late.buckets
+
+    def test_diff_finds_mismatches_in_both_directions(self):
+        assert diff_digests({0: 1, 1: 2}, {0: 1, 1: 3}) == (1,)
+        assert diff_digests({0: 1}, {0: 1, 2: 5}) == (2,)  # bucket only there
+        assert diff_digests({0: 1, 3: 9}, {0: 1}) == (3,)  # bucket only here
+
+    def test_expiration_hides_rows_without_expirations_in_hash(self):
+        # Hashes cover rows only, so a replica that never learned the
+        # lifetimes (the explicit-delete baseline) still agrees.
+        server = relation([((1, "a"), ts(100)), ((2, "b"), ts(100))])
+        baseline_client = relation([((1, "a"), INFINITY), ((2, "b"), INFINITY)])
+        mine = bucket_hashes(baseline_client.exp_at(5).rows(), 4)
+        theirs = bucket_hashes(server.exp_at(5).rows(), 4)
+        assert diff_digests(mine, theirs) == ()
+
+
+class TestRepair:
+    def test_round_trip_repairs_a_missing_row(self):
+        server = relation([((1, "a"), ts(100)), ((2, "b"), ts(100))])
+        client = relation([((1, "a"), ts(100))])  # lost the second insert
+        digest = build_digest(server, 5, num_buckets=4)
+        mine = bucket_hashes(client.exp_at(5).rows(), 4)
+        missing = diff_digests(mine, dict(digest.buckets))
+        assert missing
+        response = build_repair(server, 5, missing, 4, with_expirations=True)
+        changed = apply_repair(client, response, 4)
+        assert changed >= 1
+        assert set(client.exp_at(5).rows()) == set(server.exp_at(5).rows())
+        # Lifetimes travelled too: the repaired row expires on its own.
+        assert client.expiration_or_none((2, "b")) == ts(100)
+
+    def test_repair_heals_a_lost_delete(self):
+        # Baseline replica serving a dead row forever: repair kills it.
+        server = relation([])
+        client = relation([((9, "zombie"), INFINITY)])
+        digest = build_digest(server, 5, num_buckets=4)
+        mine = bucket_hashes(client.exp_at(5).rows(), 4)
+        stale = diff_digests(mine, dict(digest.buckets))
+        response = build_repair(server, 5, stale, 4, with_expirations=False)
+        apply_repair(client, response, 4)
+        assert set(client.exp_at(5).rows()) == set()
+
+    def test_repair_is_idempotent(self):
+        server = relation([((1, "a"), ts(100))])
+        client = relation([])
+        response = build_repair(server, 5, range(4), 4, with_expirations=True)
+        assert apply_repair(client, response, 4) >= 1
+        assert apply_repair(client, response, 4) == 0  # nothing left to fix
+
+    def test_repair_without_expirations_hides_lifetimes(self):
+        server = relation([((1, "a"), ts(100))])
+        response = build_repair(server, 5, range(4), 4, with_expirations=False)
+        assert response.rows[0][1] is None
+
+    def test_rejects_row_outside_requested_buckets(self):
+        row = (1, "a")
+        wrong = tuple(b for b in range(4) if b != bucket_of(row, 4))[:1]
+        client = relation([])
+        with pytest.raises(ProtocolError):
+            apply_repair(
+                client, RepairResponse(buckets=wrong, rows=((row, None),)), 4
+            )
+
+    def test_expired_divergence_needs_no_repair(self):
+        # The client missed an insert whose tuple has since expired: at a
+        # later digest time the two sides already agree -- zero traffic.
+        server = relation([((1, "a"), ts(10))])
+        client = relation([])
+        digest = build_digest(server, 20, num_buckets=4)
+        mine = bucket_hashes(client.exp_at(20).rows(), 4)
+        assert diff_digests(mine, dict(digest.buckets)) == ()

@@ -117,6 +117,72 @@ class TestLink:
         assert stats["cells_sent"] == 10
         assert stats["messages_lost"] == 1
 
+    def test_loss_sampled_during_partition_still_loses(self):
+        # Loss is sampled before the partition check: a message that would
+        # have been lost anyway is lost, not queued for the heal.
+        link = Link(latency=1, loss_probability=1.0, partitions=[(5, 10)])
+        assert link.delivery_time(7) is None
+        assert link.stats.messages_queued == 0
+
+    def test_back_to_back_partitions_coalesce(self):
+        # [5,10) and [10,15) form one down window; a message sent inside
+        # the first departs only when the *second* heals.
+        link = Link(latency=1, partitions=[(5, 10), (10, 15)])
+        assert link.delivery_time(7) == ts(16)
+        assert link.stats.messages_queued == 1
+
+    def test_transmit_accounts_sends_and_losses(self):
+        lossy = Link(loss_probability=1.0)
+        assert lossy.transmit(0, size_cells=4) is None
+        assert lossy.stats.messages_sent == 1
+        assert lossy.stats.cells_sent == 4
+        assert lossy.stats.messages_lost == 1
+        clean = Link(latency=2)
+        assert clean.transmit(0, size_cells=4) == ts(2)
+        assert clean.stats.messages_lost == 0
+
+    def test_transmit_counts_forever_partition_as_lost(self):
+        link = Link(latency=1, partitions=[(0, None)])
+        assert link.transmit(3, size_cells=2) is None
+        assert link.stats.messages_lost == 1
+
+    def test_deterministic_across_identical_seeds(self):
+        def trace(seed):
+            link = Link(latency=2, jitter=3, loss_probability=0.4, seed=seed)
+            return [link.transmit(t, size_cells=1) for t in range(30)]
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_bandwidth_adds_serialisation_delay(self):
+        link = Link(latency=2, bandwidth=2)
+        assert link.serialisation_delay(1) == 1
+        assert link.serialisation_delay(5) == 3  # ceil(5 / 2)
+        assert link.delivery_time(0, size_cells=5) == ts(5)
+        unbounded = Link(latency=2)
+        assert unbounded.serialisation_delay(100) == 0
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(SimulationError):
+            Link(bandwidth=0)
+
+    def test_loss_burst_overrides_base_probability(self):
+        link = Link(loss_probability=0.1)
+        link.add_loss_burst(10, 20, 1.0)
+        assert link.loss_probability_at(5) == 0.1
+        assert link.loss_probability_at(10) == 1.0
+        assert link.loss_probability_at(19) == 1.0
+        assert link.loss_probability_at(20) == 0.1
+        assert link.delivery_time(15) is None
+        with pytest.raises(SimulationError):
+            link.add_loss_burst(0, 5, 1.5)
+
+    def test_added_partition_behaves_like_constructed(self):
+        link = Link(latency=1)
+        link.add_partition(5, 10)
+        assert not link.is_up(7)
+        assert link.delivery_time(7) == ts(11)
+
 
 class TestNode:
     def test_skew(self):

@@ -1,0 +1,187 @@
+"""Tests for fault injection and end-to-end fault tolerance.
+
+The end-to-end class is the issue's acceptance scenario: a seeded lossy
+link plus a partition window plus one state-losing crash/restart.  The
+expiration strategy with reliable delivery *and* anti-entropy must
+converge exactly to the server's ground truth after quiescence; the
+unreliable baseline must demonstrably not.
+"""
+
+import pytest
+
+from repro.distributed.faults import BurstLoss, FaultSchedule, LinkFlap, NodeCrash
+from repro.distributed.link import Link
+from repro.distributed.reliability import ReliabilityConfig, RetryPolicy
+from repro.distributed.anti_entropy import AntiEntropyConfig
+from repro.distributed.simulator import ReplicationSimulation, ReplicationStrategy
+from repro.errors import FaultInjectionError
+from repro.workloads.generators import UniformLifetime, random_stream
+
+
+class TestFaultValidation:
+    def test_crash_must_restart_after_crashing(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule([NodeCrash(at=10, restart_at=10)])
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule([NodeCrash(at=-1, restart_at=5)])
+
+    def test_flap_needs_positive_duration(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule([LinkFlap(at=5, duration=0)])
+
+    def test_burst_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule([BurstLoss(at=10, until=5)])
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule([BurstLoss(at=0, until=5, probability=2.0)])
+
+    def test_rejects_unknown_fault_kinds(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule(["not a fault"])
+
+    def test_last_activity(self):
+        schedule = FaultSchedule([
+            NodeCrash(at=10, restart_at=30),
+            LinkFlap(at=40, duration=5),
+            BurstLoss(at=0, until=20),
+        ])
+        assert schedule.last_activity() == 45
+
+    def test_apply_folds_static_faults_into_links(self):
+        schedule = FaultSchedule([
+            LinkFlap(at=10, duration=5),
+            BurstLoss(at=30, until=40, probability=1.0),
+        ])
+        link = Link(latency=1)
+        schedule.apply_to_links([link])
+        assert not link.is_up(12)
+        assert link.is_up(15)
+        assert link.loss_probability_at(35) == 1.0
+
+
+def acceptance_workload():
+    workload = random_stream(
+        ["k", "v"], 40, UniformLifetime(10, 30), arrival_span=50, seed=7
+    )
+    # A few rows that outlive the whole run: the unreliable baseline has
+    # no second chance at these, so a lost insert diverges forever.
+    workload += [(5, (900 + i, "eternal"), 10_000) for i in range(4)]
+    return workload
+
+
+def acceptance_faults():
+    return FaultSchedule([
+        BurstLoss(at=25, until=55, probability=1.0),
+        LinkFlap(at=90, duration=15),
+        NodeCrash(at=120, restart_at=130, lose_state=True),
+    ])
+
+
+def run_replication(strategy, reliable=False, anti_entropy=False, seed=3):
+    sim = ReplicationSimulation(
+        ["k", "v"], acceptance_workload(), range(10, 200, 10), strategy,
+        link=Link(latency=2, loss_probability=0.2, seed=seed),
+        reliability=(
+            ReliabilityConfig(retry=RetryPolicy(), seed=1) if reliable else None
+        ),
+        anti_entropy=AntiEntropyConfig(period=20, num_buckets=8)
+        if anti_entropy else None,
+        faults=acceptance_faults(),
+        horizon=400,
+    )
+    report = sim.run()
+    return sim, report
+
+
+class TestEndToEndFaultTolerance:
+    def test_unreliable_baseline_never_converges(self):
+        _, report = run_replication(ReplicationStrategy.EXPIRATION)
+        assert not report.converged
+        assert report.divergence_ticks > 0
+
+    def test_reliable_with_anti_entropy_converges_to_ground_truth(self):
+        sim, report = run_replication(
+            ReplicationStrategy.EXPIRATION, reliable=True, anti_entropy=True
+        )
+        assert report.converged
+        assert report.converged_at is not None
+        # Exact agreement with the origin's live rows after quiescence.
+        final = sim.events.now
+        assert sim.client.visible_rows(final) == sim.server.live_rows(final)
+        assert sim.client.visible_rows(final)  # non-vacuous: rows remain
+
+    def test_retransmission_alone_cannot_survive_state_loss(self):
+        # Acked-then-lost rows are never retransmitted; without
+        # anti-entropy the replica stays short of ground truth.
+        _, reliable_only = run_replication(
+            ReplicationStrategy.EXPIRATION, reliable=True
+        )
+        assert not reliable_only.converged
+
+    def test_expiration_awareness_saves_retransmissions(self):
+        _, report = run_replication(
+            ReplicationStrategy.EXPIRATION, reliable=True, anti_entropy=True
+        )
+        assert report.retransmissions > 0
+        assert report.retransmissions_avoided > 0
+        assert report.cells_avoided > 0
+
+    def test_anti_entropy_heals_the_baseline_too(self):
+        sim, report = run_replication(
+            ReplicationStrategy.EXPLICIT_DELETE, reliable=True, anti_entropy=True
+        )
+        assert report.converged
+        final = sim.events.now
+        assert sim.client.visible_rows(final) == sim.server.live_rows(final)
+
+    def test_expiration_converges_cheaper_than_baseline(self):
+        _, baseline = run_replication(
+            ReplicationStrategy.EXPLICIT_DELETE, reliable=True, anti_entropy=True
+        )
+        _, expiration = run_replication(
+            ReplicationStrategy.EXPIRATION, reliable=True, anti_entropy=True
+        )
+        assert expiration.converged and baseline.converged
+        assert expiration.cells < baseline.cells
+        assert expiration.messages < baseline.messages
+
+    def test_convergence_metrics_are_coherent(self):
+        _, report = run_replication(
+            ReplicationStrategy.EXPIRATION, reliable=True, anti_entropy=True
+        )
+        windows = report.detail["divergence_windows"]
+        assert report.divergence_ticks == sum(end - start for start, end in windows)
+        assert report.max_staleness == max(end - start for start, end in windows)
+        assert report.converged_at == windows[-1][1]
+        assert report.convergence_lag is not None and report.convergence_lag >= 0
+
+    def test_crash_without_state_loss_recovers_by_retransmission(self):
+        faults = FaultSchedule([NodeCrash(at=30, restart_at=40, lose_state=False)])
+        sim = ReplicationSimulation(
+            ["k", "v"], acceptance_workload(), range(10, 200, 10),
+            ReplicationStrategy.EXPIRATION,
+            link=Link(latency=2, seed=3),
+            reliability=ReliabilityConfig(retry=RetryPolicy(), seed=1),
+            faults=faults, horizon=400,
+        )
+        report = sim.run()
+        assert report.converged
+        assert report.detail.get("crash_drops", 0) > 0
+
+    def test_deterministic_across_identical_seeds(self):
+        rows = [
+            run_replication(
+                ReplicationStrategy.EXPIRATION, reliable=True, anti_entropy=True
+            )[1].fault_tolerance_row()
+            for _ in range(2)
+        ]
+        assert rows[0] == rows[1]
+
+    def test_different_seed_changes_the_run(self):
+        a = run_replication(
+            ReplicationStrategy.EXPIRATION, reliable=True, seed=3
+        )[1].fault_tolerance_row()
+        b = run_replication(
+            ReplicationStrategy.EXPIRATION, reliable=True, seed=4
+        )[1].fault_tolerance_row()
+        assert a != b

@@ -1,0 +1,248 @@
+"""Tests for the reliable session layer (sequence numbers, acks, retries)."""
+
+import random
+
+import pytest
+
+from repro.core.timestamps import ts
+from repro.distributed.events import EventQueue
+from repro.distributed.link import Link
+from repro.distributed.protocols import Ack, DeleteNotice, Envelope, TupleInsert
+from repro.distributed.reliability import (
+    ReliableReceiver,
+    ReliableSender,
+    RetryPolicy,
+)
+from repro.errors import ProtocolError, SimulationError
+
+
+def no_jitter(**overrides):
+    """A fully deterministic policy for timing-sensitive tests."""
+    defaults = dict(base_delay=4, multiplier=2.0, max_delay=64, jitter=0,
+                    max_attempts=3)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(base_delay=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(base_delay=10, max_delay=5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(jitter=-1)
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_attempts=0)
+
+    def test_exponential_backoff_with_cap(self):
+        policy = no_jitter(base_delay=4, max_delay=10)
+        rng = random.Random(0)
+        assert policy.delay(0, rng) == 4
+        assert policy.delay(1, rng) == 8
+        assert policy.delay(2, rng) == 10  # capped
+        assert policy.delay(9, rng) == 10
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        policy = RetryPolicy(base_delay=4, jitter=3)
+        delays_a = [policy.delay(0, random.Random(7)) for _ in range(5)]
+        delays_b = [policy.delay(0, random.Random(7)) for _ in range(5)]
+        assert delays_a == delays_b
+        assert all(4 <= d <= 7 for d in delays_a)
+
+    def test_max_total_delay_bounds_every_schedule(self):
+        policy = RetryPolicy(base_delay=4, jitter=3, max_attempts=5)
+        rng = random.Random(1)
+        total = sum(policy.delay(a, rng) for a in range(policy.max_attempts + 1))
+        assert total <= policy.max_total_delay()
+
+
+class SenderHarness:
+    """A sender wired to a transcript list instead of a link."""
+
+    def __init__(self, policy=None):
+        self.events = EventQueue()
+        self.wire = []
+        self.sender = ReliableSender(
+            lambda message, now: self.wire.append((int(now), message)),
+            self.events,
+            policy=policy or no_jitter(),
+        )
+
+
+class TestReliableSender:
+    def test_envelopes_get_consecutive_sequence_numbers(self):
+        h = SenderHarness()
+        for i in range(3):
+            envelope = h.sender.send(TupleInsert(row=(i,)), ts(0))
+            assert envelope.seq == i
+        assert [m.seq for _, m in h.wire] == [0, 1, 2]
+        assert h.sender.stats.sent == 3
+
+    def test_ack_stops_retransmission(self):
+        h = SenderHarness()
+        h.sender.send(TupleInsert(row=(1,)), ts(0))
+        h.sender.on_ack(Ack(cumulative=0), ts(2))
+        assert h.sender.in_flight == 0
+        h.events.run_until(200)
+        assert len(h.wire) == 1  # never retransmitted
+        assert h.sender.stats.acked == 1
+
+    def test_unacked_envelope_is_retransmitted_with_backoff(self):
+        h = SenderHarness()
+        h.sender.send(TupleInsert(row=(1,)), ts(0))
+        h.events.run_until(200)
+        # Original + max_attempts retransmissions at 4, 12, 28, then abandon.
+        times = [t for t, _ in h.wire]
+        assert times == [0, 4, 12, 28]
+        assert h.sender.stats.retransmissions == 3
+        assert h.sender.stats.abandoned == 1
+        assert h.sender.in_flight == 0
+
+    def test_selective_ack_retires_out_of_order(self):
+        h = SenderHarness()
+        h.sender.send(TupleInsert(row=(1,)), ts(0))
+        h.sender.send(TupleInsert(row=(2,)), ts(0))
+        h.sender.on_ack(Ack(cumulative=-1, selective=(1,)), ts(1))
+        assert h.sender.in_flight == 1  # seq 0 still pending
+        h.sender.on_ack(Ack(cumulative=0), ts(2))
+        assert h.sender.in_flight == 0
+
+    def test_expired_payload_cancels_retransmission(self):
+        h = SenderHarness()
+        message = TupleInsert(row=(1,), expires_at=ts(3))
+        envelope = h.sender.send(message, ts(0), expires_at=ts(3))
+        h.events.run_until(200)
+        # The first timer fires at 4 > 3: the tuple is dead, cancel.
+        assert len(h.wire) == 1
+        assert h.sender.stats.retransmissions == 0
+        assert h.sender.stats.retransmissions_avoided == 1
+        assert h.sender.stats.cells_avoided == envelope.size_cells()
+        assert h.sender.in_flight == 0
+
+    def test_unexpired_payload_retries_until_expiry(self):
+        h = SenderHarness()
+        h.sender.send(TupleInsert(row=(1,), expires_at=ts(20)), ts(0),
+                      expires_at=ts(20))
+        h.events.run_until(200)
+        # Retries at 4 and 12 happen; the timer at 28 finds the tuple dead.
+        assert [t for t, _ in h.wire] == [0, 4, 12]
+        assert h.sender.stats.retransmissions == 2
+        assert h.sender.stats.retransmissions_avoided == 1
+
+    def test_channel_supersession(self):
+        h = SenderHarness()
+        h.sender.send(TupleInsert(row=(1,)), ts(0), channel="snapshot")
+        h.sender.send(TupleInsert(row=(2,)), ts(1), channel="snapshot")
+        assert h.sender.in_flight == 1  # the old snapshot was dropped
+        assert h.sender.stats.superseded == 1
+        h.events.run_until(200)
+        retransmitted = {m.payload.row for t, m in h.wire if t > 1}
+        assert (1,) not in retransmitted
+
+    def test_deterministic_given_seed(self):
+        def trace(seed):
+            events = EventQueue()
+            wire = []
+            sender = ReliableSender(
+                lambda message, now: wire.append((int(now), message.seq)),
+                events,
+                policy=RetryPolicy(jitter=3, max_attempts=4),
+                seed=seed,
+            )
+            for i in range(5):
+                sender.send(TupleInsert(row=(i,)), ts(i))
+            events.run_until(500)
+            return wire
+
+        assert trace(3) == trace(3)
+        assert trace(3) != trace(4)
+
+
+class ReceiverHarness:
+    def __init__(self):
+        self.delivered = []
+        self.acks = []
+        self.receiver = ReliableReceiver(
+            lambda payload, at: self.delivered.append(payload),
+            lambda ack, at: self.acks.append(ack),
+        )
+
+
+class TestReliableReceiver:
+    def test_delivers_in_order_exactly_once(self):
+        h = ReceiverHarness()
+        for seq in (0, 1, 2):
+            h.receiver.on_envelope(Envelope(seq=seq, payload=TupleInsert(row=(seq,))), ts(seq))
+        assert [m.row for m in h.delivered] == [(0,), (1,), (2,)]
+        assert h.receiver.cumulative == 2
+
+    def test_duplicate_is_dropped_but_acked(self):
+        h = ReceiverHarness()
+        envelope = Envelope(seq=0, payload=TupleInsert(row=(1,)))
+        h.receiver.on_envelope(envelope, ts(0))
+        h.receiver.on_envelope(envelope, ts(5))
+        assert len(h.delivered) == 1
+        assert len(h.acks) == 2  # a lost ack must not stall the sender
+        assert h.receiver.stats.duplicates_dropped == 1
+
+    def test_out_of_order_arrival_uses_selective_acks(self):
+        h = ReceiverHarness()
+        h.receiver.on_envelope(Envelope(seq=2, payload=DeleteNotice(row=(2,))), ts(0))
+        assert h.acks[-1].cumulative == -1
+        assert h.acks[-1].selective == (2,)
+        h.receiver.on_envelope(Envelope(seq=0, payload=DeleteNotice(row=(0,))), ts(1))
+        assert h.acks[-1].cumulative == 0
+        assert h.acks[-1].selective == (2,)
+        h.receiver.on_envelope(Envelope(seq=1, payload=DeleteNotice(row=(1,))), ts(2))
+        assert h.acks[-1].cumulative == 2
+        assert h.acks[-1].selective == ()
+        # Delivery happened in arrival order (the protocols commute).
+        assert [m.row for m in h.delivered] == [(2,), (0,), (1,)]
+
+    def test_rejects_bare_message(self):
+        h = ReceiverHarness()
+        with pytest.raises(ProtocolError):
+            h.receiver.on_envelope(TupleInsert(row=(1,)), ts(0))
+
+    def test_reset_forgets_session_state(self):
+        h = ReceiverHarness()
+        h.receiver.on_envelope(Envelope(seq=0, payload=TupleInsert(row=(1,))), ts(0))
+        h.receiver.reset()
+        assert h.receiver.cumulative == -1
+        # A retransmission of seq 0 is re-delivered (crash recovery).
+        h.receiver.on_envelope(Envelope(seq=0, payload=TupleInsert(row=(1,))), ts(5))
+        assert len(h.delivered) == 2
+
+
+class TestEndToEnd:
+    def test_every_payload_survives_a_lossy_link(self):
+        events = EventQueue()
+        link = Link(latency=1, loss_probability=0.5, seed=13)
+        back = Link(latency=1, loss_probability=0.5, seed=14)
+        delivered = []
+
+        def transmit(message, now):
+            arrival = link.transmit(now, message.size_cells())
+            if arrival is not None:
+                events.schedule(arrival, lambda at, m=message: receiver.on_envelope(m, at))
+
+        def send_ack(ack, at):
+            arrival = back.transmit(at, ack.size_cells())
+            if arrival is not None:
+                events.schedule(arrival, lambda when, a=ack: sender.on_ack(a, when))
+
+        sender = ReliableSender(transmit, events,
+                                policy=RetryPolicy(max_attempts=12), seed=5)
+        receiver = ReliableReceiver(
+            lambda payload, at: delivered.append(payload.row), send_ack,
+            stats=sender.stats,
+        )
+        for i in range(20):
+            sender.send(TupleInsert(row=(i,)), ts(i))
+        events.run_until(2000)
+        assert sorted(delivered) == [(i,) for i in range(20)]
+        assert sender.in_flight == 0
+        assert sender.stats.retransmissions > 0
