@@ -7,7 +7,13 @@ Sub-modules:
   −, agg`` plus derived ``⋈, ∩, ρ``);
 * :mod:`repro.core.algebra.evaluator` -- materialises an expression at a
   time ``τ``, producing per-tuple expiration times, the expression-level
-  expiration ``texp(e)``, and Schrödinger validity intervals ``I(e)``.
+  expiration ``texp(e)``, and Schrödinger validity intervals ``I(e)``;
+* :mod:`repro.core.algebra.compiler` -- the fused-pipeline compiled
+  evaluator: same semantics as the interpreter, built from generator
+  stages, index-bound predicate closures, and bulk join/aggregate kernels;
+* :mod:`repro.core.algebra.plan_cache` -- caches compiled plans and serves
+  prior results at later times ``τ'`` whenever ``τ' ∈ I(e)`` and the
+  catalog is unchanged.
 """
 
 from repro.core.algebra.predicates import (
@@ -39,7 +45,15 @@ from repro.core.algebra.expressions import (
     SemiJoin,
     Union,
 )
-from repro.core.algebra.evaluator import EvalResult, Evaluator, evaluate
+from repro.core.algebra.evaluator import EvalResult, EvalStats, Evaluator, evaluate
+from repro.core.algebra.compiler import (
+    CompiledEvaluator,
+    CompiledPlan,
+    compile_expression,
+    compile_predicate,
+    evaluate_compiled,
+)
+from repro.core.algebra.plan_cache import PlanCache, PlanCacheStats
 
 __all__ = [
     "And",
@@ -68,6 +82,14 @@ __all__ = [
     "SemiJoin",
     "Union",
     "EvalResult",
+    "EvalStats",
     "Evaluator",
     "evaluate",
+    "CompiledEvaluator",
+    "CompiledPlan",
+    "compile_expression",
+    "compile_predicate",
+    "evaluate_compiled",
+    "PlanCache",
+    "PlanCacheStats",
 ]

@@ -1,0 +1,804 @@
+"""Compiled evaluation: expression trees fused into generator pipelines.
+
+The tree-walking :class:`~repro.core.algebra.evaluator.Evaluator` pays a
+full intermediate :class:`~repro.core.relation.Relation` (and a
+``make_row`` + arity check + dict probe per emitted row) at *every*
+operator.  This module compiles an :class:`Expression` once into a plan of
+closures that is then executed many times:
+
+* **Fusion** -- ``Select``/``Project``/``Rename`` compile into generator
+  stages stacked directly on their producer; no intermediate relation is
+  ever materialised for them.  Pipelines are *duplicate-tolerant*: a fused
+  projection may emit the same row several times with different expiration
+  times, and every consumer either max-merges into a dict (the model's
+  duplicate rule, Equation 3) or is insensitive to duplicates.  The one
+  operator whose semantics genuinely need set inputs -- ``Aggregate``,
+  whose partitions count tuples -- deduplicates its input first.
+* **Predicate compilation** -- predicates resolve to index-bound Python
+  closures once per plan, instead of walking the predicate AST per row per
+  evaluation.
+* **Bulk kernels** -- joins build hash buckets in single-pass loops over
+  the raw streams; semi/anti-joins keep only the running ``max`` per key
+  instead of full match lists; non-monotonic operators collect their
+  invalidity intervals as raw pairs and normalise once via
+  :meth:`IntervalSet.from_pairs` instead of unioning per critical tuple.
+
+The compiled path is *semantics-preserving*: for every expression and
+catalog it produces the same rows, the same per-tuple ``texp``, the same
+expression expiration ``texp(e)``, and the same validity interval set
+``I(e)`` as the interpreter (see
+``tests/core/algebra/test_compiler_differential.py`` for the differential
+suite that enforces this).
+
+Why duplicate tolerance is sound: the only stages that emit duplicates are
+fused projections (and stages downstream of one).  All duplicates of a row
+share every *row-keyed* quantity (join matches, difference/anti-join match
+sets), so per-duplicate invalidity intervals ``[d, texp_i)`` share their
+left endpoint and union to ``[d, max texp_i)`` -- exactly the interval the
+interpreter derives from the deduplicated (max-merged) tuple -- and
+max-merging ``min(texp_i, c)`` over duplicates equals ``min(max texp_i,
+c)`` because ``min(·, c)`` is monotone.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.aggregates import (
+    ExpirationStrategy,
+    conservative_expiration,
+    get_aggregate,
+    neutral_set_expiration,
+    value_timeline,
+)
+from repro.core.algebra.evaluator import Catalog, EvalResult, EvalStats
+from repro.core.algebra.expressions import (
+    Aggregate,
+    AntiSemiJoin,
+    BaseRef,
+    Difference,
+    Expression,
+    Intersect,
+    Join,
+    Literal,
+    Product,
+    Project,
+    Rename,
+    Select,
+    SchemaResolver,
+    SemiJoin,
+    Union,
+)
+from repro.core.algebra.predicates import (
+    And,
+    Attribute,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.core.intervals import IntervalSet
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts, ts_max, ts_min
+from repro.errors import CatalogError, EvaluationError
+
+__all__ = [
+    "CompiledPlan",
+    "CompiledEvaluator",
+    "compile_expression",
+    "compile_predicate",
+    "evaluate_compiled",
+]
+
+#: A pipeline stage's payload: (row, expiration) pairs, possibly with
+#: duplicate rows (consumers max-merge or are duplicate-insensitive).
+Pairs = Iterable[Tuple[tuple, Timestamp]]
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+# ---------------------------------------------------------------------------
+# Predicate compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_predicate(predicate: Predicate, schema: Schema) -> Callable[[tuple], bool]:
+    """Compile a predicate into an index-bound ``row -> bool`` closure.
+
+    Attribute references are resolved against ``schema`` once, here; the
+    returned closure does plain 0-based tuple indexing with no per-row AST
+    walk, name resolution, or bounds re-checking.
+    """
+    return _closure(predicate.resolve(schema))
+
+
+def _closure(predicate: Predicate) -> Callable[[tuple], bool]:
+    if isinstance(predicate, Comparison):
+        compare = _COMPARATORS[predicate.op]
+        left, right = predicate.left, predicate.right
+        if isinstance(left, Attribute) and isinstance(right, Attribute):
+            i, j = left.ref - 1, right.ref - 1
+            return lambda row: compare(row[i], row[j])
+        if isinstance(left, Attribute):
+            i, value = left.ref - 1, right.evaluate(())
+            return lambda row: compare(row[i], value)
+        if isinstance(right, Attribute):
+            value, j = left.evaluate(()), right.ref - 1
+            return lambda row: compare(value, row[j])
+        constant = compare(left.evaluate(()), right.evaluate(()))
+        return lambda row: constant
+    if isinstance(predicate, And):
+        parts = [_closure(child) for child in predicate.children]
+        if len(parts) == 2:
+            first, second = parts
+            return lambda row: first(row) and second(row)
+        return lambda row: all(part(row) for part in parts)
+    if isinstance(predicate, Or):
+        parts = [_closure(child) for child in predicate.children]
+        if len(parts) == 2:
+            first, second = parts
+            return lambda row: first(row) or second(row)
+        return lambda row: any(part(row) for part in parts)
+    if isinstance(predicate, Not):
+        inner = _closure(predicate.child)
+        return lambda row: not inner(row)
+    if isinstance(predicate, TruePredicate):
+        return lambda row: True
+    raise EvaluationError(f"uncompilable predicate {type(predicate).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Runtime plumbing
+# ---------------------------------------------------------------------------
+
+
+class _Context:
+    """Per-execution state threaded through the compiled closures."""
+
+    __slots__ = ("lookup", "tau", "stats")
+
+    def __init__(self, lookup: Callable[[str], Relation], tau: Timestamp, stats: EvalStats) -> None:
+        self.lookup = lookup
+        self.tau = tau
+        self.stats = stats
+
+
+class _Stream:
+    """One stage's output: a (possibly lazy) pair stream plus metadata."""
+
+    __slots__ = ("pairs", "expiration", "validity")
+
+    def __init__(self, pairs: Pairs, expiration: Timestamp, validity: IntervalSet) -> None:
+        self.pairs = pairs
+        self.expiration = expiration
+        self.validity = validity
+
+
+#: A compiled node: executed with a context, yields its output stream.
+_Runner = Callable[[_Context], _Stream]
+
+
+def _merge_into(target: Dict[tuple, Timestamp], pairs: Pairs) -> None:
+    """Max-merge a pair stream into ``target`` (Equation 3 / 4)."""
+    get = target.get
+    for row, texp in pairs:
+        existing = get(row)
+        if existing is None or existing < texp:
+            target[row] = texp
+
+
+def _to_dict(pairs: Pairs) -> Dict[tuple, Timestamp]:
+    """Materialise a pair stream into a deduplicated dict."""
+    merged: Dict[tuple, Timestamp] = {}
+    _merge_into(merged, pairs)
+    return merged
+
+
+def _partition_bounds(
+    items: List[Tuple[Any, Timestamp]],
+    function: Any,
+    tau: Timestamp,
+    strategy: "ExpirationStrategy",
+) -> Tuple[Any, Timestamp, Timestamp]:
+    """One partition's (value, strategy expiration, invalidation time).
+
+    Semantically identical to ``function.apply`` + ``strategy_expiration``
+    + ``partition_invalidation_time`` from :mod:`repro.core.aggregates`,
+    but derives all three from a *single* :func:`value_timeline` pass --
+    those helpers each rebuild the timeline, which dominates aggregate
+    evaluation cost.  Items must all be alive at ``tau`` (compiled streams
+    only carry tuples with ``texp > τ``), so the timeline is non-empty.
+    """
+    timeline = value_timeline(items, function, tau)
+    value = timeline[0][1]
+    nu = timeline[0][0].end  # Equation (9): first value change
+    if strategy is ExpirationStrategy.CONSERVATIVE:
+        expiration = conservative_expiration(items)
+    elif strategy is ExpirationStrategy.NEUTRAL_SETS:
+        expiration = neutral_set_expiration(items, function)
+    else:
+        expiration = nu
+    dies_at = ts_max(texp for _, texp in items)
+    if expiration < nu and any(expiration < texp for _, texp in items):
+        invalidation = expiration
+    elif nu < dies_at:
+        invalidation = nu
+    else:
+        invalidation = INFINITY
+    return value, expiration, invalidation
+
+
+def _key_getter(indexes: List[int]) -> Callable[[tuple], Any]:
+    """A fast key extractor over 0-based positions (scalar for one key)."""
+    if not indexes:
+        return lambda row: ()  # global aggregate: one partition for all rows
+    if len(indexes) == 1:
+        only = indexes[0]
+        return lambda row: row[only]
+    return operator.itemgetter(*indexes)
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+class _Compiler:
+    """Compiles one expression tree against resolved schemas."""
+
+    def __init__(self, resolver: SchemaResolver) -> None:
+        self._resolver = resolver
+
+    def schema_of(self, node: Expression) -> Schema:
+        return node.infer_schema(self._resolver)
+
+    def compile(self, node: Expression) -> _Runner:
+        if isinstance(node, BaseRef):
+            return self._compile_base(node)
+        if isinstance(node, Literal):
+            return self._compile_literal(node)
+        if isinstance(node, Select):
+            return self._compile_select(node)
+        if isinstance(node, Project):
+            return self._compile_project(node)
+        if isinstance(node, Rename):
+            return self._compile_rename(node)
+        if isinstance(node, Product):
+            return self._compile_product(node)
+        if isinstance(node, Union):
+            return self._compile_union(node)
+        if isinstance(node, Intersect):
+            return self._compile_intersect(node)
+        if isinstance(node, Join):
+            return self._compile_join(node)
+        if isinstance(node, SemiJoin):
+            return self._compile_semijoin(node)
+        if isinstance(node, AntiSemiJoin):
+            return self._compile_antijoin(node)
+        if isinstance(node, Difference):
+            return self._compile_difference(node)
+        if isinstance(node, Aggregate):
+            return self._compile_aggregate(node)
+        raise EvaluationError(f"unknown expression node {type(node).__name__}")
+
+    # -- leaves ------------------------------------------------------------
+
+    def _compile_base(self, node: BaseRef) -> _Runner:
+        self.schema_of(node)  # fail on unknown names at compile time
+        name = node.name
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            relation = ctx.lookup(name)
+            ctx.stats.tuples_scanned += len(relation)
+            tau = ctx.tau
+            # Stream exp_τ(R) without copying the relation at all.
+            pairs = (
+                (row, texp) for row, texp in relation.items() if tau < texp
+            )
+            return _Stream(pairs, INFINITY, IntervalSet.from_onwards(tau))
+
+        return run
+
+    def _compile_literal(self, node: Literal) -> _Runner:
+        relation = node.relation
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            ctx.stats.tuples_scanned += len(relation)
+            tau = ctx.tau
+            pairs = (
+                (row, texp) for row, texp in relation.items() if tau < texp
+            )
+            return _Stream(pairs, INFINITY, IntervalSet.from_onwards(tau))
+
+        return run
+
+    # -- fused unary stages -------------------------------------------------
+
+    def _compile_select(self, node: Select) -> _Runner:
+        child = self.compile(node.child)
+        matches = compile_predicate(node.predicate, self.schema_of(node.child))
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            inner = child(ctx)
+            pairs = (pair for pair in inner.pairs if matches(pair[0]))
+            return _Stream(pairs, inner.expiration, inner.validity)
+
+        return run
+
+    def _compile_project(self, node: Project) -> _Runner:
+        child = self.compile(node.child)
+        schema = self.schema_of(node.child)
+        indexes = [schema.index(ref) for ref in node.refs]
+        if len(indexes) == 1:
+            only = indexes[0]
+
+            def project(row: tuple) -> tuple:
+                return (row[only],)
+
+        else:
+            project = operator.itemgetter(*indexes)
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            inner = child(ctx)
+            # No dedup here: downstream stages max-merge (Equation 3) or
+            # are duplicate-insensitive; see the module docstring.
+            pairs = ((project(row), texp) for row, texp in inner.pairs)
+            return _Stream(pairs, inner.expiration, inner.validity)
+
+        return run
+
+    def _compile_rename(self, node: Rename) -> _Runner:
+        child = self.compile(node.child)
+        self.schema_of(node)  # validate the mapping at compile time
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            return child(ctx)
+
+        return run
+
+    # -- monotonic binary operators ----------------------------------------
+
+    def _compile_product(self, node: Product) -> _Runner:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            left_stream = left(ctx)
+            right_stream = right(ctx)
+            right_pairs = list(right_stream.pairs)
+
+            def generate() -> Iterator[Tuple[tuple, Timestamp]]:
+                for left_row, left_texp in left_stream.pairs:
+                    for right_row, right_texp in right_pairs:
+                        # Equation (2): min of the parents' lifetimes.
+                        texp = left_texp if left_texp < right_texp else right_texp
+                        yield left_row + right_row, texp
+
+            return _Stream(
+                generate(),
+                ts_min((left_stream.expiration, right_stream.expiration)),
+                left_stream.validity & right_stream.validity,
+            )
+
+        return run
+
+    def _compile_union(self, node: Union) -> _Runner:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        self.schema_of(node)  # union compatibility check at compile time
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            left_stream = left(ctx)
+            right_stream = right(ctx)
+
+            def generate() -> Iterator[Tuple[tuple, Timestamp]]:
+                # Equation (4): shared rows get the max; deferred to the
+                # consumer's max-merge.
+                yield from left_stream.pairs
+                yield from right_stream.pairs
+
+            return _Stream(
+                generate(),
+                ts_min((left_stream.expiration, right_stream.expiration)),
+                left_stream.validity & right_stream.validity,
+            )
+
+        return run
+
+    def _compile_intersect(self, node: Intersect) -> _Runner:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        self.schema_of(node)
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            left_stream = left(ctx)
+            right_stream = right(ctx)
+            lookup = _to_dict(right_stream.pairs)
+            get = lookup.get
+
+            def generate() -> Iterator[Tuple[tuple, Timestamp]]:
+                for row, left_texp in left_stream.pairs:
+                    right_texp = get(row)
+                    if right_texp is None:
+                        continue
+                    # Equation (6): the minimum of the two expirations.
+                    yield row, left_texp if left_texp < right_texp else right_texp
+
+            return _Stream(
+                generate(),
+                ts_min((left_stream.expiration, right_stream.expiration)),
+                left_stream.validity & right_stream.validity,
+            )
+
+        return run
+
+    def _compile_join(self, node: Join) -> _Runner:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        left_schema = self.schema_of(node.left)
+        right_schema = self.schema_of(node.right)
+        residual = (
+            compile_predicate(node.predicate, left_schema.concat(right_schema))
+            if node.predicate is not None
+            else None
+        )
+        if node.on:
+            left_key = _key_getter([left_schema.index(ref) for ref, _ in node.on])
+            right_key = _key_getter([right_schema.index(ref) for _, ref in node.on])
+        else:
+            left_key = right_key = None
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            left_stream = left(ctx)
+            right_stream = right(ctx)
+
+            if right_key is not None:
+                buckets: Dict[Any, List[Tuple[tuple, Timestamp]]] = {}
+                bucket_get = buckets.get
+                for row, texp in right_stream.pairs:
+                    key = right_key(row)
+                    bucket = bucket_get(key)
+                    if bucket is None:
+                        buckets[key] = [(row, texp)]
+                    else:
+                        bucket.append((row, texp))
+
+                def generate() -> Iterator[Tuple[tuple, Timestamp]]:
+                    probes = 0
+                    empty: List[Tuple[tuple, Timestamp]] = []
+                    for left_row, left_texp in left_stream.pairs:
+                        for right_row, right_texp in bucket_get(left_key(left_row), empty):
+                            probes += 1
+                            combined = left_row + right_row
+                            if residual is not None and not residual(combined):
+                                continue
+                            texp = left_texp if left_texp < right_texp else right_texp
+                            yield combined, texp
+                    ctx.stats.hash_probes += probes
+
+            else:
+                right_pairs = list(right_stream.pairs)
+
+                def generate() -> Iterator[Tuple[tuple, Timestamp]]:
+                    for left_row, left_texp in left_stream.pairs:
+                        for right_row, right_texp in right_pairs:
+                            combined = left_row + right_row
+                            if residual is not None and not residual(combined):
+                                continue
+                            texp = left_texp if left_texp < right_texp else right_texp
+                            yield combined, texp
+
+            return _Stream(
+                generate(),
+                ts_min((left_stream.expiration, right_stream.expiration)),
+                left_stream.validity & right_stream.validity,
+            )
+
+        return run
+
+    def _compile_semijoin(self, node: SemiJoin) -> _Runner:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        left_key = _key_getter([self.schema_of(node.left).index(ref) for ref, _ in node.on])
+        right_key = _key_getter([self.schema_of(node.right).index(ref) for _, ref in node.on])
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            left_stream = left(ctx)
+            right_stream = right(ctx)
+            # Bulk kernel: only the running max per key is kept -- the
+            # semijoin's texp rule needs max over the match set, nothing else.
+            best: Dict[Any, Timestamp] = {}
+            best_get = best.get
+            for row, texp in right_stream.pairs:
+                key = right_key(row)
+                current = best_get(key)
+                if current is None or current < texp:
+                    best[key] = texp
+
+            def generate() -> Iterator[Tuple[tuple, Timestamp]]:
+                for row, texp in left_stream.pairs:
+                    match = best_get(left_key(row))
+                    if match is None:
+                        continue
+                    yield row, texp if texp < match else match
+
+            return _Stream(
+                generate(),
+                ts_min((left_stream.expiration, right_stream.expiration)),
+                left_stream.validity & right_stream.validity,
+            )
+
+        return run
+
+    # -- non-monotonic operators (eager: validity is part of the output) ----
+
+    def _compile_antijoin(self, node: AntiSemiJoin) -> _Runner:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        left_key = _key_getter([self.schema_of(node.left).index(ref) for ref, _ in node.on])
+        right_key = _key_getter([self.schema_of(node.right).index(ref) for _, ref in node.on])
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            left_stream = left(ctx)
+            right_stream = right(ctx)
+            dies: Dict[Any, Timestamp] = {}
+            dies_get = dies.get
+            for row, texp in right_stream.pairs:
+                key = right_key(row)
+                current = dies_get(key)
+                if current is None or current < texp:
+                    dies[key] = texp
+
+            result: Dict[tuple, Timestamp] = {}
+            result_get = result.get
+            reappear_bound = INFINITY
+            invalid_pairs: List[Tuple[Timestamp, Timestamp]] = []
+            for row, texp in left_stream.pairs:
+                match_set_dies = dies_get(left_key(row))
+                if match_set_dies is None:
+                    existing = result_get(row)
+                    if existing is None or existing < texp:
+                        result[row] = texp
+                    continue
+                if match_set_dies < texp:
+                    if match_set_dies < reappear_bound:
+                        reappear_bound = match_set_dies
+                    invalid_pairs.append((match_set_dies, texp))
+
+            expiration = ts_min(
+                (left_stream.expiration, right_stream.expiration, reappear_bound)
+            )
+            validity = (
+                (IntervalSet.from_onwards(ctx.tau) - IntervalSet.from_pairs(invalid_pairs))
+                & left_stream.validity
+                & right_stream.validity
+            )
+            return _Stream(result.items(), expiration, validity)
+
+        return run
+
+    def _compile_difference(self, node: Difference) -> _Runner:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        self.schema_of(node)
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            left_stream = left(ctx)
+            right_stream = right(ctx)
+            lookup = _to_dict(right_stream.pairs)
+            get = lookup.get
+
+            result: Dict[tuple, Timestamp] = {}
+            result_get = result.get
+            reappear_bound = INFINITY
+            invalid_pairs: List[Tuple[Timestamp, Timestamp]] = []
+            for row, left_texp in left_stream.pairs:
+                right_texp = get(row)
+                if right_texp is None:
+                    existing = result_get(row)
+                    if existing is None or existing < left_texp:
+                        result[row] = left_texp
+                elif right_texp < left_texp:
+                    # Table 2 case (3a): t should re-appear at texp_S(t).
+                    if right_texp < reappear_bound:
+                        reappear_bound = right_texp
+                    invalid_pairs.append((right_texp, left_texp))
+
+            expiration = ts_min(
+                (left_stream.expiration, right_stream.expiration, reappear_bound)
+            )
+            validity = (
+                (IntervalSet.from_onwards(ctx.tau) - IntervalSet.from_pairs(invalid_pairs))
+                & left_stream.validity
+                & right_stream.validity
+            )
+            return _Stream(result.items(), expiration, validity)
+
+        return run
+
+    def _compile_aggregate(self, node: Aggregate) -> _Runner:
+        child = self.compile(node.child)
+        schema = self.schema_of(node.child)
+        function = get_aggregate(node.spec.function_name)
+        group_key = _key_getter([schema.index(ref) for ref in node.group_by])
+        value_index = (
+            schema.index(node.spec.attribute) if node.spec.attribute is not None else None
+        )
+        strategy = node.strategy
+
+        def run(ctx: _Context) -> _Stream:
+            ctx.stats.operators_evaluated += 1
+            tau = ctx.tau
+            # Aggregation counts tuples, so the input must be a *set*:
+            # deduplicate the (possibly fused) child stream first.
+            child_stream = child(ctx)
+            members = _to_dict(child_stream.pairs)
+
+            partitions: Dict[Any, List[Tuple[tuple, Timestamp]]] = {}
+            partition_get = partitions.get
+            for row, texp in members.items():
+                key = group_key(row)
+                partition = partition_get(key)
+                if partition is None:
+                    partitions[key] = [(row, texp)]
+                else:
+                    partition.append((row, texp))
+            ctx.stats.partitions_built += len(partitions)
+
+            result: Dict[tuple, Timestamp] = {}
+            result_get = result.get
+            expression_bound = child_stream.expiration
+            invalid_pairs: List[Tuple[Timestamp, Timestamp]] = []
+            for partition in partitions.values():
+                if value_index is None:
+                    items = [(None, texp) for _, texp in partition]
+                else:
+                    items = [(row[value_index], texp) for row, texp in partition]
+                value, partition_expiration, invalidation = _partition_bounds(
+                    items, function, tau, strategy
+                )
+                if invalidation < expression_bound:
+                    expression_bound = invalidation
+                for row, texp in partition:
+                    capped = texp if texp < partition_expiration else partition_expiration
+                    extended = row + (value,)
+                    existing = result_get(extended)
+                    if existing is None or existing < capped:
+                        result[extended] = capped
+                    if capped < texp:
+                        invalid_pairs.append((capped, texp))
+
+            validity = (
+                IntervalSet.from_onwards(tau) - IntervalSet.from_pairs(invalid_pairs)
+            ) & child_stream.validity
+            return _Stream(result.items(), expression_bound, validity)
+
+        return run
+
+
+class CompiledPlan:
+    """A reusable compiled form of one expression.
+
+    Compile once (schema resolution, predicate closure binding, key-getter
+    construction), execute many times at different ``τ`` against live
+    catalogs.  Execution materialises only the *root* into a
+    :class:`Relation` (via the trusted bulk path); interior fused stages
+    stream.
+    """
+
+    __slots__ = ("expression", "schema", "_root")
+
+    def __init__(self, expression: Expression, schema: Schema, root: _Runner) -> None:
+        self.expression = expression
+        self.schema = schema
+        self._root = root
+
+    def execute(
+        self,
+        catalog: Catalog,
+        tau: TimeLike = 0,
+        stats: Optional[EvalStats] = None,
+    ) -> EvalResult:
+        """Run the plan at ``tau`` and materialise the root result."""
+        lookup = _make_lookup(catalog)
+        stamp = ts(tau)
+        ctx = _Context(lookup, stamp, stats if stats is not None else EvalStats())
+        stream = self._root(ctx)
+        if isinstance(stream.pairs, type({}.items())):
+            tuples = dict(stream.pairs)
+        else:
+            tuples = _to_dict(stream.pairs)
+        ctx.stats.tuples_emitted += len(tuples)
+        relation = Relation._from_trusted(self.schema, tuples)
+        return EvalResult(relation, stream.expiration, stream.validity, stamp)
+
+
+def _make_lookup(catalog: Catalog) -> Callable[[str], Relation]:
+    if callable(catalog):
+        return catalog
+
+    def lookup(name: str) -> Relation:
+        try:
+            return catalog[name]
+        except KeyError:
+            raise CatalogError(f"unknown base relation {name!r}") from None
+
+    return lookup
+
+
+def compile_expression(expression: Expression, resolver: SchemaResolver) -> CompiledPlan:
+    """Compile ``expression`` against the schemas provided by ``resolver``."""
+    compiler = _Compiler(resolver)
+    root = compiler.compile(expression)
+    return CompiledPlan(expression, compiler.schema_of(expression), root)
+
+
+class CompiledEvaluator:
+    """Drop-in counterpart of :class:`Evaluator` using the compiled path.
+
+    Compiled plans are memoised per expression, so repeated evaluation of
+    the same expression (the benchmark loop, a view refresh cycle) pays
+    compilation once.
+    """
+
+    def __init__(self, catalog: Catalog, tau: TimeLike = 0) -> None:
+        self._catalog = catalog
+        self._lookup = _make_lookup(catalog)
+        self.tau = ts(tau)
+        self.stats = EvalStats()
+        self._plans: Dict[Expression, CompiledPlan] = {}
+
+    def schema_resolver(self, name: str) -> Schema:
+        """Resolve a base-relation name to its schema (for compilation)."""
+        return self._lookup(name).schema
+
+    def plan_for(self, expression: Expression) -> CompiledPlan:
+        """The memoised compiled plan for ``expression``."""
+        plan = self._plans.get(expression)
+        if plan is None:
+            plan = compile_expression(expression, self.schema_resolver)
+            self._plans[expression] = plan
+        return plan
+
+    def evaluate(self, expression: Expression) -> EvalResult:
+        """Materialise ``expression`` at this evaluator's ``τ``."""
+        return self.plan_for(expression).execute(self._catalog, self.tau, self.stats)
+
+
+def evaluate_compiled(expression: Expression, catalog: Catalog, tau: TimeLike = 0) -> EvalResult:
+    """One-shot compiled evaluation (compile + execute).
+
+    >>> from repro.core.relation import relation_from_rows
+    >>> from repro.core.algebra.expressions import BaseRef
+    >>> pol = relation_from_rows(["uid", "deg"],
+    ...                          [((1, 25), 10), ((2, 25), 15), ((3, 35), 10)])
+    >>> result = evaluate_compiled(BaseRef("Pol").project(2), {"Pol": pol}, tau=0)
+    >>> sorted(result.relation.rows())
+    [(25,), (35,)]
+    >>> result.relation.expiration_of((25,))
+    Timestamp(15)
+    """
+    return CompiledEvaluator(catalog, tau).evaluate(expression)

@@ -77,6 +77,8 @@ class EvalStats:
     partitions_built: int = 0
     hash_probes: int = 0
     operators_evaluated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def merge(self, other: "EvalStats") -> None:
         """Accumulate another stats bag into this one."""
@@ -85,6 +87,8 @@ class EvalStats:
         self.partitions_built += other.partitions_built
         self.hash_probes += other.hash_probes
         self.operators_evaluated += other.operators_evaluated
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
 
 
 @dataclass(frozen=True)
@@ -390,7 +394,9 @@ class Evaluator:
         child = self.evaluate(node.child)
         renamed = Relation(child.relation.schema.rename(node.mapping))
         for row, texp in child.relation.items():
+            self.stats.tuples_scanned += 1
             renamed.insert(row, expires_at=texp)
+        self.stats.tuples_emitted += len(renamed)
         return EvalResult(renamed, child.expiration, child.validity, self.tau)
 
     # -- non-monotonic operators -----------------------------------------------------

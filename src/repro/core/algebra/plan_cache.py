@@ -1,0 +1,170 @@
+"""A validity-aware cache of compiled plans and their evaluation results.
+
+The paper's Section 3.4 machinery makes result caching *sound without
+invalidation messages*: an :class:`~repro.core.algebra.evaluator.EvalResult`
+carries the exact Schrödinger interval set ``I(e)`` -- every time ``τ' ≥ τ``
+at which the materialisation, restricted to unexpired tuples, equals a fresh
+recomputation.  A cached result can therefore be served at ``τ'`` iff
+
+* ``τ' ∈ I(e)`` -- expiration-driven drift is fully captured by the interval
+  set, so no clock-based invalidation is ever needed; and
+* the catalog has not been mutated since the result was computed --
+  ``I(e)`` only predicts the future of the *data the evaluation saw*.
+  Unpredictable changes (inserts, deletes, renewals, DDL) are detected with
+  a single integer version check, bumped by the engine on every such
+  mutation and **not** on physical expiration processing (expiry is exactly
+  what ``I(e)`` already accounts for -- the entire point of the cache).
+
+A hit at ``τ'`` is served as ``exp_τ'(cached)`` with validity
+``I(e) ∩ [τ', ∞)``, which is itself a correct :class:`EvalResult` for an
+evaluation at ``τ'`` because ``exp_τ'' ∘ exp_τ' = exp_τ''`` for ``τ'' ≥ τ'``.
+
+Compiled plans are cached separately from results: a plan survives data
+mutations (it is keyed on schemas only) and is invalidated by a *schema*
+version, so steady-state evaluation after an insert pays re-execution but
+not re-compilation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.algebra.compiler import CompiledPlan, compile_expression
+from repro.core.algebra.evaluator import Catalog, EvalResult, EvalStats
+from repro.core.algebra.expressions import Expression, SchemaResolver
+from repro.core.intervals import IntervalSet
+from repro.core.timestamps import TimeLike, Timestamp, ts
+
+__all__ = ["PlanCache", "PlanCacheStats"]
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters describing the cache's effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    compilations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    __slots__ = ("plan", "schema_version", "result", "result_version")
+
+    def __init__(self, plan: CompiledPlan, schema_version: int) -> None:
+        self.plan = plan
+        self.schema_version = schema_version
+        self.result: Optional[EvalResult] = None
+        self.result_version: int = -1
+
+
+class PlanCache:
+    """LRU cache: expression → (compiled plan, last result + validity).
+
+    >>> from repro.core.relation import relation_from_rows
+    >>> from repro.core.algebra.expressions import BaseRef
+    >>> from repro.core.algebra.predicates import col
+    >>> pol = relation_from_rows(["uid", "deg"], [((1, 25), 10), ((2, 35), 20)])
+    >>> catalog = {"Pol": pol}
+    >>> cache = PlanCache()
+    >>> expr = BaseRef("Pol").select(col(2) == 25)
+    >>> first = cache.evaluate(expr, catalog, tau=0, version=0)
+    >>> again = cache.evaluate(expr, catalog, tau=3, version=0)  # τ' ∈ I(e)
+    >>> cache.stats.hits, cache.stats.misses
+    (1, 1)
+    >>> sorted(again.relation.rows())
+    [(1, 25)]
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: "OrderedDict[Expression, _Entry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached plan and result."""
+        self._entries.clear()
+
+    # -- the cache protocol --------------------------------------------------
+
+    def evaluate(
+        self,
+        expression: Expression,
+        catalog: Catalog,
+        tau: TimeLike,
+        version: int = 0,
+        schema_version: int = 0,
+        floor: Optional[Timestamp] = None,
+        stats: Optional[EvalStats] = None,
+        resolver: Optional[SchemaResolver] = None,
+    ) -> EvalResult:
+        """Evaluate ``expression`` at ``tau``, serving from cache when sound.
+
+        ``version`` is the engine's catalog (data) version; ``schema_version``
+        gates reuse of the compiled plan itself.  ``floor`` (typically the
+        database clock's *now*) rejects hits for past-time queries: a cached
+        result restricted to a past ``τ'`` can be more complete than a fresh
+        evaluation against an eagerly-purged store, so hits are only served
+        at or after the time the engine has physically advanced to.
+        """
+        tau = ts(tau)
+        eval_stats = stats if stats is not None else EvalStats()
+        entry = self._entries.get(expression)
+        if entry is not None and entry.schema_version != schema_version:
+            entry = None  # DDL invalidated the compiled plan itself
+
+        if entry is not None:
+            cached = entry.result
+            if (
+                cached is not None
+                and entry.result_version == version
+                and cached.tau <= tau
+                and (floor is None or floor <= tau)
+                and cached.validity.contains(tau)
+            ):
+                self.stats.hits += 1
+                eval_stats.cache_hits += 1
+                self._entries.move_to_end(expression)
+                return EvalResult(
+                    relation=cached.relation.exp_at(tau),
+                    expiration=cached.expiration,
+                    validity=cached.validity & IntervalSet.from_onwards(tau),
+                    tau=tau,
+                )
+
+        self.stats.misses += 1
+        eval_stats.cache_misses += 1
+        if entry is None:
+            plan = compile_expression(
+                expression, resolver if resolver is not None else _catalog_resolver(catalog)
+            )
+            self.stats.compilations += 1
+            entry = _Entry(plan, schema_version)
+            self._entries[expression] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        result = entry.plan.execute(catalog, tau, eval_stats)
+        entry.result = result
+        entry.result_version = version
+        self._entries.move_to_end(expression)
+        return result
+
+
+def _catalog_resolver(catalog: Catalog) -> SchemaResolver:
+    if callable(catalog):
+        return lambda name: catalog(name).schema
+    return lambda name: catalog[name].schema

@@ -68,6 +68,42 @@ class Relation:
 
     # -- construction --------------------------------------------------------
 
+    @classmethod
+    def _from_trusted(
+        cls, schema: Schema, tuples: Dict[Row, Timestamp]
+    ) -> "Relation":
+        """Adopt an already-validated ``row -> expiration`` mapping.
+
+        The trusted fast path behind :meth:`exp_at`, :meth:`copy`, and the
+        compiled evaluator's bulk kernels: rows must already be hashable
+        tuples of the schema's arity with :class:`Timestamp` expirations,
+        and duplicate merging must already have happened (a dict cannot
+        hold duplicates).  The mapping is adopted, not copied.
+        """
+        relation = cls.__new__(cls)
+        relation.schema = schema
+        relation._tuples = tuples
+        return relation
+
+    def bulk_load(self, pairs: Iterable[Tuple[Row, Timestamp]]) -> int:
+        """Max-merge many already-trusted ``(row, expiration)`` pairs.
+
+        Rows must be hashable tuples of the right arity and expirations
+        :class:`Timestamp` instances (e.g. pairs drained from another
+        relation's :meth:`items`); the per-row ``make_row`` + arity check of
+        :meth:`insert` is skipped.  Duplicates keep the later expiration,
+        exactly like :meth:`insert`.  Returns the number of pairs loaded.
+        """
+        tuples = self._tuples
+        get = tuples.get
+        count = 0
+        for row, stamp in pairs:
+            existing = get(row)
+            if existing is None or existing < stamp:
+                tuples[row] = stamp
+            count += 1
+        return count
+
     def insert(self, values: Iterable[Any], expires_at: TimeLike = None) -> ExpiringTuple:
         """Insert a row; a duplicate keeps the later expiration time.
 
@@ -116,7 +152,7 @@ class Relation:
         survivors = {
             row: texp for row, texp in self._tuples.items() if stamp < texp
         }
-        return Relation(self.schema, survivors)
+        return Relation._from_trusted(self.schema, survivors)
 
     def expiration_of(self, values: Iterable[Any]) -> Timestamp:
         """The function ``texp_R(r)``; raises if the row is absent."""
@@ -196,9 +232,7 @@ class Relation:
 
     def copy(self) -> "Relation":
         """A deep-enough copy (rows are immutable, so a dict copy suffices)."""
-        clone = Relation(self.schema)
-        clone._tuples = dict(self._tuples)
-        return clone
+        return Relation._from_trusted(self.schema, dict(self._tuples))
 
     def same_content(self, other: "Relation") -> bool:
         """Equality of rows *and* expiration times (schema names ignored).

@@ -97,12 +97,21 @@ class Timestamp:
     # -- ordering ----------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if type(other) is Timestamp:  # fast path for the hot loops
+            return self._value == other._value
         other_ts = _coerce(other)
         if other_ts is NotImplemented:
             return NotImplemented
         return self._value == other_ts._value
 
     def __lt__(self, other: object) -> bool:
+        if type(other) is Timestamp:  # fast path for the hot loops
+            mine, theirs = self._value, other._value
+            if mine is None:
+                return False  # infinity is not less than anything
+            if theirs is None:
+                return True  # any finite time is less than infinity
+            return mine < theirs
         other_ts = _coerce(other)
         if other_ts is NotImplemented:
             return NotImplemented

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.algebra.evaluator import EvalResult, Evaluator
+from repro.core.algebra.evaluator import EvalResult, EvalStats, Evaluator
 from repro.core.algebra.expressions import BaseRef, Expression
+from repro.core.algebra.plan_cache import PlanCache
 from repro.core.relation import Relation
 from repro.core.schema import Schema
 from repro.core.timestamps import TimeLike, Timestamp, ts
@@ -53,12 +54,28 @@ class Database:
         self,
         start_time: TimeLike = 0,
         default_removal_policy: RemovalPolicy = RemovalPolicy.EAGER,
+        engine: str = "compiled",
+        plan_cache_capacity: int = 128,
     ) -> None:
+        if engine not in ("compiled", "interpreted"):
+            raise ValueError(
+                f"engine must be 'compiled' or 'interpreted', got {engine!r}"
+            )
         self.clock = LogicalClock(start_time)
         self.statistics = EngineStatistics()
         self.default_removal_policy = default_removal_policy
+        self.engine = engine
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.last_eval_stats = EvalStats()
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, MaterialisedView] = {}
+        # Data version: bumped on every unpredictable mutation (insert,
+        # delete, renewal, DDL).  Physical expiration processing does NOT
+        # bump it -- expiry is exactly what a result's I(e) already
+        # predicts, which is what makes the plan cache effective.
+        self._catalog_version = 0
+        # Schema version: bumped on DDL only; gates compiled-plan reuse.
+        self._schema_version = 0
 
     # -- catalog -----------------------------------------------------------
 
@@ -83,6 +100,7 @@ class Database:
         )
         self._tables[name] = table
         self.clock.on_advance(table.on_clock_advance)
+        self.note_schema_change()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -99,6 +117,7 @@ class Database:
                 f"table {name!r} still referenced by views {dependents!r}"
             )
         del self._tables[name]
+        self.note_schema_change()
 
     def table(self, name: str) -> Table:
         """Look up a table by name; raises CatalogError if unknown."""
@@ -119,6 +138,33 @@ class Database:
         """An algebra reference to a table (validates the name now)."""
         self.table(name)
         return BaseRef(name)
+
+    # -- versioning --------------------------------------------------------
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotone counter of unpredictable data changes (not expirations)."""
+        return self._catalog_version
+
+    @property
+    def schema_version(self) -> int:
+        """Monotone counter of DDL changes; invalidates compiled plans."""
+        return self._schema_version
+
+    def note_data_change(self) -> None:
+        """Record an unpredictable data mutation (insert/delete/renewal).
+
+        Invalidates cached evaluation results; compiled plans survive.
+        Expiration processing must *not* call this -- tuples dropping out at
+        their ``texp`` is already encoded in every cached result's validity
+        intervals.
+        """
+        self._catalog_version += 1
+
+    def note_schema_change(self) -> None:
+        """Record a DDL change; invalidates plans and results alike."""
+        self._schema_version += 1
+        self._catalog_version += 1
 
     # -- time -----------------------------------------------------------------
 
@@ -145,10 +191,45 @@ class Database:
         """Schema lookup for planners and expression type-checking."""
         return self.table(name).schema
 
-    def evaluate(self, expression: Expression, at: TimeLike = None) -> EvalResult:
-        """Materialise an expression at ``at`` (default: now)."""
+    def evaluate(
+        self,
+        expression: Expression,
+        at: TimeLike = None,
+        engine: Optional[str] = None,
+    ) -> EvalResult:
+        """Materialise an expression at ``at`` (default: now).
+
+        ``engine`` overrides the database default for this call:
+        ``"compiled"`` uses the fused-pipeline evaluator through the
+        validity-aware plan cache, ``"interpreted"`` the row-at-a-time
+        reference evaluator.  Both produce identical rows, expiration
+        times, and validity intervals; counters land in
+        :attr:`last_eval_stats`.
+        """
         stamp = self.clock.now if at is None else ts(at)
-        return Evaluator(self.catalog, stamp).evaluate(expression)
+        which = engine if engine is not None else self.engine
+        if which == "compiled":
+            stats = EvalStats()
+            result = self.plan_cache.evaluate(
+                expression,
+                self.catalog,
+                stamp,
+                version=self._catalog_version,
+                schema_version=self._schema_version,
+                floor=self.clock.now,
+                stats=stats,
+                resolver=self.schema_resolver,
+            )
+        elif which == "interpreted":
+            evaluator = Evaluator(self.catalog, stamp)
+            result = evaluator.evaluate(expression)
+            stats = evaluator.stats
+        else:
+            raise ValueError(
+                f"engine must be 'compiled' or 'interpreted', got {which!r}"
+            )
+        self.last_eval_stats = stats
+        return result
 
     # -- views ------------------------------------------------------------------------
 

@@ -50,11 +50,16 @@ class ExpirationIndex:
     Re-inserting a row replaces its scheduled expiration (the old heap
     entry becomes a tombstone); :meth:`remove` tombstones without touching
     the heap.  ``len(index)`` counts *live* entries.
+
+    Internally both the heap and the live table hold raw integer tick
+    values (infinite expirations are never indexed), so the hot inspection
+    loops compare plain ints; :class:`Timestamp` objects are materialised
+    only at the API boundary.
     """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Row]] = []
-        self._live: Dict[Row, Timestamp] = {}
+        self._live: Dict[Row, int] = {}
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -72,7 +77,7 @@ class ExpirationIndex:
             # Never expires; make sure any earlier finite schedule is void.
             self._live.pop(row, None)
             return
-        self._live[row] = stamp
+        self._live[row] = stamp.value
         heapq.heappush(self._heap, (stamp.value, next(self._counter), row))
 
     def remove(self, row: Row) -> None:
@@ -93,30 +98,34 @@ class ExpirationIndex:
     def pop_due(self, now: TimeLike) -> List[Tuple[Row, Timestamp]]:
         """Extract every live entry with ``expiration <= now``, in order."""
         stamp = ts(now)
+        limit = stamp.value if stamp.is_finite else None
+        live = self._live
+        heap = self._heap
         due: List[Tuple[Row, Timestamp]] = []
-        while self._heap:
-            value, _, row = self._heap[0]
-            entry_ts = ts(value)
-            if self._live.get(row) != entry_ts:
-                heapq.heappop(self._heap)  # tombstone
+        while heap:
+            value, _, row = heap[0]
+            if live.get(row) != value:
+                heapq.heappop(heap)  # tombstone
                 continue
-            if entry_ts > stamp:
+            if limit is not None and value > limit:
                 break
-            heapq.heappop(self._heap)
-            del self._live[row]
-            due.append((row, entry_ts))
+            heapq.heappop(heap)
+            del live[row]
+            due.append((row, ts(value)))
         return due
 
     def _drop_stale_head(self) -> None:
-        while self._heap:
-            value, _, row = self._heap[0]
-            if self._live.get(row) == ts(value):
+        live = self._live
+        heap = self._heap
+        while heap:
+            value, _, row = heap[0]
+            if live.get(row) == value:
                 return
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
 
     def pending(self) -> Iterator[Tuple[Row, Timestamp]]:
         """Iterate over live ``(row, expiration)`` entries (unordered)."""
-        return iter(self._live.items())
+        return ((row, ts(value)) for row, value in self._live.items())
 
     def clear(self) -> None:
         """Drop every entry (live and tombstoned)."""

@@ -109,6 +109,9 @@ class Table:
         stored = self.relation.insert(row, expires_at=stamp)
         self._index.schedule(stored.row, stored.expires_at)
         self.statistics.inserts += 1
+        if self.database is not None:
+            # Unpredictable mutation: cached evaluation results are stale.
+            self.database.note_data_change()
         for listener in self.insert_listeners:
             listener(self, stored)
         return stored
@@ -120,6 +123,8 @@ class Table:
         if removed:
             self._index.remove(row)
             self.statistics.explicit_deletes += 1
+            if self.database is not None:
+                self.database.note_data_change()
             for listener in self.delete_listeners:
                 listener(self, row)
         return removed

@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.algebra.evaluator import EvalResult, Evaluator
+from repro.core.algebra.evaluator import EvalResult
 from repro.core.algebra.expressions import Difference, Expression
 from repro.core.patching import DifferencePatcher, compute_difference_with_patches
 from repro.core.relation import Relation
@@ -95,17 +95,22 @@ class MaterialisedView:
     # -- materialisation ------------------------------------------------------
 
     def refresh(self, at: TimeLike = None) -> None:
-        """(Re-)materialise from the base relations at ``at`` (default now)."""
+        """(Re-)materialise from the base relations at ``at`` (default now).
+
+        Evaluation goes through :meth:`Database.evaluate`, so refreshes use
+        the database's configured engine -- under the default compiled
+        engine, a refresh cycle compiles each view expression once and can
+        serve repeat refreshes straight from the validity-aware plan cache.
+        """
         stamp = self.database.clock.now if at is None else ts(at)
-        evaluator = Evaluator(self.database.catalog, stamp)
         if self.policy is MaintenancePolicy.PATCH:
             assert isinstance(self.expression, Difference)
-            left = evaluator.evaluate(self.expression.left).relation
-            right = evaluator.evaluate(self.expression.right).relation
+            left = self.database.evaluate(self.expression.left, at=stamp).relation
+            right = self.database.evaluate(self.expression.right, at=stamp).relation
             self._patch_state, self._patcher = compute_difference_with_patches(
                 left, right, tau=stamp
             )
-        self._result = evaluator.evaluate(self.expression)
+        self._result = self.database.evaluate(self.expression, at=stamp)
         self.database.statistics.view_recomputations += 1
         self.recomputations += 1
         self._last_read = stamp

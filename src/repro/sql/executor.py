@@ -285,7 +285,16 @@ def _explain(db: Database, statement: ExplainStatement) -> SqlResult:
         f"rows now:   {len(result.relation)}",
         f"texp(e):    {result.expiration}",
         f"valid in:   {result.validity!r}",
+        f"engine:     {db.engine}",
     ]
+    if db.engine == "compiled":
+        stats = db.last_eval_stats
+        cache = db.plan_cache.stats
+        lines.append(
+            f"cache:      {'hit' if stats.cache_hits else 'miss'} this query; "
+            f"{cache.hits} hit(s) / {cache.misses} miss(es) overall "
+            f"(hit rate {cache.hit_rate:.0%})"
+        )
     return SqlResult(kind="explain", message="\n".join(lines))
 
 

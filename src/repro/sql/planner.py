@@ -160,6 +160,41 @@ def _plan_condition(condition: Condition, env: _Environment) -> Predicate:
     raise SqlPlanError(f"unsupported condition node {type(condition).__name__}")
 
 
+def _split_equi_join(
+    condition: Condition, env: _Environment, left_width: int
+) -> Tuple[List[Tuple[int, int]], List[Condition]]:
+    """Split an ON clause into hash-joinable pairs and a residual.
+
+    Top-level AND-ed ``a = b`` conjuncts whose columns resolve to opposite
+    sides of the join boundary become ``on`` pairs (1-based positions,
+    each relative to its own side), so both evaluation engines run a hash
+    join instead of a filtered Cartesian product.  Everything else stays a
+    residual predicate with identical semantics (Equation 5's rewrite).
+    """
+    conjuncts = (
+        list(condition.parts) if isinstance(condition, AndCondition) else [condition]
+    )
+    on: List[Tuple[int, int]] = []
+    residual: List[Condition] = []
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, CompareCondition)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            first = env.resolve(conjunct.left)
+            second = env.resolve(conjunct.right)
+            if first <= left_width < second:
+                on.append((first, second - left_width))
+                continue
+            if second <= left_width < first:
+                on.append((second, first - left_width))
+                continue
+        residual.append(conjunct)
+    return on, residual
+
+
 def _plan_select(query: SelectQuery, resolver: SourceResolver) -> Expression:
     env = _Environment()
     expression, schema = resolver(query.source.name)
@@ -167,9 +202,17 @@ def _plan_select(query: SelectQuery, resolver: SourceResolver) -> Expression:
 
     for join in query.joins:
         right_expr, right_schema = resolver(join.source.name)
+        left_width = env.width
         env.add(join.source.binding, right_schema)
-        predicate = _plan_condition(join.condition, env)
-        expression = Join(expression, right_expr, predicate=predicate)
+        on, residual = _split_equi_join(join.condition, env, left_width)
+        predicate = (
+            _plan_condition(residual[0], env)
+            if len(residual) == 1
+            else And(*(_plan_condition(part, env) for part in residual))
+            if residual
+            else None
+        )
+        expression = Join(expression, right_expr, on=on, predicate=predicate)
 
     if query.where is not None:
         expression = _plan_where(query.where, expression, env, resolver)
