@@ -28,6 +28,7 @@ from repro.core.algebra.evaluator import EvalStats, Evaluator
 from repro.core.algebra.expressions import BaseRef
 from repro.core.algebra.plan_cache import PlanCache
 from repro.core.algebra.predicates import col
+from repro.obs.registry import MetricsRegistry
 from repro.workloads.generators import UniformLifetime, random_relation
 
 try:
@@ -78,19 +79,23 @@ def compare(name, plan, catalog, tau=0, repeat=5):
     )
     # Cache behaviour: evaluate once, then re-ask at later times; hits
     # happen whenever the later time is inside the cached validity set.
-    cache = PlanCache()
+    # Counts are read back from the metrics registry -- the same series
+    # EXPLAIN and ``db.metrics.to_prom_text()`` report.
+    registry = MetricsRegistry()
+    cache = PlanCache(registry=registry)
     first = cache.evaluate(plan, catalog, tau=tau)
     probes = 0
     for offset in (1, 2, 3, 5, 8):
         later = first.tau + offset
         cache.evaluate(plan, catalog, tau=later)
         probes += 1
+    hits = registry.snapshot().get("repro_plan_cache_hits_total", 0)
     return {
         "workload": name,
         "interpreted_ms": round(interpreted_ms, 2),
         "compiled_ms": round(compiled_ms, 2),
         "speedup": round(interpreted_ms / compiled_ms, 2) if compiled_ms else float("inf"),
-        "cache_hit_rate": round(cache.stats.hits / probes, 2),
+        "cache_hit_rate": round(hits / probes, 2),
         "result_rows": len(first.relation),
     }
 

@@ -8,8 +8,15 @@ difference) over 10k-row relations, with the full expiration machinery
 Reported: wall time and the size of the validity interval set, across
 input sizes; asserted: the analytic texp(e)/validity stay consistent with
 spot recomputation checks even at scale.
+
+``--smoke`` runs the observability overhead gate instead: the macro query
+through a fully-instrumented :class:`Database` versus one whose registry
+is disabled (no-op instruments), failing when the instrumented median is
+more than 5% slower.  ``--dump FILE`` writes the instrumented run's
+Prometheus text dump (the CI artifact).
 """
 
+import statistics
 import time
 
 from repro.core.aggregates import ExpirationStrategy
@@ -84,6 +91,53 @@ def print_macro(rows=None):
     )
 
 
+def build_database(size, seed=223, metrics_enabled=True):
+    """The X6 catalog loaded into an instrumented (or no-op) Database."""
+    from repro.engine.database import Database
+    from repro.obs.registry import MetricsRegistry
+
+    db = Database(metrics=MetricsRegistry(enabled=metrics_enabled))
+    for name, relation in build_catalog(size, seed).items():
+        table = db.create_table(name, relation.schema)
+        for row, texp in relation.items():
+            table.insert(row, expires_at=texp if texp.is_finite else None)
+    return db
+
+
+def overhead_gate(size=1_500, iterations=3, reps=5, threshold=0.05):
+    """Instrumented vs no-op registry on the macro query; returns a report.
+
+    Each rep times ``iterations`` full re-executions (the result cache is
+    defeated with ``note_data_change`` so every run exercises the whole
+    pipeline) in both modes, interleaved to decorrelate machine drift;
+    the gate compares medians.
+    """
+    plan = macro_plan()
+    databases = {
+        mode: build_database(size, metrics_enabled=mode) for mode in (True, False)
+    }
+    samples = {True: [], False: []}
+    for _ in range(reps):
+        for mode in (True, False):
+            db = databases[mode]
+            started = time.perf_counter()
+            for _ in range(iterations):
+                db.note_data_change()  # defeat the result cache, keep the plan
+                db.evaluate(plan)
+            samples[mode].append(time.perf_counter() - started)
+    instrumented = statistics.median(samples[True])
+    baseline = statistics.median(samples[False])
+    overhead = (instrumented - baseline) / baseline if baseline else 0.0
+    return {
+        "instrumented_s": instrumented,
+        "baseline_s": baseline,
+        "overhead": overhead,
+        "passed": overhead <= threshold,
+        "threshold": threshold,
+        "metrics": databases[True].metrics,
+    }
+
+
 def test_macro_validity_spot_checks():
     report = run_once(800, seed=7)
     result, catalog = report["result"], report["catalog"]
@@ -109,4 +163,23 @@ def test_macro_query_benchmark(benchmark):
 
 
 if __name__ == "__main__":
-    print_macro()
+    import sys
+
+    if "--smoke" in sys.argv:
+        report = overhead_gate()
+        print(
+            f"instrumented {report['instrumented_s'] * 1000:.1f} ms vs "
+            f"no-op {report['baseline_s'] * 1000:.1f} ms -- overhead "
+            f"{report['overhead']:+.1%} (gate: {report['threshold']:.0%})"
+        )
+        if "--dump" in sys.argv:
+            path = sys.argv[sys.argv.index("--dump") + 1]
+            with open(path, "w") as handle:
+                handle.write(report["metrics"].to_prom_text())
+            print(f"prom dump written to {path}")
+        if not report["passed"]:
+            print("FAIL: instrumentation overhead above the gate")
+            raise SystemExit(1)
+        print("OK: instrumentation overhead within the gate")
+    else:
+        print_macro()

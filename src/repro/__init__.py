@@ -68,9 +68,10 @@ from repro.engine import (
     load_database,
     save_database,
 )
+from repro.obs import MetricsRegistry, Span, Tracer
 from repro.sql import execute_sql, parse_sql
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FOREVER",
@@ -113,6 +114,9 @@ __all__ = [
     "Table",
     "load_database",
     "save_database",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
     "execute_sql",
     "parse_sql",
     "__version__",

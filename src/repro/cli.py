@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro                # interactive shell
-    python -m repro script.sql     # execute a script, print results
+    python -m repro                      # interactive shell
+    python -m repro script.sql           # execute a script, print results
     echo "SHOW TABLES;" | python -m repro
+    python -m repro obs [script.sql]     # run, then dump every metric
+    python -m repro obs --json [script]  # ... as JSON instead of prom text
 
 Statements end with ``;``; the shell keeps one in-memory
 :class:`~repro.engine.database.Database` for the session.  ``ADVANCE`` /
@@ -27,7 +29,7 @@ from repro.engine.database import Database
 from repro.errors import ReproError
 from repro.sql.executor import SqlResult, execute_sql
 
-__all__ = ["format_result", "run_statement", "run_stream", "main"]
+__all__ = ["format_result", "run_statement", "run_stream", "run_obs", "main"]
 
 PROMPT = "sql> "
 CONTINUATION = "...> "
@@ -108,14 +110,46 @@ def run_stream(db: Database, source: IO[str], out: IO[str], interactive: bool = 
     return errors
 
 
+def run_obs(db: Database, args: List[str], out: IO[str]) -> int:
+    """The ``obs`` subcommand: execute, then dump the metrics registry.
+
+    With a script argument, runs it first (errors abort); without one,
+    reads statements from stdin.  Prometheus text by default, ``--json``
+    for the JSON document.
+    """
+    as_json = False
+    rest = []
+    for arg in args:
+        if arg == "--json":
+            as_json = True
+        else:
+            rest.append(arg)
+    if rest:
+        try:
+            with open(rest[0]) as script:
+                errors = run_stream(db, script, out)
+        except OSError as error:
+            print(f"error: cannot read {rest[0]}: {error}", file=sys.stderr)
+            return 1
+    elif not sys.stdin.isatty():
+        errors = run_stream(db, sys.stdin, out)
+    else:
+        errors = 0
+    print(db.metrics.to_json(indent=2) if as_json else db.metrics.to_prom_text(),
+          file=out, end="")
+    return 1 if errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point: interactive shell or script execution."""
+    """Entry point: interactive shell, script execution, or ``obs`` dump."""
     args = sys.argv[1:] if argv is None else argv
     db = Database()
     if args:
         if args[0] in ("-h", "--help"):
             print(__doc__)
             return 0
+        if args[0] == "obs":
+            return run_obs(db, args[1:], sys.stdout)
         try:
             with open(args[0]) as script:
                 return 1 if run_stream(db, script, sys.stdout) else 0

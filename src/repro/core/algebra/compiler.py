@@ -43,6 +43,7 @@ c)`` because ``min(·, c)`` is monotone.
 from __future__ import annotations
 
 import operator
+import time
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.aggregates import (
@@ -52,7 +53,7 @@ from repro.core.aggregates import (
     neutral_set_expiration,
     value_timeline,
 )
-from repro.core.algebra.evaluator import Catalog, EvalResult, EvalStats
+from repro.core.algebra.evaluator import Catalog, EvalResult, EvalStats, operator_label
 from repro.core.algebra.expressions import (
     Aggregate,
     AntiSemiJoin,
@@ -164,14 +165,26 @@ def _closure(predicate: Predicate) -> Callable[[tuple], bool]:
 
 
 class _Context:
-    """Per-execution state threaded through the compiled closures."""
+    """Per-execution state threaded through the compiled closures.
 
-    __slots__ = ("lookup", "tau", "stats")
+    ``trace`` is ``None`` on the hot path; when set (``EXPLAIN ANALYZE``,
+    ``Database.evaluate(trace=True)``) it is the span under which the
+    currently-building operator hangs its own span.
+    """
 
-    def __init__(self, lookup: Callable[[str], Relation], tau: Timestamp, stats: EvalStats) -> None:
+    __slots__ = ("lookup", "tau", "stats", "trace")
+
+    def __init__(
+        self,
+        lookup: Callable[[str], Relation],
+        tau: Timestamp,
+        stats: EvalStats,
+        trace=None,
+    ) -> None:
         self.lookup = lookup
         self.tau = tau
         self.stats = stats
+        self.trace = trace
 
 
 class _Stream:
@@ -187,6 +200,66 @@ class _Stream:
 
 #: A compiled node: executed with a context, yields its output stream.
 _Runner = Callable[[_Context], _Stream]
+
+#: Operators whose compiled form streams row-at-a-time with no buffering;
+#: everything else buffers at least one input (a "materialise" decision).
+_FUSED_NODES = (BaseRef, Literal, Select, Project, Rename, Union)
+
+
+def _timed_pairs(pairs: Pairs, span) -> Iterator[Tuple[tuple, Timestamp]]:
+    """Wrap a pair stream, charging pull time and row counts to ``span``.
+
+    Durations are measured inside ``next()`` only, so time the *consumer*
+    spends between pulls is not charged to this operator.  The reported
+    time is inclusive of producers (their wrapped streams run inside this
+    ``next()``), matching EXPLAIN ANALYZE convention.
+    """
+    iterator = iter(pairs)
+    count = 0
+    total = 0.0
+    try:
+        while True:
+            started = time.perf_counter()
+            try:
+                pair = next(iterator)
+            except StopIteration:
+                total += time.perf_counter() - started
+                break
+            total += time.perf_counter() - started
+            count += 1
+            yield pair
+    finally:
+        span.add_time(total)
+        span.note(rows=count)
+
+
+def _traced(label: str, fused: bool, runner: _Runner) -> _Runner:
+    """Wrap a compiled node so executions under a trace produce a span.
+
+    Without a trace the wrapper is a single ``None`` check per operator
+    per execution -- the hot path stays unbilled.
+    """
+    stage = "fused" if fused else "materialised"
+
+    def run(ctx: _Context) -> _Stream:
+        if ctx.trace is None:
+            return runner(ctx)
+        parent = ctx.trace
+        span = parent.child(label, stage=stage)
+        ctx.trace = span
+        started = time.perf_counter()
+        try:
+            stream = runner(ctx)
+        except BaseException as error:
+            span.note(error=type(error).__name__)
+            raise
+        finally:
+            span.add_time(time.perf_counter() - started)
+            ctx.trace = parent
+        stream.pairs = _timed_pairs(stream.pairs, span)
+        return stream
+
+    return run
 
 
 def _merge_into(target: Dict[tuple, Timestamp], pairs: Pairs) -> None:
@@ -259,11 +332,21 @@ class _Compiler:
 
     def __init__(self, resolver: SchemaResolver) -> None:
         self._resolver = resolver
+        self.fused_count = 0
+        self.materialised_count = 0
 
     def schema_of(self, node: Expression) -> Schema:
         return node.infer_schema(self._resolver)
 
     def compile(self, node: Expression) -> _Runner:
+        fused = isinstance(node, _FUSED_NODES)
+        if fused:
+            self.fused_count += 1
+        else:
+            self.materialised_count += 1
+        return _traced(operator_label(node), fused, self._compile_node(node))
+
+    def _compile_node(self, node: Expression) -> _Runner:
         if isinstance(node, BaseRef):
             return self._compile_base(node)
         if isinstance(node, Literal):
@@ -709,23 +792,41 @@ class CompiledPlan:
     stream.
     """
 
-    __slots__ = ("expression", "schema", "_root")
+    __slots__ = ("expression", "schema", "_root", "fused_operators",
+                 "materialised_operators")
 
-    def __init__(self, expression: Expression, schema: Schema, root: _Runner) -> None:
+    def __init__(
+        self,
+        expression: Expression,
+        schema: Schema,
+        root: _Runner,
+        fused_operators: int = 0,
+        materialised_operators: int = 0,
+    ) -> None:
         self.expression = expression
         self.schema = schema
         self._root = root
+        #: Compile-time fusion decisions (streaming vs buffering stages).
+        self.fused_operators = fused_operators
+        self.materialised_operators = materialised_operators
 
     def execute(
         self,
         catalog: Catalog,
         tau: TimeLike = 0,
         stats: Optional[EvalStats] = None,
+        trace=None,
     ) -> EvalResult:
-        """Run the plan at ``tau`` and materialise the root result."""
+        """Run the plan at ``tau`` and materialise the root result.
+
+        ``trace``, when given, is an open span; every operator hangs a
+        child span off it with pull-time and row-count attributes.
+        """
         lookup = _make_lookup(catalog)
         stamp = ts(tau)
-        ctx = _Context(lookup, stamp, stats if stats is not None else EvalStats())
+        ctx = _Context(
+            lookup, stamp, stats if stats is not None else EvalStats(), trace
+        )
         stream = self._root(ctx)
         if isinstance(stream.pairs, type({}.items())):
             tuples = dict(stream.pairs)
@@ -753,7 +854,13 @@ def compile_expression(expression: Expression, resolver: SchemaResolver) -> Comp
     """Compile ``expression`` against the schemas provided by ``resolver``."""
     compiler = _Compiler(resolver)
     root = compiler.compile(expression)
-    return CompiledPlan(expression, compiler.schema_of(expression), root)
+    return CompiledPlan(
+        expression,
+        compiler.schema_of(expression),
+        root,
+        fused_operators=compiler.fused_count,
+        materialised_operators=compiler.materialised_count,
+    )
 
 
 class CompiledEvaluator:

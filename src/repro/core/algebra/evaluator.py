@@ -58,7 +58,14 @@ from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts, ts_min
 from repro.core.tuples import Row
 from repro.errors import CatalogError, EvaluationError
 
-__all__ = ["EvalResult", "EvalStats", "Evaluator", "evaluate", "Catalog"]
+__all__ = [
+    "EvalResult",
+    "EvalStats",
+    "Evaluator",
+    "evaluate",
+    "operator_label",
+    "Catalog",
+]
 
 #: Anything that can resolve base-relation names for evaluation.
 Catalog = TypingUnion[Mapping[str, Relation], Callable[[str], Relation]]
@@ -69,7 +76,11 @@ class EvalStats:
     """Operational counters accumulated during one evaluation.
 
     The benchmark harnesses read these to report work done (e.g. how many
-    tuples a recomputation touches versus an incremental patch).
+    tuples a recomputation touches versus an incremental patch).  One bag
+    describes one evaluation -- a snapshot by construction.  Cross-query
+    aggregation lives in the metrics registry (``db.metrics``), which
+    :meth:`repro.engine.database.Database.evaluate` flushes every bag
+    into; hand-merging bags is deprecated.
     """
 
     tuples_scanned: int = 0
@@ -80,8 +91,28 @@ class EvalStats:
     cache_hits: int = 0
     cache_misses: int = 0
 
+    def as_dict(self) -> Dict[str, int]:
+        """All counters by name (stable order for reporting)."""
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def merge(self, other: "EvalStats") -> None:
-        """Accumulate another stats bag into this one."""
+        """Accumulate another stats bag into this one.
+
+        .. deprecated:: 1.1
+           Aggregation across evaluations belongs to the metrics registry
+           (``db.metrics``); ``Database.evaluate`` flushes every per-query
+           bag there.  This path will be removed one release after 1.1.
+        """
+        import warnings
+
+        warnings.warn(
+            "EvalStats.merge() is deprecated: cross-query aggregation is "
+            "registry-backed; read db.metrics instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.tuples_scanned += other.tuples_scanned
         self.tuples_emitted += other.tuples_emitted
         self.partitions_built += other.partitions_built
@@ -109,13 +140,28 @@ class EvalResult:
         return self.relation.exp_at(time)
 
 
-class Evaluator:
-    """Evaluates expressions against a catalog at a fixed time ``τ``."""
+def operator_label(expression: Expression) -> str:
+    """The span / EXPLAIN ANALYZE label for one operator node."""
+    name = type(expression).__name__
+    if isinstance(expression, BaseRef):
+        return f"{name}({expression.name})"
+    return name
 
-    def __init__(self, catalog: Catalog, tau: TimeLike = 0) -> None:
+
+class Evaluator:
+    """Evaluates expressions against a catalog at a fixed time ``τ``.
+
+    ``trace``, when given, is an open :class:`~repro.obs.tracing.Span`;
+    every operator evaluated hangs a child span off it with its inclusive
+    wall time, rows emitted, and cumulative tuples scanned (the substrate
+    of ``EXPLAIN ANALYZE`` under the interpreted engine).
+    """
+
+    def __init__(self, catalog: Catalog, tau: TimeLike = 0, trace=None) -> None:
         self._lookup = self._make_lookup(catalog)
         self.tau = ts(tau)
         self.stats = EvalStats()
+        self._trace = trace
 
     @staticmethod
     def _make_lookup(catalog: Catalog) -> Callable[[str], Relation]:
@@ -139,6 +185,27 @@ class Evaluator:
     def evaluate(self, expression: Expression) -> EvalResult:
         """Materialise ``expression`` at this evaluator's ``τ``."""
         self.stats.operators_evaluated += 1
+        if self._trace is None:
+            return self._dispatch(expression)
+        parent = self._trace
+        span = parent.child(operator_label(expression)).start()
+        scanned_before = self.stats.tuples_scanned
+        self._trace = span
+        try:
+            result = self._dispatch(expression)
+        except BaseException as error:
+            span.note(error=type(error).__name__)
+            raise
+        finally:
+            span.finish()
+            self._trace = parent
+        span.note(
+            rows=len(result.relation),
+            tuples_scanned=self.stats.tuples_scanned - scanned_before,
+        )
+        return result
+
+    def _dispatch(self, expression: Expression) -> EvalResult:
         if isinstance(expression, BaseRef):
             return self._eval_base(expression)
         if isinstance(expression, Literal):

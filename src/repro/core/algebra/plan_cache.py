@@ -23,6 +23,11 @@ Compiled plans are cached separately from results: a plan survives data
 mutations (it is keyed on schemas only) and is invalidated by a *schema*
 version, so steady-state evaluation after an insert pays re-execution but
 not re-compilation.
+
+Bookkeeping lives in the metrics registry (``repro_plan_cache_*`` /
+``repro_compiler_*`` families); :attr:`PlanCache.stats` is a frozen
+snapshot view over it, so the cache keeps no counter state of its own and
+``EXPLAIN``, the benchmarks, and ``db.metrics`` all read the same numbers.
 """
 
 from __future__ import annotations
@@ -36,18 +41,22 @@ from repro.core.algebra.evaluator import Catalog, EvalResult, EvalStats
 from repro.core.algebra.expressions import Expression, SchemaResolver
 from repro.core.intervals import IntervalSet
 from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Span
 
 __all__ = ["PlanCache", "PlanCacheStats"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class PlanCacheStats:
-    """Counters describing the cache's effectiveness."""
+    """A frozen snapshot of the cache's registry-backed counters."""
 
     hits: int = 0
     misses: int = 0
     compilations: int = 0
     evictions: int = 0
+    validity_served: int = 0
+    entries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -84,19 +93,56 @@ class PlanCache:
     [(1, 25)]
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(self, capacity: int = 128, registry: Optional[MetricsRegistry] = None) -> None:
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
-        self.stats = PlanCacheStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._entries: "OrderedDict[Expression, _Entry]" = OrderedDict()
+        reg = self.registry
+        self._hits = reg.counter(
+            "repro_plan_cache_hits_total",
+            "Evaluations served from a cached result (τ' inside I(e)).")
+        self._misses = reg.counter(
+            "repro_plan_cache_misses_total",
+            "Evaluations that had to execute the plan.")
+        self._compilations = reg.counter(
+            "repro_plan_cache_compilations_total",
+            "Expression compilations (plan-cache misses without a plan).")
+        self._evictions = reg.counter(
+            "repro_plan_cache_evictions_total", "LRU evictions.")
+        self._validity_served = reg.counter(
+            "repro_plan_cache_validity_served_total",
+            "Cache hits at a strictly later τ' than the cached evaluation "
+            "-- served purely by the validity interval set.")
+        self._entries_gauge = reg.gauge(
+            "repro_plan_cache_entries", "Plans currently cached.")
+        self._fused = reg.counter(
+            "repro_compiler_operators_fused_total",
+            "Operators compiled into fused streaming stages.")
+        self._materialised = reg.counter(
+            "repro_compiler_operators_materialised_total",
+            "Operators compiled as materialising (pipeline-breaking) stages.")
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def stats(self) -> PlanCacheStats:
+        """A frozen :class:`PlanCacheStats` snapshot from the registry."""
+        return PlanCacheStats(
+            hits=self._hits.value,
+            misses=self._misses.value,
+            compilations=self._compilations.value,
+            evictions=self._evictions.value,
+            validity_served=self._validity_served.value,
+            entries=len(self._entries),
+        )
+
     def clear(self) -> None:
         """Drop every cached plan and result."""
         self._entries.clear()
+        self._entries_gauge.set(0)
 
     # -- the cache protocol --------------------------------------------------
 
@@ -110,6 +156,8 @@ class PlanCache:
         floor: Optional[Timestamp] = None,
         stats: Optional[EvalStats] = None,
         resolver: Optional[SchemaResolver] = None,
+        trace: Optional[Span] = None,
+        bypass_results: bool = False,
     ) -> EvalResult:
         """Evaluate ``expression`` at ``tau``, serving from cache when sound.
 
@@ -119,6 +167,11 @@ class PlanCache:
         result restricted to a past ``τ'`` can be more complete than a fresh
         evaluation against an eagerly-purged store, so hits are only served
         at or after the time the engine has physically advanced to.
+
+        ``trace`` hangs per-operator spans off the given span during plan
+        execution; ``bypass_results`` (``EXPLAIN ANALYZE``) forces a real
+        execution -- reusing the compiled plan but never a cached result,
+        and without touching the hit/miss counters.
         """
         tau = ts(tau)
         eval_stats = stats if stats is not None else EvalStats()
@@ -126,7 +179,7 @@ class PlanCache:
         if entry is not None and entry.schema_version != schema_version:
             entry = None  # DDL invalidated the compiled plan itself
 
-        if entry is not None:
+        if entry is not None and not bypass_results:
             cached = entry.result
             if (
                 cached is not None
@@ -135,8 +188,14 @@ class PlanCache:
                 and (floor is None or floor <= tau)
                 and cached.validity.contains(tau)
             ):
-                self.stats.hits += 1
+                self._hits.inc()
+                if cached.tau < tau:
+                    self._validity_served.inc()
                 eval_stats.cache_hits += 1
+                if trace is not None:
+                    trace.child("cache_hit").note(
+                        cached_tau=cached.tau, served_at=tau
+                    )
                 self._entries.move_to_end(expression)
                 return EvalResult(
                     relation=cached.relation.exp_at(tau),
@@ -145,22 +204,34 @@ class PlanCache:
                     tau=tau,
                 )
 
-        self.stats.misses += 1
-        eval_stats.cache_misses += 1
+        if not bypass_results:
+            self._misses.inc()
+            eval_stats.cache_misses += 1
         if entry is None:
+            compile_span = (
+                trace.child("compile").start() if trace is not None else None
+            )
             plan = compile_expression(
                 expression, resolver if resolver is not None else _catalog_resolver(catalog)
             )
-            self.stats.compilations += 1
+            if compile_span is not None:
+                compile_span.finish().note(
+                    fused=plan.fused_operators,
+                    materialised=plan.materialised_operators,
+                )
+            self._compilations.inc()
+            self._fused.inc(plan.fused_operators)
+            self._materialised.inc(plan.materialised_operators)
             entry = _Entry(plan, schema_version)
             self._entries[expression] = entry
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
-        result = entry.plan.execute(catalog, tau, eval_stats)
+                self._evictions.inc()
+        result = entry.plan.execute(catalog, tau, eval_stats, trace=trace)
         entry.result = result
         entry.result_version = version
         self._entries.move_to_end(expression)
+        self._entries_gauge.set(len(self._entries))
         return result
 
 

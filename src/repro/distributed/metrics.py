@@ -1,4 +1,14 @@
-"""Result records for the distributed experiments."""
+"""Result records for the distributed experiments.
+
+Since the observability redesign a :class:`SyncReport` is *exported*, not
+hand-tabulated: :meth:`SyncReport.publish` writes every field into a
+:class:`~repro.obs.registry.MetricsRegistry` under the
+``repro_replication_*`` families, labelled by strategy, and the two
+tabular views (:meth:`summary_row`, :meth:`fault_tolerance_row`) derive
+their shared columns from one registry snapshot instead of re-deriving
+them independently -- the rows and the Prometheus dump can no longer
+disagree.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +16,96 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.intervals import IntervalSet
+from repro.obs.registry import MetricsRegistry
 
-__all__ = ["SyncReport"]
+__all__ = [
+    "SyncReport",
+    "REPLICATION_COUNTERS",
+    "REPLICATION_GAUGES",
+    "declare_replication_families",
+]
+
+#: SyncReport field -> (counter family, help).  Counters accumulate across
+#: published runs (two simulations with the same strategy sum up).
+REPLICATION_COUNTERS: Dict[str, tuple] = {
+    "queries": (
+        "repro_replication_queries_total",
+        "Client queries probed against server-side ground truth."),
+    "correct_answers": (
+        "repro_replication_correct_answers_total",
+        "Probed queries whose visible row set matched ground truth."),
+    "incorrect_answers": (
+        "repro_replication_incorrect_answers_total",
+        "Probed queries that diverged from ground truth."),
+    "missing_tuples": (
+        "repro_replication_missing_tuples_total",
+        "Ground-truth rows absent from the client across all probes."),
+    "extra_tuples": (
+        "repro_replication_extra_tuples_total",
+        "Client rows already gone from ground truth (the dangerous kind)."),
+    "messages": (
+        "repro_replication_messages_total",
+        "Messages shipped over the link(s), acks/digests/repairs included."),
+    "cells": (
+        "repro_replication_cells_total",
+        "Data cells shipped over the link(s)."),
+    "messages_lost": (
+        "repro_replication_messages_lost_total",
+        "Messages dropped by injected faults."),
+    "recompute_requests": (
+        "repro_replication_recompute_requests_total",
+        "Full-recompute round trips requested by clients."),
+    "patches_shipped": (
+        "repro_replication_patches_shipped_total",
+        "Difference-view patches shipped (Theorem 3 traffic)."),
+    "retransmissions": (
+        "repro_replication_retransmissions_total",
+        "Reliable-session retransmissions actually sent."),
+    "retransmissions_avoided": (
+        "repro_replication_retransmissions_avoided_total",
+        "Retransmissions cancelled because the tuple had already expired."),
+    "cells_avoided": (
+        "repro_replication_cells_avoided_total",
+        "Cells of retransmission traffic avoided via expiration."),
+    "acks": (
+        "repro_replication_acks_total", "Acknowledgements received."),
+    "digests": (
+        "repro_replication_digests_total", "Anti-entropy digests exchanged."),
+    "repairs_applied": (
+        "repro_replication_repairs_applied_total",
+        "Anti-entropy repairs that changed at least one row."),
+}
+
+#: SyncReport field -> (gauge family, help).  Gauges describe the *last*
+#: published run for a strategy (set, not accumulated).
+REPLICATION_GAUGES: Dict[str, tuple] = {
+    "consistency": (
+        "repro_replication_consistency_ratio",
+        "Fraction of probed queries answered correctly (last run)."),
+    "divergence_ticks": (
+        "repro_replication_divergence_window_ticks",
+        "Total measure of client-vs-truth divergence windows (last run)."),
+    "max_staleness": (
+        "repro_replication_max_staleness_ticks",
+        "Longest single divergence window (last run)."),
+    "converged": (
+        "repro_replication_converged",
+        "Whether the final divergence window closed before the horizon "
+        "(1 = converged, last run)."),
+}
+
+
+def declare_replication_families(registry: MetricsRegistry) -> None:
+    """Idempotently register every ``repro_replication_*`` family.
+
+    ``Database`` calls this so ``db.metrics.to_prom_text()`` always exposes
+    the replication families (with their HELP/TYPE headers) even before a
+    simulation has published into them.
+    """
+    for name, help_text in REPLICATION_COUNTERS.values():
+        registry.counter(name, help_text, labels=("strategy",))
+    for name, help_text in REPLICATION_GAUGES.values():
+        registry.gauge(name, help_text, labels=("strategy",))
 
 
 @dataclass
@@ -66,33 +164,69 @@ class SyncReport:
             return 1.0
         return self.correct_answers / self.queries
 
+    # -- registry export -----------------------------------------------------
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Write this report into ``registry``, labelled by strategy.
+
+        Counter families accumulate across publishes; gauge families are
+        set to this run's values.  Publishing into ``db.metrics`` puts the
+        replication numbers next to the engine's in one Prometheus dump.
+        """
+        declare_replication_families(registry)
+        for fld, (name, _) in REPLICATION_COUNTERS.items():
+            value = getattr(self, fld)
+            if value:
+                registry.counter(name, labels=("strategy",)).labels(
+                    self.strategy).inc(value)
+        for fld, (name, _) in REPLICATION_GAUGES.items():
+            registry.gauge(name, labels=("strategy",)).labels(
+                self.strategy).set(
+                    round(float(getattr(self, fld)), 6))
+
+    def _published_snapshot(self) -> Dict[str, object]:
+        """One registry snapshot of this report (the rows' single source).
+
+        Both tabular views read the same published numbers, so a field can
+        no longer be derived two different ways in two row methods.
+        """
+        registry = MetricsRegistry()
+        self.publish(registry)
+        snapshot = registry.snapshot()
+        out: Dict[str, object] = {}
+        for fld, (name, _) in {**REPLICATION_COUNTERS, **REPLICATION_GAUGES}.items():
+            out[fld] = snapshot.get(f'{name}{{strategy="{self.strategy}"}}', 0)
+        return out
+
     def summary_row(self) -> Dict[str, object]:
         """A flat dict for tabular bench output."""
+        snap = self._published_snapshot()
         return {
             "strategy": self.strategy,
-            "messages": self.messages,
-            "cells": self.cells,
-            "queries": self.queries,
-            "consistency": round(self.consistency, 4),
-            "missing": self.missing_tuples,
-            "extra": self.extra_tuples,
-            "recompute_requests": self.recompute_requests,
+            "messages": snap["messages"],
+            "cells": snap["cells"],
+            "queries": snap["queries"],
+            "consistency": round(float(snap["consistency"]), 4),
+            "missing": snap["missing_tuples"],
+            "extra": snap["extra_tuples"],
+            "recompute_requests": snap["recompute_requests"],
         }
 
     def fault_tolerance_row(self) -> Dict[str, object]:
         """The convergence/robustness columns for the fault benches."""
+        snap = self._published_snapshot()
         return {
             "strategy": self.strategy,
-            "messages": self.messages,
-            "cells": self.cells,
-            "lost": self.messages_lost,
-            "retransmissions": self.retransmissions,
-            "retrans_avoided": self.retransmissions_avoided,
-            "cells_avoided": self.cells_avoided,
-            "repairs": self.repairs_applied,
-            "consistency": round(self.consistency, 4),
+            "messages": snap["messages"],
+            "cells": snap["cells"],
+            "lost": snap["messages_lost"],
+            "retransmissions": snap["retransmissions"],
+            "retrans_avoided": snap["retransmissions_avoided"],
+            "cells_avoided": snap["cells_avoided"],
+            "repairs": snap["repairs_applied"],
+            "consistency": round(float(snap["consistency"]), 4),
             "converged": self.converged,
             "converged_at": self.converged_at,
-            "divergence_ticks": self.divergence_ticks,
-            "max_staleness": self.max_staleness,
+            "divergence_ticks": snap["divergence_ticks"],
+            "max_staleness": snap["max_staleness"],
         }

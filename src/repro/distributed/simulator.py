@@ -52,6 +52,7 @@ from repro.distributed.events import EventQueue
 from repro.distributed.faults import FaultSchedule
 from repro.distributed.link import Link
 from repro.distributed.metrics import SyncReport
+from repro.obs.registry import MetricsRegistry
 from repro.distributed.protocols import (
     Ack,
     DeleteNotice,
@@ -171,9 +172,14 @@ class ReplicationSimulation:
         track_convergence: Optional[bool] = None,
         probe_period: int = 1,
         horizon: Optional[int] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if probe_period < 1:
             raise SimulationError(f"probe_period must be >= 1, got {probe_period}")
+        #: When given, :meth:`run` publishes the final report here under
+        #: the ``repro_replication_*`` families (pass ``db.metrics`` to
+        #: land the simulation next to the engine's counters).
+        self.metrics = metrics
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         self.workload = sorted(workload, key=lambda entry: entry[0])
         self.query_times = sorted(query_times)
@@ -381,6 +387,8 @@ class ReplicationSimulation:
                 self.events.schedule(when, self._probe)
         self.events.run_until(horizon)
         self._fill_report(horizon)
+        if self.metrics is not None:
+            self.report.publish(self.metrics)
         return self.report
 
     def _make_insert(self, row: Row, expires_at: Timestamp):
@@ -491,6 +499,7 @@ class FanOutSimulation:
         reliability: Optional[ReliabilityConfig] = None,
         anti_entropy: Optional[AntiEntropyConfig] = None,
         faults: Optional[FaultSchedule] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if not links:
             raise SimulationError("a fan-out needs at least one client link")
@@ -501,6 +510,7 @@ class FanOutSimulation:
         self.workload = sorted(workload, key=lambda entry: entry[0])
         self.query_times = sorted(query_times)
         self.strategy = strategy
+        self.metrics = metrics
         self.simulations = [
             ReplicationSimulation(
                 self.schema, self.workload, self.query_times, strategy,
@@ -540,6 +550,8 @@ class FanOutSimulation:
                 min(report.consistency for report in reports), 4
             ),
         }
+        if self.metrics is not None:
+            total.publish(self.metrics)
         return total
 
 
@@ -584,8 +596,10 @@ class DifferenceViewSimulation:
         track_convergence: Optional[bool] = None,
         probe_period: int = 1,
         horizon: Optional[int] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         left.schema.check_union_compatible(right.schema)
+        self.metrics = metrics
         self.left = left
         self.right = right
         self.query_times = sorted(query_times)
@@ -758,6 +772,8 @@ class DifferenceViewSimulation:
                 self.events.schedule(when, self._probe)
         self.events.run_until(horizon)
         self._fill_report(horizon)
+        if self.metrics is not None:
+            self.report.publish(self.metrics)
         return self.report
 
     def _schedule_next_invalidation(self, at: Timestamp) -> None:

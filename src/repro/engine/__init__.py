@@ -22,7 +22,7 @@ from repro.engine.persistence import (
     load_database,
     save_database,
 )
-from repro.engine.statistics import EngineStatistics
+from repro.engine.statistics import EngineStatistics, StatisticsSnapshot
 from repro.engine.table import Table
 from repro.engine.timer_wheel import TimerWheelIndex
 from repro.engine.transactions import Transaction, TransactionState
@@ -45,6 +45,7 @@ __all__ = [
     "load_database",
     "save_database",
     "EngineStatistics",
+    "StatisticsSnapshot",
     "Table",
     "TimerWheelIndex",
     "Transaction",

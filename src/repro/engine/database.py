@@ -16,6 +16,7 @@ exact assertions.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.algebra.evaluator import EvalResult, EvalStats, Evaluator
@@ -24,13 +25,32 @@ from repro.core.algebra.plan_cache import PlanCache
 from repro.core.relation import Relation
 from repro.core.schema import Schema
 from repro.core.timestamps import TimeLike, Timestamp, ts
+from repro.distributed.metrics import declare_replication_families
 from repro.engine.clock import LogicalClock
 from repro.engine.expiration_index import RemovalPolicy
 from repro.engine.statistics import EngineStatistics
-from repro.engine.table import Table
+from repro.engine.table import Table, declare_expiration_families
 from repro.engine.transactions import Transaction
 from repro.engine.views import MaintenancePolicy, MaterialisedView
 from repro.errors import CatalogError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+#: EvalStats field -> (counter family, help); flushed after every
+#: evaluation, labelled by the engine that ran it.
+EVAL_COUNTERS: Dict[str, tuple] = {
+    "tuples_scanned": (
+        "repro_eval_tuples_scanned_total", "Tuples read by operators."),
+    "tuples_emitted": (
+        "repro_eval_tuples_emitted_total", "Tuples produced by operators."),
+    "partitions_built": (
+        "repro_eval_partitions_built_total",
+        "Aggregate/hash partitions materialised."),
+    "hash_probes": (
+        "repro_eval_hash_probes_total", "Hash-join probe operations."),
+    "operators_evaluated": (
+        "repro_eval_operators_total", "Operator nodes evaluated."),
+}
 
 __all__ = ["Database"]
 
@@ -56,17 +76,38 @@ class Database:
         default_removal_policy: RemovalPolicy = RemovalPolicy.EAGER,
         engine: str = "compiled",
         plan_cache_capacity: int = 128,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
                 f"engine must be 'compiled' or 'interpreted', got {engine!r}"
             )
         self.clock = LogicalClock(start_time)
-        self.statistics = EngineStatistics()
+        #: The single source of truth for every counter in the system.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Off by default; ``EXPLAIN ANALYZE`` / ``evaluate(trace=True)``
+        #: trace single queries without enabling it globally.
+        self.tracer = Tracer(enabled=False)
+        self.statistics = EngineStatistics(registry=self.metrics)
         self.default_removal_policy = default_removal_policy
         self.engine = engine
-        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.plan_cache = PlanCache(plan_cache_capacity, registry=self.metrics)
         self.last_eval_stats = EvalStats()
+        self._eval_counters = {
+            fld: self.metrics.counter(name, help_text, labels=("engine",))
+            for fld, (name, help_text) in EVAL_COUNTERS.items()
+        }
+        self._eval_queries = self.metrics.counter(
+            "repro_eval_queries_total", "Expressions evaluated.",
+            labels=("engine",))
+        self._eval_seconds = self.metrics.histogram(
+            "repro_eval_seconds", "Wall time per evaluation.",
+            labels=("engine",))
+        # Expiration and replication families are declared up front so one
+        # prom dump covers the whole system even before the first sweep or
+        # simulation publishes into them.
+        declare_expiration_families(self.metrics)
+        declare_replication_families(self.metrics)
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, MaterialisedView] = {}
         # Data version: bumped on every unpredictable mutation (insert,
@@ -196,6 +237,7 @@ class Database:
         expression: Expression,
         at: TimeLike = None,
         engine: Optional[str] = None,
+        trace: bool = False,
     ) -> EvalResult:
         """Materialise an expression at ``at`` (default: now).
 
@@ -203,33 +245,68 @@ class Database:
         ``"compiled"`` uses the fused-pipeline evaluator through the
         validity-aware plan cache, ``"interpreted"`` the row-at-a-time
         reference evaluator.  Both produce identical rows, expiration
-        times, and validity intervals; counters land in
-        :attr:`last_eval_stats`.
+        times, and validity intervals; per-query counters land in
+        :attr:`last_eval_stats` and are flushed into :attr:`metrics`.
+
+        ``trace=True`` (or an enabled :attr:`tracer`) records a span tree
+        for this evaluation -- per-operator wall time and tuple counts --
+        retrievable via :meth:`trace_last_query`.  Tracing forces a real
+        execution (no cached-result serving) so the spans describe actual
+        operator work, without polluting the hit/miss counters.
         """
         stamp = self.clock.now if at is None else ts(at)
         which = engine if engine is not None else self.engine
-        if which == "compiled":
-            stats = EvalStats()
-            result = self.plan_cache.evaluate(
-                expression,
-                self.catalog,
-                stamp,
-                version=self._catalog_version,
-                schema_version=self._schema_version,
-                floor=self.clock.now,
-                stats=stats,
-                resolver=self.schema_resolver,
-            )
-        elif which == "interpreted":
-            evaluator = Evaluator(self.catalog, stamp)
-            result = evaluator.evaluate(expression)
-            stats = evaluator.stats
-        else:
-            raise ValueError(
-                f"engine must be 'compiled' or 'interpreted', got {which!r}"
+        tracing = trace or self.tracer.enabled
+        span: Optional[Span] = None
+        if tracing:
+            span = self.tracer.root(
+                "evaluate", engine=which, tau=stamp
+            ).start()
+        started = time.perf_counter()
+        try:
+            if which == "compiled":
+                stats = EvalStats()
+                result = self.plan_cache.evaluate(
+                    expression,
+                    self.catalog,
+                    stamp,
+                    version=self._catalog_version,
+                    schema_version=self._schema_version,
+                    floor=self.clock.now,
+                    stats=stats,
+                    resolver=self.schema_resolver,
+                    trace=span,
+                    bypass_results=tracing,
+                )
+            elif which == "interpreted":
+                evaluator = Evaluator(self.catalog, stamp, trace=span)
+                result = evaluator.evaluate(expression)
+                stats = evaluator.stats
+            else:
+                raise ValueError(
+                    f"engine must be 'compiled' or 'interpreted', got {which!r}"
+                )
+        finally:
+            if span is not None:
+                span.finish()
+        elapsed = time.perf_counter() - started
+        self._eval_queries.labels(which).inc()
+        self._eval_seconds.labels(which).observe(elapsed)
+        for fld, counter in self._eval_counters.items():
+            value = getattr(stats, fld)
+            if value:
+                counter.labels(which).inc(value)
+        if span is not None:
+            span.note(
+                rows=len(result.relation),
+                tuples_scanned=stats.tuples_scanned,
             )
         self.last_eval_stats = stats
         return result
+
+    def trace_last_query(self) -> Optional[Span]:
+        """The span tree of the most recent traced evaluation (or None)."""
+        return self.tracer.last
 
     # -- views ------------------------------------------------------------------------
 

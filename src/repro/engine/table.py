@@ -19,6 +19,7 @@ times: ``insert(values, expires_at=...)`` or the TTL convenience form
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
 from repro.core.relation import Relation
@@ -35,7 +36,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.engine.constraints import Constraint
     from repro.engine.database import Database
 
-__all__ = ["Table"]
+__all__ = ["Table", "declare_expiration_families"]
+
+
+def declare_expiration_families(registry):
+    """Idempotently register the per-policy expiration families.
+
+    Returns ``(sweep_seconds, tuples_expired)``; called by every
+    :class:`Table` and once by ``Database`` so the families show up in
+    ``db.metrics.to_prom_text()`` before the first sweep.
+    """
+    sweep = registry.histogram(
+        "repro_expiration_sweep_seconds",
+        "Wall time of expiration sweeps that processed at least one "
+        "due tuple, by removal policy.",
+        labels=("policy",),
+    )
+    expired = registry.counter(
+        "repro_expiration_tuples_expired_total",
+        "Tuples physically expired, by removal policy (eager drains "
+        "versus lazy vacuums).",
+        labels=("policy",),
+    )
+    return sweep, expired
 
 
 class Table:
@@ -71,6 +94,9 @@ class Table:
         # Lazy removal: due entries accumulate here (already popped from
         # the index, O(k log n) per advance) until a vacuum processes them.
         self._due_buffer: List[tuple] = []
+        self._sweep_seconds, self._tuples_expired = declare_expiration_families(
+            self.statistics.registry
+        )
 
     # -- modification ---------------------------------------------------------
 
@@ -170,6 +196,7 @@ class Table:
     def process_expirations(self, now: Optional[TimeLike] = None) -> int:
         """Remove every due tuple, firing ON-EXPIRE triggers; returns count."""
         stamp = self.clock.now if now is None else ts(now)
+        started = time.perf_counter()
         due = self._due_buffer + self._index.pop_due(stamp)
         self._due_buffer = []
         processed = 0
@@ -188,6 +215,11 @@ class Table:
             self.statistics.triggers_fired += fired
         if due:
             self.statistics.purge_passes += 1
+            policy = self.removal_policy.value
+            self._sweep_seconds.labels(policy).observe(
+                time.perf_counter() - started)
+            if processed:
+                self._tuples_expired.labels(policy).inc(processed)
         return processed
 
     def vacuum(self, now: Optional[TimeLike] = None) -> int:

@@ -103,14 +103,18 @@ class MaterialisedView:
         serve repeat refreshes straight from the validity-aware plan cache.
         """
         stamp = self.database.clock.now if at is None else ts(at)
-        if self.policy is MaintenancePolicy.PATCH:
-            assert isinstance(self.expression, Difference)
-            left = self.database.evaluate(self.expression.left, at=stamp).relation
-            right = self.database.evaluate(self.expression.right, at=stamp).relation
-            self._patch_state, self._patcher = compute_difference_with_patches(
-                left, right, tau=stamp
-            )
-        self._result = self.database.evaluate(self.expression, at=stamp)
+        with self.database.tracer.span(
+            "view_refresh", view=self.name, policy=self.policy.value
+        ) as span:
+            if self.policy is MaintenancePolicy.PATCH:
+                assert isinstance(self.expression, Difference)
+                left = self.database.evaluate(self.expression.left, at=stamp).relation
+                right = self.database.evaluate(self.expression.right, at=stamp).relation
+                self._patch_state, self._patcher = compute_difference_with_patches(
+                    left, right, tau=stamp
+                )
+            self._result = self.database.evaluate(self.expression, at=stamp)
+            span.note(rows=len(self._result.relation))
         self.database.statistics.view_recomputations += 1
         self.recomputations += 1
         self._last_read = stamp
@@ -150,25 +154,33 @@ class MaterialisedView:
         self.reads += 1
         self.database.statistics.view_reads += 1
         assert self._result is not None
-
-        if self.is_monotonic:
-            # Theorem 1: the materialisation is valid forever.
-            return self._serve(self._result.relation, stamp)
-
-        if self.policy is MaintenancePolicy.PATCH:
-            return self._read_patched(stamp)
-
-        if self.policy is MaintenancePolicy.RECOMPUTE:
-            if stamp < self._result.expiration:
+        with self.database.tracer.span(
+            "view_read", view=self.name, policy=self.policy.value
+        ) as span:
+            if self.is_monotonic:
+                # Theorem 1: the materialisation is valid forever.
+                span.note(decision="materialised")
                 return self._serve(self._result.relation, stamp)
+
+            if self.policy is MaintenancePolicy.PATCH:
+                span.note(decision="patch")
+                return self._read_patched(stamp)
+
+            if self.policy is MaintenancePolicy.RECOMPUTE:
+                if stamp < self._result.expiration:
+                    span.note(decision="materialised")
+                    return self._serve(self._result.relation, stamp)
+                span.note(decision="recompute")
+                self.refresh(stamp)
+                return self._serve(self._result.relation, stamp, fresh=True)
+
+            # SCHRODINGER: exact validity intervals.
+            if self._result.validity.contains(stamp):
+                span.note(decision="materialised")
+                return self._serve(self._result.relation, stamp)
+            span.note(decision="recompute")
             self.refresh(stamp)
             return self._serve(self._result.relation, stamp, fresh=True)
-
-        # SCHRODINGER: exact validity intervals.
-        if self._result.validity.contains(stamp):
-            return self._serve(self._result.relation, stamp)
-        self.refresh(stamp)
-        return self._serve(self._result.relation, stamp, fresh=True)
 
     def _serve(self, relation: Relation, stamp: Timestamp, fresh: bool = False) -> Relation:
         if not fresh:

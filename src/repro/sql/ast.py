@@ -18,7 +18,7 @@ dialect surfaces expiration times, matching the paper's design)::
     CREATE MATERIALIZED VIEW name AS query [WITH POLICY name] ;
     DROP TABLE name ;   DROP VIEW name ;
     SHOW TABLES ;       SHOW VIEWS ;
-    DESCRIBE name ;     EXPLAIN query ;
+    DESCRIBE name ;     EXPLAIN [ANALYZE] query ;
     ADVANCE TO <time> ; ADVANCE BY <ticks> ; TICK ;
     VACUUM [name] ;
 """
@@ -312,7 +312,10 @@ class DescribeStatement(Statement):
 
 @dataclass(frozen=True)
 class ExplainStatement(Statement):
-    """``EXPLAIN query`` -- the algebra plan (raw and rewritten), its
-    monotonicity class, and the materialisation's expiration/validity."""
+    """``EXPLAIN [ANALYZE] query`` -- the algebra plan (raw and rewritten),
+    its monotonicity class, and the materialisation's expiration/validity.
+    With ``ANALYZE``, the query is executed under tracing and the span
+    tree (per-operator wall time and tuple counts) is appended."""
 
     query: "QueryNode"
+    analyze: bool = False

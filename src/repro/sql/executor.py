@@ -126,6 +126,16 @@ def _present_rows(relation: Relation, query: QueryNode) -> list:
 
 
 def _execute_statement(db: Database, statement: Statement) -> SqlResult:
+    result = _dispatch_statement(db, statement)
+    db.metrics.counter(
+        "repro_sql_statements_total",
+        "SQL statements executed, by result kind.",
+        labels=("kind",),
+    ).labels(result.kind).inc()
+    return result
+
+
+def _dispatch_statement(db: Database, statement: Statement) -> SqlResult:
     if isinstance(statement, CreateTable):
         if statement.query is not None:
             expression = plan_query(statement.query, _source_resolver(db))
@@ -276,7 +286,7 @@ def _explain(db: Database, statement: ExplainStatement) -> SqlResult:
 
     expression = plan_query(statement.query, _source_resolver(db))
     rewritten = optimise(expression, db.schema_resolver)
-    result = db.evaluate(rewritten)
+    result = db.evaluate(rewritten, trace=statement.analyze)
     lines = [
         f"plan:       {expression!r}",
         f"rewritten:  {rewritten!r}",
@@ -288,13 +298,17 @@ def _explain(db: Database, statement: ExplainStatement) -> SqlResult:
         f"engine:     {db.engine}",
     ]
     if db.engine == "compiled":
-        stats = db.last_eval_stats
         cache = db.plan_cache.stats
         lines.append(
-            f"cache:      {'hit' if stats.cache_hits else 'miss'} this query; "
-            f"{cache.hits} hit(s) / {cache.misses} miss(es) overall "
-            f"(hit rate {cache.hit_rate:.0%})"
+            f"cache:      {cache.hits} hit(s) / {cache.misses} miss(es) "
+            f"overall (hit rate {cache.hit_rate:.0%}), "
+            f"{cache.validity_served} served by validity alone"
         )
+    if statement.analyze:
+        trace = db.trace_last_query()
+        if trace is not None:
+            lines.append("analyze:")
+            lines.append(trace.render(indent=1))
     return SqlResult(kind="explain", message="\n".join(lines))
 
 

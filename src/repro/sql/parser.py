@@ -153,7 +153,11 @@ class _Parser:
             return DescribeStatement(name=self._expect_ident())
         if token.is_keyword("EXPLAIN"):
             self._advance()
-            return ExplainStatement(query=self._parse_query())
+            analyze = False
+            if self._peek().is_keyword("ANALYZE"):
+                self._advance()
+                analyze = True
+            return ExplainStatement(query=self._parse_query(), analyze=analyze)
         raise self._error("expected a statement")
 
     def _parse_renew(self) -> "RenewStatement":

@@ -23,6 +23,7 @@ KEYWORDS = frozenset(
     {
         "ADVANCE",
         "ALL",
+        "ANALYZE",
         "AND",
         "AS",
         "ASC",

@@ -1,0 +1,112 @@
+"""Tracer semantics: nesting, timing accumulation, exception safety."""
+
+import pytest
+
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+
+
+class TestSpan:
+    def test_bracketed_timing_accumulates(self):
+        span = Span("work")
+        span.start()
+        span.finish()
+        first = span.duration_ms
+        span.start()
+        span.finish()
+        assert span.duration_ms >= first
+
+    def test_add_time_is_incremental(self):
+        span = Span("pipeline")
+        span.add_time(0.001)
+        span.add_time(0.002)
+        assert span.duration_ms == pytest.approx(3.0)
+
+    def test_children_and_walk(self):
+        root = Span("root")
+        a = root.child("a")
+        a.child("a1")
+        root.child("b")
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]
+        assert root.find("a1") is not None
+        assert root.find("nope") is None
+
+    def test_note_updates_attrs(self):
+        span = Span("op", rows=1)
+        span.note(rows=2, engine="compiled")
+        assert span.attrs == {"rows": 2, "engine": "compiled"}
+
+    def test_render_without_timings_is_deterministic(self):
+        root = Span("evaluate", engine="compiled")
+        root.child("Select", rows=3).child("BaseRef(Pol)", rows=10)
+        assert root.render(timings=False) == (
+            "evaluate [engine=compiled]\n"
+            "  Select [rows=3]\n"
+            "    BaseRef(Pol) [rows=10]"
+        )
+
+    def test_render_with_timings_has_ms(self):
+        span = Span("op")
+        span.add_time(0.5)
+        assert "(500.000 ms)" in span.render()
+
+
+class TestTracer:
+    def test_disabled_tracer_hands_out_noop(self):
+        tracer = Tracer()
+        with tracer.span("evaluate") as span:
+            assert span is NOOP_SPAN
+            assert span.child("anything") is NOOP_SPAN
+        assert tracer.last is None
+
+    def test_nesting_follows_the_stack(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("innermost"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        root = tracer.last
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "sibling"]
+        assert root.children[0].children[0].name == "innermost"
+
+    def test_last_is_set_only_when_root_closes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+            assert tracer.last is None  # root still open
+        assert tracer.last.name == "root"
+
+    def test_exception_closes_span_and_stamps_error(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        root = tracer.last
+        assert root is not None  # the stack fully unwound
+        assert root.attrs["error"] == "ValueError"
+        assert root.children[0].attrs["error"] == "ValueError"
+        # The tracer is reusable after the exception.
+        with tracer.span("next"):
+            pass
+        assert tracer.last.name == "next"
+
+    def test_explicit_root_is_caller_managed(self):
+        tracer = Tracer()
+        span = tracer.root("evaluate", engine="interpreted").start()
+        span.child("op")
+        span.finish()
+        assert tracer.last is span
+        assert tracer.last.attrs["engine"] == "interpreted"
+
+    def test_enable_disable(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("on") as span:
+            assert span is not NOOP_SPAN
+        tracer.disable()
+        with tracer.span("off") as span:
+            assert span is NOOP_SPAN

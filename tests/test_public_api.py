@@ -38,6 +38,9 @@ PUBLIC_MODULES = [
     "repro.engine.views",
     "repro.sql",
     "repro.cli",
+    "repro.obs",
+    "repro.obs.registry",
+    "repro.obs.tracing",
     "repro.distributed",
     "repro.workloads",
     "repro.baselines",
@@ -55,6 +58,8 @@ DOCTEST_MODULES = [
     "repro.engine.database",
     "repro.sql",
     "repro.workloads.sessions",
+    "repro.obs.registry",
+    "repro.obs.tracing",
 ]
 
 
