@@ -1,0 +1,119 @@
+"""Experiment X9: partition-parallel expiration sweeps.
+
+The companion report's bulk-removal argument, measured: a flat table
+processes a mass expiration one tuple at a time (per-tuple lookup, delete,
+and statistics round-trips), while a :class:`PartitionedTable` drains one
+bulk kernel per hash shard, fanned out on the database's worker pool.
+
+Reported: sweep wall time and throughput for a flat table versus 1/2/4/8
+hash shards over the same mass-expiring workload; asserted (the gate):
+the 4-shard sweep is at least ``threshold`` times faster than flat --
+2.0x in full mode (>=100k due tuples), a conservative 1.2x under
+``--smoke`` so shared CI runners don't flake.
+"""
+
+import time
+
+from repro.engine.database import Database
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+DUE_AT = 100
+
+
+def build_database(n, shards=None):
+    """A database whose table 'S' holds ``n`` tuples all due at DUE_AT."""
+    db = Database()
+    kwargs = {} if shards is None else {"partitions": shards, "partition_key": "k"}
+    table = db.create_table("S", ["k", "v"], **kwargs)
+    for i in range(n):
+        table.insert((i, i % 97), expires_at=DUE_AT)
+    return db, table
+
+
+def time_sweep(n, shards=None, reps=3):
+    """Best-of-``reps`` wall time for sweeping all ``n`` due tuples."""
+    best = None
+    for _ in range(reps):
+        db, table = build_database(n, shards)
+        started = time.perf_counter()
+        db.advance_to(DUE_AT)
+        elapsed = time.perf_counter() - started
+        if len(table) != 0 or table.physical_size != 0:
+            raise AssertionError("sweep left tuples behind")
+        db.close()
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_sweep(n, shard_counts=(1, 2, 4, 8), reps=3):
+    rows = [{"label": "flat", "shards": None, "s": time_sweep(n, None, reps)}]
+    for shards in shard_counts:
+        rows.append(
+            {"label": f"{shards} shard{'s' if shards > 1 else ''}",
+             "shards": shards, "s": time_sweep(n, shards, reps)}
+        )
+    flat = rows[0]["s"]
+    for row in rows:
+        row["ms"] = round(row["s"] * 1000, 1)
+        row["tuples_per_s"] = int(n / row["s"]) if row["s"] else 0
+        row["speedup"] = round(flat / row["s"], 2) if row["s"] else 0.0
+    return rows
+
+
+def print_report(n, rows):
+    emit(
+        f"Partitioned expiration sweep: {n:,} tuples due at once",
+        ["layout", "ms", "tuples/s", "speedup vs flat"],
+        [(r["label"], r["ms"], f"{r['tuples_per_s']:,}", f"{r['speedup']:.2f}x")
+         for r in rows],
+    )
+
+
+def gate(n, threshold, reps=3):
+    """Fail unless the 4-shard sweep beats flat by ``threshold``x."""
+    rows = run_sweep(n, reps=reps)
+    print_report(n, rows)
+    at_four = next(r for r in rows if r["shards"] == 4)
+    return {
+        "n": n,
+        "speedup": at_four["speedup"],
+        "threshold": threshold,
+        "passed": at_four["speedup"] >= threshold,
+        "rows": rows,
+    }
+
+
+def test_partitioned_sweep_is_equivalent_and_fast_enough():
+    # Correctness (the throughput gate runs in script mode, not pytest):
+    # both layouts must clear exactly the same mass expiration.
+    flat_db, flat = build_database(2_000)
+    part_db, part = build_database(2_000, shards=4)
+    flat_db.advance_to(DUE_AT)
+    part_db.advance_to(DUE_AT)
+    assert flat.physical_size == part.physical_size == 0
+    assert (flat.statistics.expirations_processed
+            == part.statistics.expirations_processed == 2_000)
+    part_db.close()
+    flat_db.close()
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        report = gate(n=20_000, threshold=1.2, reps=2)
+    else:
+        report = gate(n=120_000, threshold=2.0, reps=3)
+    print(
+        f"4-shard speedup {report['speedup']:.2f}x over flat on "
+        f"{report['n']:,} due tuples (gate: >={report['threshold']:.1f}x)"
+    )
+    if not report["passed"]:
+        print("FAIL: partitioned sweep below the speedup gate")
+        raise SystemExit(1)
+    print("OK: partitioned sweep throughput within the gate")

@@ -71,7 +71,7 @@ from repro.engine import (
 from repro.obs import MetricsRegistry, Span, Tracer
 from repro.sql import execute_sql, parse_sql
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FOREVER",

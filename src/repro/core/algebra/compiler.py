@@ -42,6 +42,7 @@ c)`` because ``min(·, c)`` is monotone.
 
 from __future__ import annotations
 
+import itertools
 import operator
 import time
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -170,9 +171,13 @@ class _Context:
     ``trace`` is ``None`` on the hot path; when set (``EXPLAIN ANALYZE``,
     ``Database.evaluate(trace=True)``) it is the span under which the
     currently-building operator hangs its own span.
+
+    ``executor``, when set, lets source stages over hash-partitioned base
+    relations fan per-shard work out over the pool (the ``parallel_source``
+    path); ``None`` keeps every stage sequential.
     """
 
-    __slots__ = ("lookup", "tau", "stats", "trace")
+    __slots__ = ("lookup", "tau", "stats", "trace", "executor")
 
     def __init__(
         self,
@@ -180,22 +185,39 @@ class _Context:
         tau: Timestamp,
         stats: EvalStats,
         trace=None,
+        executor=None,
     ) -> None:
         self.lookup = lookup
         self.tau = tau
         self.stats = stats
         self.trace = trace
+        self.executor = executor
 
 
 class _Stream:
-    """One stage's output: a (possibly lazy) pair stream plus metadata."""
+    """One stage's output: a (possibly lazy) pair stream plus metadata.
 
-    __slots__ = ("pairs", "expiration", "validity")
+    ``shards``, when not ``None``, is the same payload as ``pairs`` but
+    still split per partition shard (a list of pair lists): the handoff
+    that lets a fused consumer keep the fan-out alive for its own parallel
+    kernel instead of consuming the merged stream.  Shards are disjoint by
+    construction (hash partitioning), so concatenating them and max-merging
+    at the consumer is exactly the flat semantics.
+    """
 
-    def __init__(self, pairs: Pairs, expiration: Timestamp, validity: IntervalSet) -> None:
+    __slots__ = ("pairs", "expiration", "validity", "shards")
+
+    def __init__(
+        self,
+        pairs: Pairs,
+        expiration: Timestamp,
+        validity: IntervalSet,
+        shards: Optional[List[List[Tuple[tuple, Timestamp]]]] = None,
+    ) -> None:
         self.pairs = pairs
         self.expiration = expiration
         self.validity = validity
+        self.shards = shards
 
 
 #: A compiled node: executed with a context, yields its output stream.
@@ -312,6 +334,44 @@ def _partition_bounds(
     return value, expiration, invalidation
 
 
+def _parallel_source(
+    ctx: _Context,
+    shards,
+    predicate: Optional[Callable[[tuple], bool]] = None,
+    label: str = "shard_scan",
+) -> List[List[Tuple[tuple, Timestamp]]]:
+    """Materialise ``exp_τ`` (and an optional filter) per shard, in parallel.
+
+    The compiled evaluator's ``parallel_source`` stage: one worker per
+    shard streams the shard's ``row -> texp`` dict through the expiration
+    filter (and the fused select predicate, when pushed down).  Under a
+    trace each shard hangs a child span with its wall time and row count,
+    which is what makes EXPLAIN ANALYZE show per-shard timings.
+    """
+    tau = ctx.tau
+
+    def scan(indexed):
+        index, shard = indexed
+        started = time.perf_counter()
+        if predicate is None:
+            pairs = [pair for pair in shard._tuples.items() if tau < pair[1]]
+        else:
+            pairs = [
+                pair
+                for pair in shard._tuples.items()
+                if tau < pair[1] and predicate(pair[0])
+            ]
+        return index, pairs, time.perf_counter() - started
+
+    results = list(ctx.executor.map(scan, enumerate(shards)))
+    if ctx.trace is not None:
+        for index, pairs, elapsed in results:
+            span = ctx.trace.child(label, shard=index, stage="parallel")
+            span.add_time(elapsed)
+            span.note(rows=len(pairs))
+    return [pairs for _, pairs, _ in results]
+
+
 def _key_getter(indexes: List[int]) -> Callable[[tuple], Any]:
     """A fast key extractor over 0-based positions (scalar for one key)."""
     if not indexes:
@@ -386,6 +446,15 @@ class _Compiler:
             relation = ctx.lookup(name)
             ctx.stats.tuples_scanned += len(relation)
             tau = ctx.tau
+            shards = getattr(relation, "shards", None)
+            if shards is not None and ctx.executor is not None and len(shards) > 1:
+                shard_lists = _parallel_source(ctx, shards)
+                return _Stream(
+                    itertools.chain.from_iterable(shard_lists),
+                    INFINITY,
+                    IntervalSet.from_onwards(tau),
+                    shards=shard_lists,
+                )
             # Stream exp_τ(R) without copying the relation at all.
             pairs = (
                 (row, texp) for row, texp in relation.items() if tau < texp
@@ -417,6 +486,27 @@ class _Compiler:
         def run(ctx: _Context) -> _Stream:
             ctx.stats.operators_evaluated += 1
             inner = child(ctx)
+            if (
+                inner.shards is not None
+                and ctx.executor is not None
+                and ctx.trace is None
+            ):
+                # Parallel select kernel: filter each shard list on the
+                # pool, keeping the fan-out alive for downstream stages.
+                # (Skipped under a trace so the per-operator spans keep
+                # billing rows through the instrumented merged stream.)
+                filtered = list(
+                    ctx.executor.map(
+                        lambda pairs: [p for p in pairs if matches(p[0])],
+                        inner.shards,
+                    )
+                )
+                return _Stream(
+                    itertools.chain.from_iterable(filtered),
+                    inner.expiration,
+                    inner.validity,
+                    shards=filtered,
+                )
             pairs = (pair for pair in inner.pairs if matches(pair[0]))
             return _Stream(pairs, inner.expiration, inner.validity)
 
@@ -556,15 +646,47 @@ class _Compiler:
             right_stream = right(ctx)
 
             if right_key is not None:
-                buckets: Dict[Any, List[Tuple[tuple, Timestamp]]] = {}
-                bucket_get = buckets.get
-                for row, texp in right_stream.pairs:
-                    key = right_key(row)
-                    bucket = bucket_get(key)
-                    if bucket is None:
-                        buckets[key] = [(row, texp)]
-                    else:
-                        bucket.append((row, texp))
+                if (
+                    right_stream.shards is not None
+                    and ctx.executor is not None
+                    and ctx.trace is None
+                ):
+                    # Parallel build kernel: bucket each shard list on the
+                    # pool, then merge the partial bucket maps (the join
+                    # key need not be the partition key, so a key can span
+                    # shards).
+                    def build(pairs):
+                        partial: Dict[Any, List[Tuple[tuple, Timestamp]]] = {}
+                        partial_get = partial.get
+                        for row, texp in pairs:
+                            key = right_key(row)
+                            bucket = partial_get(key)
+                            if bucket is None:
+                                partial[key] = [(row, texp)]
+                            else:
+                                bucket.append((row, texp))
+                        return partial
+
+                    partials = list(ctx.executor.map(build, right_stream.shards))
+                    buckets = partials[0]
+                    bucket_get = buckets.get
+                    for partial in partials[1:]:
+                        for key, bucket in partial.items():
+                            existing = bucket_get(key)
+                            if existing is None:
+                                buckets[key] = bucket
+                            else:
+                                existing.extend(bucket)
+                else:
+                    buckets = {}
+                    bucket_get = buckets.get
+                    for row, texp in right_stream.pairs:
+                        key = right_key(row)
+                        bucket = bucket_get(key)
+                        if bucket is None:
+                            buckets[key] = [(row, texp)]
+                        else:
+                            bucket.append((row, texp))
 
                 def generate() -> Iterator[Tuple[tuple, Timestamp]]:
                     probes = 0
@@ -816,16 +938,20 @@ class CompiledPlan:
         tau: TimeLike = 0,
         stats: Optional[EvalStats] = None,
         trace=None,
+        executor=None,
     ) -> EvalResult:
         """Run the plan at ``tau`` and materialise the root result.
 
         ``trace``, when given, is an open span; every operator hangs a
         child span off it with pull-time and row-count attributes.
+        ``executor`` enables the parallel per-shard source/select/build
+        kernels over hash-partitioned base relations.
         """
         lookup = _make_lookup(catalog)
         stamp = ts(tau)
         ctx = _Context(
-            lookup, stamp, stats if stats is not None else EvalStats(), trace
+            lookup, stamp, stats if stats is not None else EvalStats(), trace,
+            executor,
         )
         stream = self._root(ctx)
         if isinstance(stream.pairs, type({}.items())):

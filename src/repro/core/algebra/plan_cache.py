@@ -66,11 +66,15 @@ class PlanCacheStats:
 
 
 class _Entry:
-    __slots__ = ("plan", "schema_version", "result", "result_version")
+    __slots__ = ("plan", "schema_version", "partitioning", "result",
+                 "result_version")
 
-    def __init__(self, plan: CompiledPlan, schema_version: int) -> None:
+    def __init__(
+        self, plan: CompiledPlan, schema_version: int, partitioning=()
+    ) -> None:
         self.plan = plan
         self.schema_version = schema_version
+        self.partitioning = partitioning
         self.result: Optional[EvalResult] = None
         self.result_version: int = -1
 
@@ -158,6 +162,8 @@ class PlanCache:
         resolver: Optional[SchemaResolver] = None,
         trace: Optional[Span] = None,
         bypass_results: bool = False,
+        partitioning=(),
+        executor=None,
     ) -> EvalResult:
         """Evaluate ``expression`` at ``tau``, serving from cache when sound.
 
@@ -172,12 +178,21 @@ class PlanCache:
         execution; ``bypass_results`` (``EXPLAIN ANALYZE``) forces a real
         execution -- reusing the compiled plan but never a cached result,
         and without touching the hit/miss counters.
+
+        ``partitioning`` is part of the plan key: a fingerprint of the
+        catalog's partitioned-table schemes, so a plan (and result) cached
+        against one physical layout is invalidated when the layout changes.
+        ``executor``, when given, fans compiled per-shard pipelines out over
+        the pool during execution.
         """
         tau = ts(tau)
         eval_stats = stats if stats is not None else EvalStats()
         entry = self._entries.get(expression)
-        if entry is not None and entry.schema_version != schema_version:
-            entry = None  # DDL invalidated the compiled plan itself
+        if entry is not None and (
+            entry.schema_version != schema_version
+            or entry.partitioning != partitioning
+        ):
+            entry = None  # DDL / repartitioning invalidated the plan itself
 
         if entry is not None and not bypass_results:
             cached = entry.result
@@ -222,12 +237,14 @@ class PlanCache:
             self._compilations.inc()
             self._fused.inc(plan.fused_operators)
             self._materialised.inc(plan.materialised_operators)
-            entry = _Entry(plan, schema_version)
+            entry = _Entry(plan, schema_version, partitioning)
             self._entries[expression] = entry
             if len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions.inc()
-        result = entry.plan.execute(catalog, tau, eval_stats, trace=trace)
+        result = entry.plan.execute(
+            catalog, tau, eval_stats, trace=trace, executor=executor
+        )
         entry.result = result
         entry.result_version = version
         self._entries.move_to_end(expression)

@@ -61,6 +61,12 @@ class DifferencePatcher:
 
     def __init__(self, patches: Optional[List[Patch]] = None, limit: Optional[int] = None) -> None:
         self._heap: List[Tuple[int, int, Patch]] = []
+        # Bounded mode only: a max-heap over the same entries (keyed on
+        # -due) plus a lazy-deletion set, so shedding the latest-due patch
+        # is O(log n) instead of the O(n) remove + heapify of a single heap.
+        self._max_heap: List[Tuple[int, int, int, Patch]] = []
+        self._dead: set = set()
+        self._size = 0
         self._counter = itertools.count()
         self._guaranteed_until = INFINITY
         self._limit = limit
@@ -77,12 +83,22 @@ class DifferencePatcher:
         """
         if patch.due.is_infinite:
             return  # its S match never expires; the row never re-appears
-        heapq.heappush(self._heap, (patch.due.value, next(self._counter), patch))
-        if self._limit is not None and len(self._heap) > self._limit:
-            shed = max(self._heap, key=lambda entry: entry[0])
-            self._heap.remove(shed)
-            heapq.heapify(self._heap)
-            due = shed[2].due
+        seq = next(self._counter)
+        heapq.heappush(self._heap, (patch.due.value, seq, patch))
+        self._size += 1
+        if self._limit is None:
+            return
+        heapq.heappush(self._max_heap, (-patch.due.value, -seq, seq, patch))
+        if self._size > self._limit:
+            dead = self._dead
+            while True:
+                _, _, shed_seq, shed = heapq.heappop(self._max_heap)
+                if shed_seq not in dead:
+                    break
+                dead.discard(shed_seq)  # already popped from the min-heap
+            dead.add(shed_seq)
+            self._size -= 1
+            due = shed.due
             if due < self._guaranteed_until:
                 self._guaranteed_until = due
 
@@ -97,13 +113,17 @@ class DifferencePatcher:
         return self._guaranteed_until
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._size
 
     def peek_due(self) -> Optional[Timestamp]:
         """The due time of the next pending patch, if any."""
-        if not self._heap:
+        heap, dead = self._heap, self._dead
+        while heap and heap[0][1] in dead:
+            dead.discard(heap[0][1])
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0][2].due
+        return heap[0][2].due
 
     def due_patches(self, now: TimeLike) -> List[Patch]:
         """Pop every patch whose row should be visible at time ``now``.
@@ -112,9 +132,18 @@ class DifferencePatcher:
         ``due <= now`` (the helper tuple is no longer in ``exp_now(S)``).
         """
         stamp = ts(now)
+        heap, dead = self._heap, self._dead
+        bounded = self._limit is not None
         due: List[Patch] = []
-        while self._heap and ts(self._heap[0][0]) <= stamp:
-            due.append(heapq.heappop(self._heap)[2])
+        while heap and ts(heap[0][0]) <= stamp:
+            _, seq, patch = heapq.heappop(heap)
+            if seq in dead:
+                dead.discard(seq)  # shed earlier; drop the stale entry
+                continue
+            if bounded:
+                dead.add(seq)  # its twin is still in the max-heap
+            self._size -= 1
+            due.append(patch)
         return due
 
     def apply_to(self, materialised: Relation, now: TimeLike) -> int:

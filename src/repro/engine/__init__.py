@@ -16,6 +16,11 @@ from repro.engine.constraints import (
 from repro.engine.database import Database
 from repro.engine.expiration_index import ExpirationIndex, RemovalPolicy
 from repro.engine.maintenance import IncrementalView, supports_incremental
+from repro.engine.partitioning import (
+    PartitionedTable,
+    ShardedExpirationIndex,
+    ShardedRelation,
+)
 from repro.engine.persistence import (
     database_from_dict,
     database_to_dict,
@@ -40,6 +45,9 @@ __all__ = [
     "RemovalPolicy",
     "IncrementalView",
     "supports_incremental",
+    "PartitionedTable",
+    "ShardedExpirationIndex",
+    "ShardedRelation",
     "database_from_dict",
     "database_to_dict",
     "load_database",

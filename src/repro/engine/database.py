@@ -16,8 +16,10 @@ exact assertions.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.algebra.evaluator import EvalResult, EvalStats, Evaluator
 from repro.core.algebra.expressions import BaseRef, Expression
@@ -28,6 +30,7 @@ from repro.core.timestamps import TimeLike, Timestamp, ts
 from repro.distributed.metrics import declare_replication_families
 from repro.engine.clock import LogicalClock
 from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.partitioning import PartitionedTable, declare_partition_families
 from repro.engine.statistics import EngineStatistics
 from repro.engine.table import Table, declare_expiration_families
 from repro.engine.transactions import Transaction
@@ -107,9 +110,17 @@ class Database:
         # prom dump covers the whole system even before the first sweep or
         # simulation publishes into them.
         declare_expiration_families(self.metrics)
+        declare_partition_families(self.metrics)
         declare_replication_families(self.metrics)
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, MaterialisedView] = {}
+        # Shared worker pool for partition-parallel sweeps/scans; created
+        # lazily on first use so unpartitioned databases never pay for it.
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # Fingerprint of every partitioned table's scheme; part of the plan
+        # cache key so plans compiled against one layout are never reused
+        # against another.
+        self._partition_scheme: Tuple = ()
         # Data version: bumped on every unpredictable mutation (insert,
         # delete, renewal, DDL).  Physical expiration processing does NOT
         # bump it -- expiry is exactly what a result's I(e) already
@@ -126,21 +137,48 @@ class Database:
         schema: Schema | Sequence[str],
         removal_policy: Optional[RemovalPolicy] = None,
         lazy_batch_size: int = 64,
+        partitions: Optional[int] = None,
+        partition_key: Optional[Any] = None,
     ) -> Table:
-        """Create and register a table; returns it for convenience."""
+        """Create and register a table; returns it for convenience.
+
+        ``partitions=N`` creates a hash-partitioned table
+        (:class:`~repro.engine.partitioning.PartitionedTable`) sharded on
+        ``partition_key`` (default: the first column); its expiration
+        sweeps and compiled scans run per-shard on :attr:`executor`.
+        """
         if name in self._tables or name in self._views:
             raise CatalogError(f"name {name!r} already in use")
-        table = Table(
-            name,
-            schema if isinstance(schema, Schema) else Schema(schema),
-            clock=self.clock,
-            statistics=self.statistics,
-            removal_policy=removal_policy or self.default_removal_policy,
-            lazy_batch_size=lazy_batch_size,
-            database=self,
-        )
+        resolved = schema if isinstance(schema, Schema) else Schema(schema)
+        if partition_key is not None and partitions is None:
+            raise CatalogError(
+                f"table {name!r}: partition_key given without partitions"
+            )
+        if partitions is not None:
+            table: Table = PartitionedTable(
+                name,
+                resolved,
+                clock=self.clock,
+                partitions=partitions,
+                partition_key=partition_key,
+                statistics=self.statistics,
+                removal_policy=removal_policy or self.default_removal_policy,
+                lazy_batch_size=lazy_batch_size,
+                database=self,
+            )
+        else:
+            table = Table(
+                name,
+                resolved,
+                clock=self.clock,
+                statistics=self.statistics,
+                removal_policy=removal_policy or self.default_removal_policy,
+                lazy_batch_size=lazy_batch_size,
+                database=self,
+            )
         self._tables[name] = table
         self.clock.on_advance(table.on_clock_advance)
+        self._refresh_partition_scheme()
         self.note_schema_change()
         return table
 
@@ -158,7 +196,31 @@ class Database:
                 f"table {name!r} still referenced by views {dependents!r}"
             )
         del self._tables[name]
+        self._refresh_partition_scheme()
         self.note_schema_change()
+
+    def _refresh_partition_scheme(self) -> None:
+        self._partition_scheme = tuple(
+            (name, table.partitions, table.partition_key)
+            for name, table in sorted(self._tables.items())
+            if isinstance(table, PartitionedTable)
+        )
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The shared worker pool for partition-parallel work (lazy)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(8, os.cpu_count() or 1),
+                thread_name_prefix="repro-partition",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool recreates on use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     def table(self, name: str) -> Table:
         """Look up a table by name; raises CatalogError if unknown."""
@@ -277,6 +339,8 @@ class Database:
                     resolver=self.schema_resolver,
                     trace=span,
                     bypass_results=tracing,
+                    partitioning=self._partition_scheme,
+                    executor=self.executor if self._partition_scheme else None,
                 )
             elif which == "interpreted":
                 evaluator = Evaluator(self.catalog, stamp, trace=span)
@@ -315,13 +379,21 @@ class Database:
         name: str,
         expression: Expression,
         policy: MaintenancePolicy = MaintenancePolicy.SCHRODINGER,
+        patch_limit: Optional[int] = None,
     ) -> MaterialisedView:
-        """Create a named materialised view maintained under ``policy``."""
+        """Create a named materialised view maintained under ``policy``.
+
+        ``patch_limit`` (PATCH policy only) bounds the helper patch queue;
+        shedding trades space for a finite guarantee horizon, past which
+        reads raise :class:`~repro.errors.StaleViewError`.
+        """
         if name in self._views or name in self._tables:
             raise CatalogError(f"name {name!r} already in use")
         for base in expression.base_names():
             self.table(base)  # validate references
-        view = MaterialisedView(name, expression, self, policy=policy)
+        view = MaterialisedView(
+            name, expression, self, policy=policy, patch_limit=patch_limit
+        )
         self._views[name] = view
         return view
 
@@ -341,9 +413,10 @@ class Database:
         return sorted(self._views)
 
     def drop_view(self, name: str) -> None:
-        """Remove a materialised view."""
+        """Remove a materialised view (detaching its base-table listeners)."""
         if name not in self._views:
             raise CatalogError(f"unknown view {name!r}")
+        self._views[name]._unsubscribe()
         del self._views[name]
 
     # -- transactions -----------------------------------------------------------------

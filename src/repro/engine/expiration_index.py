@@ -99,9 +99,17 @@ class ExpirationIndex:
         """Extract every live entry with ``expiration <= now``, in order."""
         stamp = ts(now)
         limit = stamp.value if stamp.is_finite else None
+        return [(row, ts(value)) for row, value in self.pop_due_raw(limit)]
+
+    def pop_due_raw(self, limit: Optional[int]) -> List[Tuple[Row, int]]:
+        """:meth:`pop_due` on raw integer ticks (``None`` = no bound).
+
+        The bulk-sweep fast path: no :class:`Timestamp` is materialised per
+        entry, so partition sweep kernels compare and carry plain ints.
+        """
         live = self._live
         heap = self._heap
-        due: List[Tuple[Row, Timestamp]] = []
+        due: List[Tuple[Row, int]] = []
         while heap:
             value, _, row = heap[0]
             if live.get(row) != value:
@@ -111,7 +119,7 @@ class ExpirationIndex:
                 break
             heapq.heappop(heap)
             del live[row]
-            due.append((row, ts(value)))
+            due.append((row, value))
         return due
 
     def _drop_stale_head(self) -> None:

@@ -45,15 +45,17 @@ def database_to_dict(db: Database) -> Dict[str, Any]:
                         f"cannot snapshot non-JSON value {value!r} in table {name!r}"
                     )
             rows.append([list(row), None if texp.is_infinite else texp.value])
-        tables.append(
-            {
-                "name": name,
-                "columns": list(table.schema.names),
-                "removal_policy": table.removal_policy.value,
-                "lazy_batch_size": table.lazy_batch_size,
-                "rows": rows,
-            }
-        )
+        spec = {
+            "name": name,
+            "columns": list(table.schema.names),
+            "removal_policy": table.removal_policy.value,
+            "lazy_batch_size": table.lazy_batch_size,
+            "rows": rows,
+        }
+        if getattr(table, "partitions", None) is not None:
+            spec["partitions"] = table.partitions
+            spec["partition_key"] = table.partition_key
+        tables.append(spec)
     views = []
     for name in db.view_names():
         view = db.view(name)
@@ -83,6 +85,8 @@ def database_from_dict(data: Dict[str, Any]) -> Database:
             spec["columns"],
             removal_policy=RemovalPolicy(spec["removal_policy"]),
             lazy_batch_size=spec.get("lazy_batch_size", 64),
+            partitions=spec.get("partitions"),
+            partition_key=spec.get("partition_key"),
         )
         for values, texp in spec["rows"]:
             # Bypass the "already expired" insert guard: a lazy-policy

@@ -27,10 +27,11 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.algebra.evaluator import EvalResult
 from repro.core.algebra.expressions import Difference, Expression
+from repro.core.intervals import IntervalSet
 from repro.core.patching import DifferencePatcher, compute_difference_with_patches
 from repro.core.relation import Relation
 from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
-from repro.errors import ViewError
+from repro.errors import StaleViewError, ViewError
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.engine.database import Database
@@ -60,6 +61,7 @@ class MaterialisedView:
         expression: Expression,
         database: "Database",
         policy: MaintenancePolicy = MaintenancePolicy.SCHRODINGER,
+        patch_limit: Optional[int] = None,
     ) -> None:
         self.name = name
         self.expression = expression
@@ -70,20 +72,42 @@ class MaterialisedView:
         self.reads = 0
         self.reads_from_materialisation = 0
         self.patches_applied = 0
+        self._patch_limit = patch_limit
         self._result: Optional[EvalResult] = None
         self._patch_state: Optional[Relation] = None
         self._patcher: Optional[DifferencePatcher] = None
         self._last_read = database.clock.now
+        #: Set by base-table listeners on inserts / explicit deletes; the
+        #: next read refreshes instead of serving the stale materialisation.
+        self._stale = False
+        self._subscribed_tables: list = []
         if policy is MaintenancePolicy.PATCH and not self._patchable():
             raise ViewError(
                 f"view {name!r}: the PATCH policy needs a difference of "
                 f"monotonic sub-expressions at the root (Theorem 3)"
             )
-        self.refresh()
+        for base in sorted(expression.base_names()):
+            table = database.table(base)
+            table.insert_listeners.append(self._on_base_mutation)
+            table.delete_listeners.append(self._on_base_mutation)
+            self._subscribed_tables.append(table)
         # The initial materialisation is not a *re*-computation; benches
-        # count only the maintenance work after this point.
-        self.recomputations = 0
-        self.database.statistics.view_recomputations -= 1
+        # count only the maintenance work after this point, so it goes
+        # uncounted rather than being counted and rolled back (counters
+        # are monotone).
+        self._materialise(database.clock.now)
+
+    def _on_base_mutation(self, table, payload) -> None:
+        self._stale = True
+
+    def _unsubscribe(self) -> None:
+        """Detach the base-table listeners (called on ``drop_view``)."""
+        for table in self._subscribed_tables:
+            if self._on_base_mutation in table.insert_listeners:
+                table.insert_listeners.remove(self._on_base_mutation)
+            if self._on_base_mutation in table.delete_listeners:
+                table.delete_listeners.remove(self._on_base_mutation)
+        self._subscribed_tables = []
 
     def _patchable(self) -> bool:
         return (
@@ -103,20 +127,39 @@ class MaterialisedView:
         serve repeat refreshes straight from the validity-aware plan cache.
         """
         stamp = self.database.clock.now if at is None else ts(at)
+        self._materialise(stamp)
+        self.database.statistics.view_recomputations += 1
+        self.recomputations += 1
+
+    def _materialise(self, stamp: Timestamp) -> None:
         with self.database.tracer.span(
             "view_refresh", view=self.name, policy=self.policy.value
         ) as span:
             if self.policy is MaintenancePolicy.PATCH:
                 assert isinstance(self.expression, Difference)
+                # Theorem 3 in one pass: the anti-semijoin that computes the
+                # difference gathers the helper queue for free, and its
+                # output *is* exp_τ(L) −exp exp_τ(R) -- no second evaluation
+                # of the whole Difference.
                 left = self.database.evaluate(self.expression.left, at=stamp).relation
                 right = self.database.evaluate(self.expression.right, at=stamp).relation
                 self._patch_state, self._patcher = compute_difference_with_patches(
-                    left, right, tau=stamp
+                    left, right, tau=stamp, limit=self._patch_limit
                 )
-            self._result = self.database.evaluate(self.expression, at=stamp)
+                validity = IntervalSet.from_onwards(stamp)
+                horizon = self._patcher.guaranteed_until
+                if horizon.is_finite:
+                    validity = validity - IntervalSet.from_onwards(horizon)
+                self._result = EvalResult(
+                    relation=self._patch_state,
+                    expiration=horizon,
+                    validity=validity,
+                    tau=stamp,
+                )
+            else:
+                self._result = self.database.evaluate(self.expression, at=stamp)
             span.note(rows=len(self._result.relation))
-        self.database.statistics.view_recomputations += 1
-        self.recomputations += 1
+        self._stale = False
         self._last_read = stamp
 
     @property
@@ -157,6 +200,15 @@ class MaterialisedView:
         with self.database.tracer.span(
             "view_read", view=self.name, policy=self.policy.value
         ) as span:
+            if self._stale:
+                # A base table saw an insert or explicit delete since the
+                # materialisation: expiration alone no longer models the
+                # drift (this holds for monotonic views too -- Theorem 1
+                # assumes the bases change through expiration only).
+                span.note(decision="refresh_stale")
+                self.refresh(stamp)
+                return self._serve(self._result.relation, stamp, fresh=True)
+
             if self.is_monotonic:
                 # Theorem 1: the materialisation is valid forever.
                 span.note(decision="materialised")
@@ -195,6 +247,12 @@ class MaterialisedView:
             raise ViewError(
                 f"view {self.name!r}: patched reads cannot go back in time "
                 f"({stamp} < {self._last_read})"
+            )
+        if not self._patcher.guaranteed_until > stamp:
+            raise StaleViewError(
+                f"view {self.name!r}: patch queue was truncated; the "
+                f"materialisation is only guaranteed before "
+                f"{self._patcher.guaranteed_until}"
             )
         applied = self._patcher.apply_to(self._patch_state, stamp)
         self.patches_applied += applied

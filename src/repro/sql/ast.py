@@ -218,12 +218,16 @@ class CreateTable(Statement):
     """``CREATE TABLE name (cols)`` or ``CREATE TABLE name AS query``.
 
     The CTAS form derives the schema from the query and carries each
-    result tuple's derived expiration time into the new table.
+    result tuple's derived expiration time into the new table.  The
+    column-list form accepts a trailing
+    ``PARTITION BY HASH (col) PARTITIONS n`` clause.
     """
 
     name: str
     columns: Tuple[str, ...] = ()
     query: Optional["QueryNode"] = None
+    partitions: Optional[int] = None
+    partition_key: Optional[str] = None
 
 
 @dataclass(frozen=True)

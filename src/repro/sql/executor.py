@@ -151,7 +151,21 @@ def _dispatch_statement(db: Database, statement: Statement) -> SqlResult:
                 ),
                 rowcount=len(evaluated.relation),
             )
-        db.create_table(statement.name, list(statement.columns))
+        db.create_table(
+            statement.name,
+            list(statement.columns),
+            partitions=statement.partitions,
+            partition_key=statement.partition_key,
+        )
+        if statement.partitions is not None:
+            return SqlResult(
+                kind="create_table",
+                message=(
+                    f"table {statement.name} created "
+                    f"({statement.partitions} hash partition(s) on "
+                    f"{statement.partition_key or statement.columns[0]})"
+                ),
+            )
         return SqlResult(kind="create_table", message=f"table {statement.name} created")
 
     if isinstance(statement, InsertStatement):
@@ -316,11 +330,18 @@ def _describe(db: Database, name: str) -> SqlResult:
     if db.has_table(name):
         table = db.table(name)
         upcoming = table.next_expiration()
+        partitioned = ""
+        if getattr(table, "partitions", None) is not None:
+            partitioned = (
+                f"; partitions={table.partitions} "
+                f"by hash({table.partition_key})"
+            )
         message = (
             f"table {name}({', '.join(table.schema.names)}); "
             f"{len(table)} live tuple(s), {table.physical_size} stored; "
             f"removal={table.removal_policy.value}; "
             f"next expiration={upcoming if upcoming is not None else 'none'}"
+            f"{partitioned}"
         )
         return SqlResult(kind="describe", message=message, names=table.schema.names)
     if db.has_view(name):

@@ -190,7 +190,22 @@ class _Parser:
             while self._accept_symbol(","):
                 columns.append(self._expect_ident())
             self._expect_symbol(")")
-            return CreateTable(name=name, columns=tuple(columns))
+            partitions = None
+            partition_key = None
+            if self._accept_keyword("PARTITION"):
+                self._expect_keyword("BY")
+                self._expect_keyword("HASH")
+                self._expect_symbol("(")
+                partition_key = self._expect_ident()
+                self._expect_symbol(")")
+                self._expect_keyword("PARTITIONS")
+                partitions = self._expect_int()
+            return CreateTable(
+                name=name,
+                columns=tuple(columns),
+                partitions=partitions,
+                partition_key=partition_key,
+            )
         if self._accept_keyword("MATERIALIZED"):
             self._expect_keyword("VIEW")
             name = self._expect_ident()

@@ -42,6 +42,7 @@ KEYWORDS = frozenset(
         "FROM",
         "FULL",
         "GROUP",
+        "HASH",
         "HAVING",
         "IN",
         "INSERT",
@@ -58,6 +59,8 @@ KEYWORDS = frozenset(
         "OR",
         "ORDER",
         "OUTER",
+        "PARTITION",
+        "PARTITIONS",
         "PATCH",
         "POLICY",
         "RECOMPUTE",

@@ -160,3 +160,65 @@ class TestPatchedDifference:
             assert set(got.rows()) == set(truth)
             for row, texp in truth.items():
                 assert got.expiration_of(row) == texp
+
+
+class TestBoundedHeap:
+    """The O(log n) dual-heap shedding path of a size-limited patcher."""
+
+    def test_interleaved_add_pop_and_shed(self):
+        patcher = DifferencePatcher(limit=2)
+        patcher.add(Patch((1,), ts(2), ts(50)))
+        patcher.add(Patch((2,), ts(9), ts(50)))
+        patcher.add(Patch((3,), ts(4), ts(50)))  # sheds the due=9 patch
+        assert patcher.guaranteed_until == ts(9)
+        assert len(patcher) == 2
+        assert [p.row for p in patcher.due_patches(2)] == [(1,)]
+        assert len(patcher) == 1
+        patcher.add(Patch((4,), ts(6), ts(50)))
+        assert len(patcher) == 2
+        patcher.add(Patch((5,), ts(3), ts(50)))  # sheds the due=6 patch
+        assert patcher.guaranteed_until == ts(6)
+        assert patcher.peek_due() == ts(3)
+        assert [p.row for p in patcher.due_patches(10)] == [(5,), (3,)]
+        assert len(patcher) == 0
+
+    def test_applied_patches_are_never_shed(self):
+        # A patch already popped as due must not be selected for shedding:
+        # that would silently drop a live patch and wrongly lower the
+        # guarantee horizon to a time that has already passed.
+        patcher = DifferencePatcher(limit=2)
+        patcher.add(Patch((1,), ts(10), ts(50)))
+        patcher.add(Patch((2,), ts(11), ts(50)))
+        assert [p.row for p in patcher.due_patches(11)] == [(1,), (2,)]
+        patcher.add(Patch((3,), ts(3), ts(50)))
+        patcher.add(Patch((4,), ts(4), ts(50)))
+        # Queue is exactly at its limit with two live patches; the popped
+        # due=10/11 entries are ghosts and must not count or be shed.
+        assert len(patcher) == 2
+        assert patcher.guaranteed_until == INFINITY
+        assert [p.row for p in patcher.due_patches(5)] == [(3,), (4,)]
+
+    def test_peek_skips_shed_entries(self):
+        patcher = DifferencePatcher(limit=1)
+        patcher.add(Patch((1,), ts(5), ts(50)))
+        patcher.add(Patch((2,), ts(3), ts(50)))  # sheds due=5
+        assert patcher.peek_due() == ts(3)
+        assert len(patcher) == 1
+        assert [p.row for p in patcher.due_patches(10)] == [(2,)]
+        assert patcher.peek_due() is None
+
+    @given(
+        dues=st.lists(st.integers(min_value=1, max_value=30), max_size=40),
+        limit=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_keeps_earliest_patches(self, dues, limit):
+        patcher = DifferencePatcher(limit=limit)
+        for i, due in enumerate(dues):
+            patcher.add(Patch((i,), ts(due), ts(100)))
+        kept = sorted(p.due.value for p in patcher.due_patches(1000))
+        assert kept == sorted(dues)[:limit]
+        shed = sorted(dues)[limit:]
+        expected_horizon = ts(min(shed)) if shed else INFINITY
+        assert patcher.guaranteed_until == expected_horizon
+        assert len(patcher) == 0

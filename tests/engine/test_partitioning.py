@@ -1,0 +1,312 @@
+"""Tests for hash-partitioned tables and partition-parallel sweeps.
+
+The core guarantee is *equivalence*: a :class:`PartitionedTable` must be
+indistinguishable from a flat :class:`Table` on rows, per-tuple expiration
+times, and expression-level ``texp(e)`` / validity, under both removal
+policies.  The differential tests drive identical workloads through both
+and compare after every step.
+"""
+
+import pytest
+
+from repro.core.algebra.predicates import col
+from repro.core.schema import Schema
+from repro.core.timestamps import INFINITY, ts
+from repro.engine.clock import LogicalClock
+from repro.engine.database import Database
+from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.partitioning import (
+    PartitionedTable,
+    ShardedExpirationIndex,
+    ShardedRelation,
+)
+from repro.engine.persistence import database_from_dict, database_to_dict
+from repro.errors import CatalogError, EngineError
+
+POLICIES = [RemovalPolicy.EAGER, RemovalPolicy.LAZY]
+
+
+def paired_databases(policy, partitions=4, batch=8):
+    """A flat database and a partitioned one with the same table 'T'."""
+    flat_db, part_db = Database(), Database()
+    flat_db.create_table("T", ["k", "v"], removal_policy=policy, lazy_batch_size=batch)
+    part_db.create_table(
+        "T",
+        ["k", "v"],
+        removal_policy=policy,
+        lazy_batch_size=batch,
+        partitions=partitions,
+        partition_key="k",
+    )
+    return flat_db, part_db
+
+
+def assert_same_visible(flat_db, part_db):
+    """Identical visible rows *and* per-tuple expiration times."""
+    flat = dict(flat_db.table("T").read().items())
+    part = dict(part_db.table("T").read().items())
+    assert part == flat
+
+
+def assert_same_eval(flat_db, part_db, expr_of):
+    """Identical rows, texp, texp(e), and validity for an expression."""
+    a = flat_db.evaluate(expr_of(flat_db))
+    b = part_db.evaluate(expr_of(part_db))
+    assert dict(b.relation.items()) == dict(a.relation.items())
+    assert b.expiration == a.expiration
+    assert b.validity == a.validity
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_inserts_advances_renewals_deletes(self, policy):
+        flat_db, part_db = paired_databases(policy)
+        for db in (flat_db, part_db):
+            t = db.table("T")
+            for i in range(64):
+                t.insert((i, i % 5), expires_at=4 + (i % 13))
+            for i in range(0, 64, 9):
+                t.insert((i, i % 5))  # renew to infinity (max-merge)
+        assert_same_visible(flat_db, part_db)
+        for when in (3, 5, 8, 11, 16, 17):
+            flat_db.advance_to(when)
+            part_db.advance_to(when)
+            assert_same_visible(flat_db, part_db)
+        for db in (flat_db, part_db):
+            t = db.table("T")
+            for i in range(0, 64, 9):
+                t.delete((i, i % 5))
+            for i in range(100, 120):
+                t.insert((i, i % 3), expires_at=25)
+        assert_same_visible(flat_db, part_db)
+        flat_db.advance_to(30)
+        part_db.advance_to(30)
+        assert_same_visible(flat_db, part_db)
+        assert len(part_db.table("T")) == 0
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_expression_results_identical(self, policy):
+        flat_db, part_db = paired_databases(policy)
+        for db in (flat_db, part_db):
+            t = db.table("T")
+            for i in range(40):
+                t.insert((i, i % 4), expires_at=6 + (i % 9))
+        for expr_of in (
+            lambda db: db.table_expr("T"),
+            lambda db: db.table_expr("T").select(col(2) >= 2),
+            lambda db: db.table_expr("T").project(2),
+            lambda db: db.table_expr("T").join(db.table_expr("T"), on=[(1, 1)]),
+        ):
+            assert_same_eval(flat_db, part_db, expr_of)
+        flat_db.advance_to(9)
+        part_db.advance_to(9)
+        assert_same_eval(flat_db, part_db, lambda db: db.table_expr("T"))
+
+    def test_lazy_vacuum_equivalence(self):
+        flat_db, part_db = paired_databases(RemovalPolicy.LAZY, batch=1000)
+        for db in (flat_db, part_db):
+            t = db.table("T")
+            for i in range(30):
+                t.insert((i, 0), expires_at=5)
+            db.advance_to(6)
+        # Large batch: nothing reclaimed yet, but reads already hide the
+        # expired tuples on both sides.
+        assert part_db.table("T").physical_size == 30
+        assert_same_visible(flat_db, part_db)
+        assert flat_db.table("T").vacuum() == part_db.table("T").vacuum() == 30
+        assert part_db.table("T").physical_size == 0
+
+    def test_renewal_during_lazy_buffer_not_expired(self):
+        flat_db, part_db = paired_databases(RemovalPolicy.LAZY, batch=1000)
+        for db in (flat_db, part_db):
+            t = db.table("T")
+            t.insert((1, 1), expires_at=5)
+            db.advance_to(5)  # due and buffered, not yet vacuumed
+            t.insert((1, 1), expires_at=50)  # renewal resurrects it
+            t.vacuum()
+        assert_same_visible(flat_db, part_db)
+        assert part_db.table("T").read().expiration_of((1, 1)) == ts(50)
+
+
+class TestParallelSweep:
+    def test_sweep_uses_executor_and_counts(self):
+        db = Database()
+        table = db.create_table("T", ["k"], partitions=4)
+        for i in range(100):
+            table.insert((i,), expires_at=10)
+        assert db.now == ts(0)
+        db.advance_to(10)
+        assert len(table) == 0
+        assert table.physical_size == 0
+        assert table.statistics.expirations_processed == 100
+        snap = db.metrics.snapshot()
+        expired = sum(
+            value
+            for key, value in snap.items()
+            if key.startswith("repro_partition_tuples_expired_total{")
+            and 'table="T"' in key
+        )
+        assert expired == 100
+        shards_hit = [
+            key
+            for key in snap
+            if key.startswith("repro_partition_sweep_seconds{")
+            and 'table="T"' in key
+        ]
+        assert shards_hit  # per-shard sweep timings recorded
+        db.close()
+
+    def test_triggers_fire_once_per_expired_tuple(self):
+        db = Database()
+        table = db.create_table("T", ["k"], partitions=4)
+        seen = []
+        table.triggers.register("log", lambda event: seen.append(event.tuple.row))
+        for i in range(50):
+            table.insert((i,), expires_at=3)
+        table.insert((999,), expires_at=99)
+        db.advance_to(3)
+        assert sorted(seen) == [(i,) for i in range(50)]
+        assert table.statistics.triggers_fired == 50
+
+    def test_standalone_table_sweeps_without_database(self):
+        clock = LogicalClock()
+        table = PartitionedTable("T", Schema(["k"]), clock, partitions=3)
+        clock.on_advance(table.on_clock_advance)
+        for i in range(20):
+            table.insert((i,), expires_at=5)
+        clock.advance_to(5)
+        assert len(table) == 0
+
+    def test_single_partition_table(self):
+        db = Database()
+        table = db.create_table("T", ["k"], partitions=1)
+        table.insert((1,), expires_at=5)
+        db.advance_to(5)
+        assert len(table) == 0
+
+
+class TestShardedRelation:
+    def test_routing_is_stable(self):
+        rel = ShardedRelation(Schema(["k", "v"]), key_index=0, partitions=4)
+        rel.insert((7, "x"), expires_at=10)
+        assert rel.shard_of((7, "anything")).contains((7, "x"))
+        assert rel.contains((7, "x"))
+        assert len(rel) == 1
+
+    def test_max_merge_across_duplicate_inserts(self):
+        rel = ShardedRelation(Schema(["k"]), key_index=0, partitions=2)
+        rel.insert((1,), expires_at=5)
+        rel.insert((1,), expires_at=3)  # earlier: ignored by max-merge
+        assert rel.expiration_of((1,)) == ts(5)
+
+    def test_equality_with_flat_relation(self):
+        from repro.core.relation import Relation
+
+        flat = Relation(Schema(["k"]))
+        sharded = ShardedRelation(Schema(["k"]), key_index=0, partitions=3)
+        for rel in (flat, sharded):
+            rel.insert((1,), expires_at=5)
+            rel.insert((2,), expires_at=INFINITY)
+        assert sharded.same_content(flat)
+        assert flat.same_content(sharded)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(EngineError):
+            ShardedRelation(Schema(["k"]), key_index=0, partitions=0)
+        with pytest.raises(EngineError):
+            ShardedRelation(Schema(["k"]), key_index=5, partitions=2)
+
+    def test_index_routing_and_pop(self):
+        index = ShardedExpirationIndex(key_index=0, partitions=3)
+        index.schedule((1,), ts(5))
+        index.schedule((2,), ts(3))
+        assert index.next_expiration() == ts(3)
+        due = index.pop_due(5)
+        assert sorted(due) == [((1,), ts(5)), ((2,), ts(3))]
+        assert index.next_expiration() is None
+
+
+class TestDatabaseIntegration:
+    def test_create_table_validation(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.create_table("T", ["k"], partition_key="k")  # key without count
+        table = db.create_table("T", ["k", "v"], partitions=2)
+        assert table.partition_key == "k"  # defaults to the first column
+
+    def test_sql_ddl_and_describe(self):
+        db = Database()
+        db.sql("CREATE TABLE S (sid, uid) PARTITION BY HASH (uid) PARTITIONS 4")
+        table = db.table("S")
+        assert isinstance(table, PartitionedTable)
+        assert table.partitions == 4
+        assert table.partition_key == "uid"
+        db.sql("INSERT INTO S VALUES (1, 10) EXPIRES AT 30")
+        assert db.sql("SELECT sid FROM S").rows == [(1,)]
+        described = db.sql("DESCRIBE S").message
+        assert "partitions=4" in described
+        assert "hash(uid)" in described
+
+    def test_explain_analyze_shows_shard_scans(self):
+        db = Database()
+        db.sql("CREATE TABLE S (sid, uid) PARTITION BY HASH (uid) PARTITIONS 4")
+        for i in range(20):
+            db.sql(f"INSERT INTO S VALUES ({i}, {i % 7}) EXPIRES AT 50")
+        message = db.sql("EXPLAIN ANALYZE SELECT sid FROM S WHERE uid = 3").message
+        assert "shard_scan" in message
+        db.close()
+
+    def test_plan_cache_hits_on_partitioned_scan(self):
+        db = Database()
+        table = db.create_table("T", ["k", "v"], partitions=4)
+        for i in range(30):
+            table.insert((i, i % 3), expires_at=40)
+        expr = db.table_expr("T").select(col(2) == 1)
+        first = db.evaluate(expr)
+        before = db.plan_cache.stats.hits
+        second = db.evaluate(expr)
+        assert db.plan_cache.stats.hits == before + 1
+        assert dict(second.relation.items()) == dict(first.relation.items())
+
+    def test_repartition_invalidates_plans(self):
+        db = Database()
+        table = db.create_table("T", ["k"], partitions=2)
+        table.insert((1,), expires_at=40)
+        expr = db.table_expr("T")
+        assert set(db.evaluate(expr).relation.rows()) == {(1,)}
+        db.drop_table("T")
+        table = db.create_table("T", ["k"], partitions=4)
+        table.insert((2,), expires_at=40)
+        assert set(db.evaluate(expr).relation.rows()) == {(2,)}
+
+    def test_persistence_round_trip(self):
+        db = Database()
+        db.create_table(
+            "T",
+            ["k", "v"],
+            partitions=3,
+            partition_key="v",
+            removal_policy=RemovalPolicy.LAZY,
+        )
+        table = db.table("T")
+        for i in range(12):
+            table.insert((i, i % 5), expires_at=20 + i)
+        restored = database_from_dict(database_to_dict(db))
+        loaded = restored.table("T")
+        assert isinstance(loaded, PartitionedTable)
+        assert loaded.partitions == 3
+        assert loaded.partition_key == "v"
+        assert dict(loaded.read().items()) == dict(table.read().items())
+        restored.advance_to(25)
+        db.advance_to(25)
+        assert dict(loaded.read().items()) == dict(table.read().items())
+
+    def test_close_is_idempotent_and_pool_recreates(self):
+        db = Database()
+        db.create_table("T", ["k"], partitions=2)
+        pool = db.executor
+        assert pool is db.executor  # cached
+        db.close()
+        db.close()  # idempotent
+        assert db.executor is not pool  # fresh pool on demand
+        db.close()

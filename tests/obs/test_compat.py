@@ -13,6 +13,7 @@ from repro.engine.statistics import (
     StatisticsSnapshot,
 )
 from repro.engine.table import Table
+from repro.engine.views import MaintenancePolicy
 from repro.obs.registry import MetricsRegistry
 
 
@@ -186,3 +187,61 @@ class TestSyncReportRows:
         assert ('repro_replication_retransmissions_avoided_total'
                 '{strategy="expiration"} 3') in text
         assert 'repro_replication_consistency_ratio{strategy="expiration"} 1' in text
+
+
+class TestCounterMonotonicity:
+    """No registry counter may ever decrease during a workload.
+
+    Historically the view layer decremented the recomputation counter after
+    the initial materialisation; this drives a representative workload --
+    DDL, inserts, view creation under every policy, reads, refreshes,
+    expiration sweeps on flat and partitioned tables -- and checks every
+    integer-valued snapshot entry after each step.
+    """
+
+    def test_counters_never_decrease(self):
+        db = Database()
+        previous = {}
+
+        def check(step):
+            snap = db.metrics.snapshot()
+            for key, value in snap.items():
+                if not isinstance(value, (int, float)):
+                    continue  # histogram summaries are dicts
+                if key in previous:
+                    assert value >= previous[key], (
+                        f"counter {key} decreased after {step}: "
+                        f"{previous[key]} -> {value}"
+                    )
+                previous[key] = value
+
+        db.create_table("L", ["a"])
+        db.create_table("R", ["a"])
+        db.create_table("P", ["a"], partitions=4)
+        check("create tables")
+        for i in range(20):
+            db.table("L").insert((i,), expires_at=10 + (i % 5))
+            db.table("P").insert((i,), expires_at=6)
+        for i in range(0, 20, 3):
+            db.table("R").insert((i,), expires_at=8)
+        check("inserts")
+        expr = db.table_expr("L").difference(db.table_expr("R"))
+        db.materialise("mono", db.table_expr("L"))
+        db.materialise("schro", expr)
+        db.materialise("patched", expr, policy=MaintenancePolicy.PATCH)
+        check("materialise views")
+        for when in (2, 6, 8, 9, 12):
+            db.advance_to(when)
+            for name in ("mono", "schro", "patched"):
+                db.view(name).read()
+            check(f"advance to {when}")
+        db.view("schro").refresh()
+        db.table("L").insert((99,), expires_at=20)
+        db.view("mono").read()
+        check("refresh and stale read")
+        db.drop_view("patched")
+        db.drop_view("schro")
+        db.drop_view("mono")
+        db.drop_table("P")
+        check("teardown")
+        db.close()
