@@ -68,10 +68,11 @@ from repro.engine import (
     load_database,
     save_database,
 )
+from repro.check import run_fuzz, run_invariants
 from repro.obs import MetricsRegistry, Span, Tracer
 from repro.sql import execute_sql, parse_sql
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FOREVER",
@@ -114,6 +115,8 @@ __all__ = [
     "Table",
     "load_database",
     "save_database",
+    "run_fuzz",
+    "run_invariants",
     "MetricsRegistry",
     "Span",
     "Tracer",

@@ -1,0 +1,29 @@
+"""Correctness tooling: invariant audits and a model-based fuzzer.
+
+The paper's central guarantee -- materialised results stay correct without
+contacting base relations (Theorems 1-2) -- makes *silent cross-structure
+desync* the most dangerous bug class in this engine: a relation, its
+expiration index, its due buffers, its shard routing, the materialised
+views over it, and the plan cache must all tell one coherent story about
+which tuples exist and when they expire.  This package enforces that story
+mechanically:
+
+* :mod:`repro.check.invariants` -- the invariant catalogue behind
+  :meth:`repro.engine.database.Database.verify` and the opt-in
+  ``Database(check_invariants=True)`` debug mode;
+* :mod:`repro.check.stateful` -- a seeded, shrinking, model-based fuzzer
+  that drives random operation sequences against a dict oracle with the
+  invariant audits armed after every step;
+* ``python -m repro.check`` -- the CI smoke entry point.
+"""
+
+from repro.check.invariants import Violation, invariant_names, run_invariants
+from repro.check.stateful import FuzzReport, run_fuzz
+
+__all__ = [
+    "Violation",
+    "invariant_names",
+    "run_invariants",
+    "FuzzReport",
+    "run_fuzz",
+]

@@ -1,0 +1,462 @@
+"""A seeded, shrinking, model-based fuzzer for the whole engine.
+
+The fuzzer drives one :class:`~repro.engine.database.Database` -- a flat
+table and a hash-partitioned table, three materialised views (monotonic,
+SCHRODINGER difference, PATCH difference), audit triggers, the plan cache
+-- through a random but *fully concrete* operation sequence, in lockstep
+with a trivially-correct oracle: a ``row -> expiration`` dict per table
+plus an integer clock.  Concreteness is the point: every op is a plain
+tuple of ints, so any subsequence replays deterministically, which is what
+makes delta-debugging shrinks sound.
+
+After **every** op three things are checked:
+
+1. the dict oracle -- visible rows, their exact expiration times, view
+   contents, and SQL results must match the model;
+2. the full invariant catalogue (:mod:`repro.check.invariants`) via
+   ``Database.verify(strict=True)`` -- and the database also runs with
+   ``check_invariants=True``, so the audits additionally fire from inside
+   every mutation and mid-sweep hook;
+3. trigger soundness -- no (table, row, texp) fires twice, and nothing
+   fires before its expiration time.
+
+A failure is shrunk with a ddmin-style pass (drop chunks, halve the chunk
+size while progress stalls) down to a minimal reproducing op list, which
+``python -m repro.check`` prints for copy-paste into a regression test.
+
+Ops and semantics
+-----------------
+
+``("insert", t, (k, v), ttl)``  insert expiring at ``now + ttl`` (max-merge);
+``("immortal", t, (k, v))``     insert with no expiration;
+``("renew", t, (k, v), ttl)``   re-insert (the paper's renewal idiom);
+``("delete", t, (k, v))``       explicit delete;
+``("advance", d)``              advance the clock ``d`` ticks;
+``("vacuum", t)``               batch-reclaim expired tuples;
+``("txn", t, subops, poison)``  buffered transaction; ``poison=True``
+                                appends an already-expired insert so the
+                                commit aborts and must roll back cleanly;
+``("view", name)``              read a materialised view;
+``("sql", t, k | None)``        a SQL point or full scan through the
+                                front door (exercising the plan cache).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algebra.expressions import BaseRef
+from repro.engine.database import Database
+from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.views import MaintenancePolicy
+from repro.errors import RelationError
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzReport",
+    "declare_check_families",
+    "generate_ops",
+    "run_fuzz",
+]
+
+_TABLES = ("flat", "part")
+_VIEWS = ("v_mono", "v_diff", "v_patch")
+_POLICIES = {"eager": RemovalPolicy.EAGER, "lazy": RemovalPolicy.LAZY}
+
+#: Key/value/ttl/advance ranges are deliberately tiny: collisions
+#: (renewals, delete-then-reinsert, shard reuse) are where the bugs live.
+_KEYS = 8
+_VALUES = 3
+_MAX_TTL = 12
+_MAX_ADVANCE = 4
+
+
+def declare_check_families(registry):
+    """Idempotently register the ``repro_check_*`` fuzzer families."""
+    ops = registry.counter(
+        "repro_check_ops_total",
+        "Fuzzer operations applied, by op kind.",
+        labels=("op",),
+    )
+    failures = registry.counter(
+        "repro_check_failures_total",
+        "Fuzz runs that found a violation, by removal policy.",
+        labels=("policy",),
+    )
+    replays = registry.counter(
+        "repro_check_shrink_replays_total",
+        "Candidate sequences replayed while shrinking failures.",
+    )
+    shrunk = registry.gauge(
+        "repro_check_shrunk_ops",
+        "Length of the most recently shrunk failing sequence.",
+    )
+    return ops, failures, replays, shrunk
+
+
+class CheckFailed(AssertionError):
+    """The engine diverged from the oracle (not an engine exception)."""
+
+
+class FuzzFailure(Exception):
+    """One failing step: which op, at what index, raising what."""
+
+    def __init__(self, step: int, op: tuple, error: Exception) -> None:
+        super().__init__(f"step {step} {op!r}: {type(error).__name__}: {error}")
+        self.step = step
+        self.op = op
+        self.error = error
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one :func:`run_fuzz` run."""
+
+    seed: int
+    policy: str
+    ops_requested: int
+    ops_run: int
+    failure: Optional[FuzzFailure] = None
+    shrunk: Optional[List[tuple]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def summary(self) -> str:
+        head = (
+            f"seed={self.seed} policy={self.policy} "
+            f"ops={self.ops_run}/{self.ops_requested}"
+        )
+        if self.ok:
+            return f"PASS {head}"
+        lines = [f"FAIL {head}", f"  {self.failure}"]
+        if self.shrunk is not None:
+            lines.append(f"  shrunk to {len(self.shrunk)} op(s):")
+            lines.extend(f"    {op!r}" for op in self.shrunk)
+        return "\n".join(lines)
+
+
+# -- op generation -----------------------------------------------------------
+
+
+def generate_ops(rng: random.Random, count: int) -> List[tuple]:
+    """``count`` concrete ops drawn from ``rng`` (replayable as any subset)."""
+    ops: List[tuple] = []
+    for _ in range(count):
+        roll = rng.random()
+        table = rng.choice(_TABLES)
+        row = (rng.randrange(_KEYS), rng.randrange(_VALUES))
+        if roll < 0.30:
+            ops.append(("insert", table, row, rng.randint(1, _MAX_TTL)))
+        elif roll < 0.35:
+            ops.append(("immortal", table, row))
+        elif roll < 0.45:
+            ops.append(("renew", table, row, rng.randint(1, _MAX_TTL)))
+        elif roll < 0.55:
+            ops.append(("delete", table, row))
+        elif roll < 0.70:
+            ops.append(("advance", rng.randint(1, _MAX_ADVANCE)))
+        elif roll < 0.75:
+            ops.append(("vacuum", table))
+        elif roll < 0.85:
+            subops: List[tuple] = []
+            for _ in range(rng.randint(1, 4)):
+                srow = (rng.randrange(_KEYS), rng.randrange(_VALUES))
+                if rng.random() < 0.7:
+                    subops.append(("insert", srow, rng.randint(1, _MAX_TTL)))
+                else:
+                    subops.append(("delete", srow))
+            ops.append(("txn", table, tuple(subops), rng.random() < 0.4))
+        elif roll < 0.95:
+            ops.append(("view", rng.choice(_VIEWS)))
+        else:
+            key = rng.randrange(_KEYS) if rng.random() < 0.5 else None
+            ops.append(("sql", table, key))
+    return ops
+
+
+# -- the harness -------------------------------------------------------------
+
+
+class _Harness:
+    """One database + one oracle, advanced op by op in lockstep."""
+
+    def __init__(self, policy: RemovalPolicy) -> None:
+        self.db = Database(
+            default_removal_policy=policy, check_invariants=True
+        )
+        self.db.create_table("flat", ["k", "v"], lazy_batch_size=8)
+        self.db.create_table(
+            "part", ["k", "v"], partitions=3, partition_key="k",
+            lazy_batch_size=8,
+        )
+        self.db.materialise("v_mono", BaseRef("flat").project(1))
+        diff = BaseRef("flat").difference(BaseRef("part"))
+        self.db.materialise(
+            "v_diff", diff, policy=MaintenancePolicy.SCHRODINGER
+        )
+        self.db.materialise(
+            "v_patch", diff, policy=MaintenancePolicy.PATCH
+        )
+        #: Oracle: per-table row -> expiration (math.inf = immortal) + clock.
+        self.model: Dict[str, Dict[tuple, float]] = {t: {} for t in _TABLES}
+        self.now = 0
+        self.fired: List[Tuple[str, tuple, int, int]] = []
+        self._fired_seen: set = set()
+        for name in _TABLES:
+            self.db.table(name).triggers.register(
+                "audit", self._make_trigger(name)
+            )
+
+    def _make_trigger(self, name: str):
+        def action(event) -> None:
+            self.fired.append(
+                (name, event.tuple.row,
+                 event.tuple.expires_at.value, event.fired_at.value)
+            )
+
+        return action
+
+    # -- oracle views ---------------------------------------------------
+
+    def _visible(self, table: str) -> Dict[tuple, float]:
+        now = self.now
+        return {
+            row: e for row, e in self.model[table].items() if e > now
+        }
+
+    def _expected_view(self, name: str) -> set:
+        flat = set(self._visible("flat"))
+        if name == "v_mono":
+            return {(k,) for k, _ in flat}
+        return flat - set(self._visible("part"))
+
+    # -- op application -------------------------------------------------
+
+    def apply(self, op: tuple) -> None:
+        kind = op[0]
+        if kind == "insert":
+            _, table, row, ttl = op
+            self.db.table(table).insert(row, ttl=ttl)
+            self._model_insert(table, row, self.now + ttl)
+        elif kind == "immortal":
+            _, table, row = op
+            self.db.table(table).insert(row)
+            self._model_insert(table, row, math.inf)
+        elif kind == "renew":
+            _, table, row, ttl = op
+            self.db.table(table).renew(row, ttl)
+            self._model_insert(table, row, self.now + ttl)
+        elif kind == "delete":
+            _, table, row = op
+            self.db.table(table).delete(row)
+            self.model[table].pop(row, None)
+        elif kind == "advance":
+            _, delta = op
+            self.db.tick(delta)
+            self.now += delta
+        elif kind == "vacuum":
+            _, table = op
+            self.db.table(table).vacuum()
+        elif kind == "txn":
+            _, table, subops, poison = op
+            self._apply_txn(table, subops, poison)
+        elif kind == "view":
+            _, name = op
+            got = set(self.db.view(name).read().rows())
+            expected = self._expected_view(name)
+            if got != expected:
+                raise CheckFailed(
+                    f"view {name} read {sorted(got)} != "
+                    f"oracle {sorted(expected)}"
+                )
+        elif kind == "sql":
+            _, table, key = op
+            if key is None:
+                text = f"SELECT * FROM {table}"
+                expected = set(self._visible(table))
+            else:
+                text = f"SELECT * FROM {table} WHERE k = {key}"
+                expected = {
+                    row for row in self._visible(table) if row[0] == key
+                }
+            got = set(self.db.sql(text).rows)
+            if got != expected:
+                raise CheckFailed(
+                    f"{text!r} returned {sorted(got)} != "
+                    f"oracle {sorted(expected)}"
+                )
+        else:  # pragma: no cover - generator and apply must stay in sync
+            raise ValueError(f"unknown op kind {kind!r}")
+
+    def _model_insert(self, table: str, row: tuple, expires: float) -> None:
+        # The engine's max-merge rule: a duplicate keeps the later
+        # expiration.  A physically-retained expired row (lazy policy)
+        # merges the same way, because its old expiration <= now < new.
+        current = self.model[table].get(row)
+        self.model[table][row] = (
+            expires if current is None else max(current, expires)
+        )
+
+    def _apply_txn(self, table: str, subops: tuple, poison: bool) -> None:
+        txn = self.db.transaction()
+        for sub in subops:
+            if sub[0] == "insert":
+                txn.insert(table, sub[1], ttl=sub[2])
+            else:
+                txn.delete(table, sub[1])
+        if poison:
+            # An insert expiring "now" is rejected at apply time, so the
+            # commit must abort and roll the earlier subops back through
+            # every derived structure.
+            txn.insert(table, (_KEYS, _VALUES), expires_at=self.db.now)
+            try:
+                txn.commit()
+            except RelationError:
+                return  # aborted as intended; the oracle is unchanged
+            raise CheckFailed("poisoned transaction committed")
+        txn.commit()
+        for sub in subops:
+            if sub[0] == "insert":
+                self._model_insert(table, sub[1], self.now + sub[2])
+            else:
+                self.model[table].pop(sub[1], None)
+
+    # -- post-op checks -------------------------------------------------
+
+    def check(self) -> None:
+        self.db.verify(strict=True)
+        for table in _TABLES:
+            visible = self._visible(table)
+            got = set(self.db.table(table).read().rows())
+            if got != set(visible):
+                raise CheckFailed(
+                    f"table {table} reads {sorted(got)} != "
+                    f"oracle {sorted(visible)}"
+                )
+            relation = self.db.table(table).relation
+            for row, expires in visible.items():
+                texp = relation.expiration_or_none(row)
+                if texp is None:
+                    raise CheckFailed(
+                        f"table {table} lost visible row {row}"
+                    )
+                if expires is math.inf:
+                    if not texp.is_infinite:
+                        raise CheckFailed(
+                            f"table {table} row {row}: expected immortal, "
+                            f"stored {texp}"
+                        )
+                elif texp.is_infinite or texp.value != expires:
+                    raise CheckFailed(
+                        f"table {table} row {row}: expected expiration "
+                        f"{expires}, stored {texp}"
+                    )
+        for entry in self.fired:
+            table, row, texp, fired_at = entry
+            if entry in self._fired_seen:
+                continue
+            if texp > fired_at:
+                raise CheckFailed(
+                    f"trigger on {table}{row} fired at {fired_at} before "
+                    f"its expiration {texp}"
+                )
+            self._fired_seen.add(entry)
+        if len(self.fired) != len(self._fired_seen):
+            duplicates = len(self.fired) - len(self._fired_seen)
+            raise CheckFailed(
+                f"{duplicates} duplicate ON-EXPIRE firing(s): a "
+                f"(table, row, texp) must fire at most once"
+            )
+
+
+# -- running and shrinking ---------------------------------------------------
+
+
+def _replay(
+    ops: List[tuple], policy: str, ops_counter=None
+) -> Tuple[int, Optional[FuzzFailure]]:
+    """Run ``ops`` from scratch; returns ``(ops_run, failure_or_None)``."""
+    harness = _Harness(_POLICIES[policy])
+    for step, op in enumerate(ops):
+        try:
+            harness.apply(op)
+            harness.check()
+        except Exception as error:  # noqa: BLE001 - every breakage counts
+            return step, FuzzFailure(step, op, error)
+        if ops_counter is not None:
+            ops_counter.labels(op[0]).inc()
+    return len(ops), None
+
+
+def _shrink(
+    ops: List[tuple], policy: str, replay_counter=None
+) -> List[tuple]:
+    """ddmin-style greedy chunk removal to a locally-minimal failing list."""
+
+    def fails(candidate: List[tuple]) -> bool:
+        if replay_counter is not None:
+            replay_counter.inc()
+        return _replay(candidate, policy)[1] is not None
+
+    current = list(ops)
+    chunk = max(1, len(current) // 2)
+    while True:
+        progress = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk:]
+            if candidate and fails(candidate):
+                current = candidate
+                progress = True
+            else:
+                index += chunk
+        if not progress:
+            if chunk == 1:
+                return current
+            chunk = max(1, chunk // 2)
+
+
+def run_fuzz(
+    seed: int,
+    ops: int = 2000,
+    policy: str = "eager",
+    registry=None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """One fuzz run: generate, replay, and (on failure) shrink.
+
+    ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`) receives
+    the ``repro_check_*`` families; ``shrink=False`` skips minimisation
+    (useful when the caller only wants the verdict).
+    """
+    if policy not in _POLICIES:
+        raise ValueError(f"policy must be one of {sorted(_POLICIES)}")
+    families = (
+        declare_check_families(registry) if registry is not None else None
+    )
+    ops_counter, failures, replays, shrunk_gauge = (
+        families if families is not None else (None, None, None, None)
+    )
+    sequence = generate_ops(random.Random(seed), ops)
+    ops_run, failure = _replay(sequence, policy, ops_counter)
+    shrunk: Optional[List[tuple]] = None
+    if failure is not None:
+        if failures is not None:
+            failures.labels(policy).inc()
+        if shrink:
+            shrunk = _shrink(sequence[: failure.step + 1], policy, replays)
+            if shrunk_gauge is not None:
+                shrunk_gauge.set(len(shrunk))
+    return FuzzReport(
+        seed=seed,
+        policy=policy,
+        ops_requested=ops,
+        ops_run=ops_run,
+        failure=failure,
+        shrunk=shrunk,
+    )

@@ -148,6 +148,16 @@ class PlanCache:
         self._entries.clear()
         self._entries_gauge.set(0)
 
+    def entries(self):
+        """``(expression, entry)`` pairs, for read-only auditing.
+
+        The invariant checker walks these to compare each still-servable
+        cached result against an uncached evaluation; entries must not be
+        mutated (and iteration must not touch the LRU order, so this
+        returns a plain list snapshot).
+        """
+        return list(self._entries.items())
+
     # -- the cache protocol --------------------------------------------------
 
     def evaluate(

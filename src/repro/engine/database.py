@@ -80,6 +80,7 @@ class Database:
         engine: str = "compiled",
         plan_cache_capacity: int = 128,
         metrics: Optional[MetricsRegistry] = None,
+        check_invariants: bool = False,
     ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -128,6 +129,13 @@ class Database:
         self._catalog_version = 0
         # Schema version: bumped on DDL only; gates compiled-plan reuse.
         self._schema_version = 0
+        #: Debug mode: audit every cross-structure invariant after each
+        #: mutation and sweep (see :mod:`repro.check.invariants`).  Orders
+        #: of magnitude slower -- for tests and fuzzing, not production.
+        self.check_invariants = check_invariants
+        # Re-entrancy latch: the audits themselves evaluate expressions,
+        # which must not recursively trigger another audit.
+        self._in_verify = False
 
     # -- catalog -----------------------------------------------------------
 
@@ -139,6 +147,7 @@ class Database:
         lazy_batch_size: int = 64,
         partitions: Optional[int] = None,
         partition_key: Optional[Any] = None,
+        index_factory: Optional[Any] = None,
     ) -> Table:
         """Create and register a table; returns it for convenience.
 
@@ -146,6 +155,12 @@ class Database:
         (:class:`~repro.engine.partitioning.PartitionedTable`) sharded on
         ``partition_key`` (default: the first column); its expiration
         sweeps and compiled scans run per-shard on :attr:`executor`.
+
+        ``index_factory`` swaps the expiration-index substrate: any
+        zero-argument constructor interface-compatible with
+        :class:`~repro.engine.expiration_index.ExpirationIndex` (e.g.
+        :class:`~repro.engine.timer_wheel.TimerWheelIndex`); partitioned
+        tables build one instance per shard.
         """
         if name in self._tables or name in self._views:
             raise CatalogError(f"name {name!r} already in use")
@@ -165,6 +180,7 @@ class Database:
                 removal_policy=removal_policy or self.default_removal_policy,
                 lazy_batch_size=lazy_batch_size,
                 database=self,
+                index_factory=index_factory,
             )
         else:
             table = Table(
@@ -175,6 +191,7 @@ class Database:
                 removal_policy=removal_policy or self.default_removal_policy,
                 lazy_batch_size=lazy_batch_size,
                 database=self,
+                index_factory=index_factory,
             )
         self._tables[name] = table
         self.clock.on_advance(table.on_clock_advance)
@@ -278,11 +295,15 @@ class Database:
 
     def advance_to(self, time: TimeLike) -> Timestamp:
         """Advance the logical clock, processing expirations en route."""
-        return self.clock.advance_to(time)
+        stamp = self.clock.advance_to(time)
+        self._maybe_verify()
+        return stamp
 
     def tick(self, delta: int = 1) -> Timestamp:
         """Advance the clock by ``delta`` ticks."""
-        return self.clock.tick(delta)
+        stamp = self.clock.tick(delta)
+        self._maybe_verify()
+        return stamp
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -395,6 +416,7 @@ class Database:
             name, expression, self, policy=policy, patch_limit=patch_limit
         )
         self._views[name] = view
+        self._maybe_verify()
         return view
 
     def view(self, name: str) -> MaterialisedView:
@@ -437,7 +459,47 @@ class Database:
 
     def vacuum_all(self) -> int:
         """Vacuum every table; returns the number of tuples reclaimed."""
-        return sum(table.vacuum() for table in self._tables.values())
+        reclaimed = sum(table.vacuum() for table in self._tables.values())
+        self._maybe_verify()
+        return reclaimed
+
+    # -- invariant auditing ------------------------------------------------------------
+
+    def verify(self, strict: bool = True, deep: bool = True):
+        """Audit every cross-structure consistency invariant.
+
+        Checks that relations, expiration indexes, due buffers, shard
+        routing, materialised views, and plan-cache results all agree
+        (the invariant catalogue lives in :mod:`repro.check.invariants`).
+        ``deep=False`` skips the expensive re-evaluation checks (view
+        freshness, plan-cache results) and audits structure only.
+
+        Returns the list of violations; with ``strict=True`` (default) a
+        non-empty list raises :class:`~repro.errors.InvariantViolation`
+        instead, with every violation in the message.
+        """
+        from repro.check.invariants import run_invariants
+        from repro.errors import InvariantViolation
+
+        if self._in_verify:  # re-entrant call from an audit's own read
+            return []
+        self._in_verify = True
+        try:
+            violations = run_invariants(self, deep=deep)
+        finally:
+            self._in_verify = False
+        if strict and violations:
+            detail = "\n".join(f"  - {violation}" for violation in violations)
+            raise InvariantViolation(
+                f"{len(violations)} invariant violation(s) at τ={self.clock.now}:\n"
+                f"{detail}"
+            )
+        return violations
+
+    def _maybe_verify(self) -> None:
+        """Debug-mode hook: audit after a mutation if ``check_invariants``."""
+        if self.check_invariants and not self._in_verify:
+            self.verify(strict=True)
 
     def total_live_tuples(self) -> int:
         """Unexpired tuples across all tables (the 'smaller databases' metric)."""

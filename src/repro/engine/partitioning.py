@@ -211,11 +211,17 @@ class ShardedRelation(Relation):
 class ShardedExpirationIndex(ExpirationIndex):
     """One expiration index per shard, routed like :class:`ShardedRelation`."""
 
-    def __init__(self, key_index: int, partitions: int) -> None:
+    def __init__(
+        self,
+        key_index: int,
+        partitions: int,
+        index_factory=None,
+    ) -> None:
         self.key_index = key_index
         self.shard_count = partitions
+        factory = index_factory if index_factory is not None else ExpirationIndex
         self.shards: Tuple[ExpirationIndex, ...] = tuple(
-            ExpirationIndex() for _ in range(partitions)
+            factory() for _ in range(partitions)
         )
 
     def shard_of(self, row: Row) -> ExpirationIndex:
@@ -297,6 +303,7 @@ class PartitionedTable(Table):
         removal_policy: RemovalPolicy = RemovalPolicy.EAGER,
         lazy_batch_size: int = 64,
         database: Optional["Database"] = None,
+        index_factory=None,
     ) -> None:
         super().__init__(
             name,
@@ -306,6 +313,7 @@ class PartitionedTable(Table):
             removal_policy=removal_policy,
             lazy_batch_size=lazy_batch_size,
             database=database,
+            index_factory=index_factory,
         )
         if partitions < 1:
             raise EngineError(f"partitions must be >= 1, got {partitions}")
@@ -316,7 +324,7 @@ class PartitionedTable(Table):
         self.partition_key = schema.name(key_index + 1)
         self.key_index = key_index
         self.relation = ShardedRelation(schema, key_index, partitions)
-        self._index = ShardedExpirationIndex(key_index, partitions)
+        self._index = ShardedExpirationIndex(key_index, partitions, index_factory)
         # Per-shard due buffers (raw ints), replacing the flat _due_buffer.
         self._due_buffers: List[List[Tuple[Row, int]]] = [
             [] for _ in range(partitions)
@@ -352,6 +360,7 @@ class PartitionedTable(Table):
             if due:
                 jobs.append((i, due))
         if not jobs:
+            self._maybe_verify()
             return 0
         collect_triggers = len(self.triggers) > 0
 
@@ -403,6 +412,7 @@ class PartitionedTable(Table):
         self._sweep_seconds.labels(policy).observe(time.perf_counter() - started)
         if total:
             self._tuples_expired.labels(policy).inc(total)
+        self._maybe_verify()
         return total
 
     def __repr__(self) -> str:

@@ -20,7 +20,7 @@ times: ``insert(values, expires_at=...)`` or the TTL convenience form
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from repro.core.relation import Relation
 from repro.core.schema import Schema
@@ -73,6 +73,7 @@ class Table:
         removal_policy: RemovalPolicy = RemovalPolicy.EAGER,
         lazy_batch_size: int = 64,
         database: Optional["Database"] = None,
+        index_factory: Optional[Callable[[], ExpirationIndex]] = None,
     ) -> None:
         self.name = name
         self.schema = schema
@@ -90,7 +91,11 @@ class Table:
         self.insert_listeners: List = []
         #: Called with the deleted row after every explicit delete.
         self.delete_listeners: List = []
-        self._index = ExpirationIndex()
+        #: Zero-argument constructor for the expiration-index substrate;
+        #: anything interface-compatible with :class:`ExpirationIndex`
+        #: works (e.g. :class:`~repro.engine.timer_wheel.TimerWheelIndex`).
+        self.index_factory = index_factory
+        self._index = index_factory() if index_factory is not None else ExpirationIndex()
         # Lazy removal: due entries accumulate here (already popped from
         # the index, O(k log n) per advance) until a vacuum processes them.
         self._due_buffer: List[tuple] = []
@@ -140,6 +145,7 @@ class Table:
             self.database.note_data_change()
         for listener in self.insert_listeners:
             listener(self, stored)
+        self._maybe_verify()
         return stored
 
     def delete(self, values: Iterable[Any]) -> bool:
@@ -153,11 +159,48 @@ class Table:
                 self.database.note_data_change()
             for listener in self.delete_listeners:
                 listener(self, row)
+            self._maybe_verify()
         return removed
 
     def renew(self, values: Iterable[Any], ttl: int) -> ExpiringTuple:
         """Extend a row's lifetime by ``ttl`` ticks from now (re-insertion)."""
         return self.insert(values, ttl=ttl)
+
+    # -- transaction rollback ---------------------------------------------------
+
+    def undo_insert(self, values: Iterable[Any], previous: Optional[Timestamp]) -> None:
+        """Roll back an insert, restoring the pre-insert expiration.
+
+        ``previous`` is the expiration the row had before the insert
+        (``None`` if it did not exist).  Rollback must go through the same
+        index/listener/data-version paths as the forward operations:
+        mutating ``self.relation`` directly would leave a phantom entry in
+        the expiration index, a plan cache that keeps serving pre-rollback
+        results, and materialised views that never learn the row changed.
+        """
+        row = make_row(values)
+        if previous is None:
+            self.relation.delete(row)
+            self._index.remove(row)
+        else:
+            self.relation.override(row, previous)
+            self._index.schedule(row, previous)
+        if self.database is not None:
+            self.database.note_data_change()
+        for listener in self.delete_listeners:
+            listener(self, row)
+        self._maybe_verify()
+
+    def undo_delete(self, values: Iterable[Any], previous: Timestamp) -> None:
+        """Roll back an explicit delete: restore the row and its index entry."""
+        row = make_row(values)
+        restored = self.relation.override(row, previous)
+        self._index.schedule(row, previous)
+        if self.database is not None:
+            self.database.note_data_change()
+        for listener in self.insert_listeners:
+            listener(self, restored)
+        self._maybe_verify()
 
     # -- reading -----------------------------------------------------------------
 
@@ -220,11 +263,19 @@ class Table:
                 time.perf_counter() - started)
             if processed:
                 self._tuples_expired.labels(policy).inc(processed)
+        self._maybe_verify()
         return processed
 
     def vacuum(self, now: Optional[TimeLike] = None) -> int:
         """Batch reclamation under lazy removal (alias of the eager path)."""
         return self.process_expirations(now)
+
+    # -- invariant hooks ---------------------------------------------------------------
+
+    def _maybe_verify(self) -> None:
+        """Audit the owning database after a mutation (debug mode only)."""
+        if self.database is not None:
+            self.database._maybe_verify()
 
     # -- metadata ---------------------------------------------------------------------
 

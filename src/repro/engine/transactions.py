@@ -112,15 +112,21 @@ class Transaction:
         self.database.statistics.transactions_committed += 1
 
     def _undo(self, undo: List[Tuple[str, str, Row, Optional[Timestamp]]]) -> None:
+        """Roll back the applied prefix, newest first.
+
+        Rollback goes through :meth:`Table.undo_insert` /
+        :meth:`Table.undo_delete` rather than mutating ``table.relation``
+        directly: the expiration index, plan-cache data version, and
+        view-maintenance listeners (flat and sharded alike) must all see
+        the rollback, or an aborted insert stays scheduled for expiry and
+        cached/materialised reads keep serving the aborted state.
+        """
         for kind, table_name, row, previous in reversed(undo):
             table = self.database.table(table_name)
             if kind == "insert":
-                if previous is None:
-                    table.relation.delete(row)
-                else:
-                    table.relation.override(row, previous)
+                table.undo_insert(row, previous)
             else:  # undone delete: restore the row with its old expiration
-                table.relation.override(row, previous)
+                table.undo_delete(row, previous)
 
     def abort(self) -> None:
         """Discard the buffered operations."""

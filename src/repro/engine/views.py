@@ -130,6 +130,7 @@ class MaterialisedView:
         self._materialise(stamp)
         self.database.statistics.view_recomputations += 1
         self.recomputations += 1
+        self.database._maybe_verify()
 
     def _materialise(self, stamp: Timestamp) -> None:
         with self.database.tracer.span(
@@ -240,6 +241,36 @@ class MaterialisedView:
             self.database.statistics.view_reads_from_materialisation += 1
         self._last_read = stamp
         return relation.exp_at(stamp)
+
+    def _audit_serveable(self, stamp: Timestamp) -> Optional[Relation]:
+        """What a :meth:`read` at ``stamp`` would serve *from storage*.
+
+        Side-effect-free twin of :meth:`read` for the invariant checker:
+        returns the relation the materialisation (plus pending patches,
+        under PATCH) would yield, or ``None`` whenever a real read would
+        refresh or raise instead of serving -- those cases audit nothing.
+        """
+        if self._result is None or self._stale:
+            return None
+        if self.is_monotonic:
+            return self._result.relation.exp_at(stamp)
+        if self.policy is MaintenancePolicy.PATCH:
+            assert self._patcher is not None and self._patch_state is not None
+            if stamp < self._last_read or not self._patcher.guaranteed_until > stamp:
+                return None
+            state = self._patch_state.copy()
+            for patch in self._patcher.pending():
+                if patch.due <= stamp < patch.expires_at:
+                    state.insert(patch.row, expires_at=patch.expires_at)
+            return state.exp_at(stamp)
+        if self.policy is MaintenancePolicy.RECOMPUTE:
+            if stamp < self._result.expiration:
+                return self._result.relation.exp_at(stamp)
+            return None
+        # SCHRODINGER
+        if self._result.validity.contains(stamp):
+            return self._result.relation.exp_at(stamp)
+        return None
 
     def _read_patched(self, stamp: Timestamp) -> Relation:
         assert self._patcher is not None and self._patch_state is not None

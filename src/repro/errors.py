@@ -61,6 +61,17 @@ class ConstraintViolation(EngineError):
     """An integrity constraint rejected a modification."""
 
 
+class InvariantViolation(EngineError):
+    """A cross-structure consistency invariant does not hold.
+
+    Raised by :meth:`repro.engine.database.Database.verify` (and by the
+    ``check_invariants=True`` debug mode after every mutation) when the
+    audits in :mod:`repro.check.invariants` find state desync between a
+    relation, its expiration index, due buffers, shard routing,
+    materialised views, or the plan cache.
+    """
+
+
 class ViewError(EngineError):
     """Materialised-view maintenance failure."""
 

@@ -102,6 +102,67 @@ class TestPolicyEnum:
         assert RemovalPolicy.LAZY.value == "lazy"
 
 
+class TestWheelHeapDifferential:
+    """Wheel ≡ heap on the raw bulk path and the cached-minimum query.
+
+    Complements the pop_due equivalence in ``test_timer_wheel.py``: this
+    trace interleaves ``pop_due_raw`` (bounded and unbounded, the sweep
+    kernels' path) with ``next_expiration`` probes after *every* op, so a
+    stale cached minimum in the wheel cannot hide behind a later pop.
+    """
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        operations=st.lists(
+            st.one_of(
+                st.tuples(st.just("schedule"), st.integers(0, 9), st.integers(0, 300)),
+                st.tuples(st.just("forever"), st.integers(0, 9), st.just(0)),
+                st.tuples(st.just("remove"), st.integers(0, 9), st.just(0)),
+                st.tuples(st.just("pop"), st.just(0), st.integers(0, 40)),
+                st.tuples(st.just("drain"), st.just(0), st.just(0)),
+            ),
+            max_size=50,
+        ),
+        wheel_size=st.sampled_from([2, 4, 16]),
+    )
+    def test_raw_pops_and_minimum_agree(self, operations, wheel_size):
+        from repro.engine.timer_wheel import TimerWheelIndex
+
+        wheel = TimerWheelIndex(wheel_size=wheel_size)
+        heap = ExpirationIndex()
+        now = 0
+        for op, key, value in operations:
+            row = (key,)
+            if op == "schedule":
+                wheel.schedule(row, now + value)
+                heap.schedule(row, now + value)
+            elif op == "forever":
+                wheel.schedule(row, INFINITY)
+                heap.schedule(row, INFINITY)
+            elif op == "remove":
+                wheel.remove(row)
+                heap.remove(row)
+            elif op == "pop":
+                now += value
+                due_wheel = wheel.pop_due_raw(now)
+                due_heap = heap.pop_due_raw(now)
+                # Same multiset; ties in texp may order freely, but both
+                # must come out sorted by texp.
+                assert sorted(due_wheel) == sorted(due_heap)
+                assert [t for _, t in due_wheel] == sorted(
+                    t for _, t in due_wheel
+                )
+            else:  # drain: the unbounded sweep path (limit=None)
+                due_wheel = wheel.pop_due_raw(None)
+                due_heap = heap.pop_due_raw(None)
+                assert sorted(due_wheel) == sorted(due_heap)
+                assert len(wheel) == len(heap) == 0
+            # The trigger scheduler's hot-path query agrees after every op.
+            assert wheel.next_expiration() == heap.next_expiration()
+            assert len(wheel) == len(heap)
+        assert dict(wheel.pending()) == dict(heap.pending())
+
+
 class TestPropertyBased:
     @settings(max_examples=100, deadline=None)
     @given(

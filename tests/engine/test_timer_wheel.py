@@ -147,8 +147,8 @@ class TestTableIntegration:
         from repro.engine.table import Table
 
         clock = LogicalClock()
-        table = Table("T", Schema(["k"]), clock)
-        table._index = TimerWheelIndex(wheel_size=16)  # swap the substrate
+        table = Table("T", Schema(["k"]), clock, index_factory=TimerWheelIndex)
+        assert isinstance(table._index, TimerWheelIndex)
         clock.on_advance(table.on_clock_advance)
         fired = []
         table.triggers.register("t", lambda event: fired.append(event.tuple.row))
@@ -158,4 +158,51 @@ class TestTableIntegration:
         assert fired == [(1,)]
         assert len(table) == 1
         clock.advance_to(300)
+        assert len(table) == 0
+
+    def test_create_table_index_factory(self):
+        """``index_factory=`` plumbs the substrate through the database."""
+        from repro.engine.database import Database
+
+        db = Database(check_invariants=True)
+        table = db.create_table("T", ["k"], index_factory=TimerWheelIndex)
+        assert isinstance(table._index, TimerWheelIndex)
+        table.insert((1,), expires_at=5)
+        table.insert((2,), expires_at=300)
+        assert table.next_expiration() == ts(5)
+        db.advance_to(5)
+        assert sorted(table.read().rows()) == [(2,)]
+        db.advance_to(300)
+        assert len(table) == 0
+
+    def test_create_table_index_factory_partitioned(self):
+        """A partitioned table builds one wheel per shard."""
+        from repro.engine.database import Database
+
+        db = Database(check_invariants=True)
+        table = db.create_table(
+            "P", ["k", "v"], partitions=3, index_factory=TimerWheelIndex
+        )
+        assert all(
+            isinstance(shard, TimerWheelIndex)
+            for shard in table._index.shards
+        )
+        for key in range(9):
+            table.insert((key, 0), expires_at=key + 1)
+        db.advance_to(4)
+        assert len(table) == 5
+        db.advance_to(9)
+        assert len(table) == 0
+        db.close()
+
+    def test_custom_wheel_size_via_factory(self):
+        from repro.engine.database import Database
+
+        db = Database()
+        table = db.create_table(
+            "T", ["k"], index_factory=lambda: TimerWheelIndex(wheel_size=4)
+        )
+        table.insert((1,), expires_at=1000)  # straight to overflow
+        assert table._index._size == 4
+        db.advance_to(1000)
         assert len(table) == 0

@@ -1,0 +1,177 @@
+"""Regression tests for transaction rollback going through the Table API.
+
+The old ``Transaction._undo`` mutated ``table.relation`` directly, leaving
+every derived structure out of sync: an aborted insert stayed scheduled in
+the expiration index (later firing ON-EXPIRE for a row that no longer
+exists -- or silently leaking index entries), a row restored by undoing a
+delete was never re-scheduled (so it never physically expired and never
+fired its trigger), the plan-cache data version was not bumped, and
+view-maintenance listeners were not re-notified.  Each class below pins
+one user-visible symptom; every test also runs with the full invariant
+catalogue armed (``check_invariants=True``), so any cross-structure
+desync fails loudly even where the symptom is subtle.
+"""
+
+import pytest
+
+from repro.core.timestamps import ts
+from repro.engine.database import Database
+from repro.engine.views import MaintenancePolicy
+from repro.errors import RelationError
+
+
+def poison(txn, table):
+    """Append an insert that is already expired, forcing commit to abort."""
+    txn.insert(table, (999,) * txn.database.table(table).schema.arity,
+               expires_at=txn.database.now)
+
+
+class TestAbortThenExpire:
+    def test_aborted_insert_never_fires(self):
+        db = Database(check_invariants=True)
+        table = db.create_table("T", ["k"])
+        fired = []
+        table.triggers.register(
+            "log", lambda e: fired.append((e.tuple.row, e.tuple.expires_at))
+        )
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.insert("T", (1,), expires_at=10)
+                poison(txn, "T")
+        assert len(table) == 0
+        assert table.next_expiration() is None  # no phantom index entry
+        db.advance_to(10)
+        assert fired == []
+
+    def test_abort_restores_the_earlier_expiration(self):
+        db = Database(check_invariants=True)
+        table = db.create_table("T", ["k"])
+        table.insert((1,), expires_at=5)
+        fired = []
+        table.triggers.register(
+            "log", lambda e: fired.append((e.tuple.row, e.tuple.expires_at))
+        )
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.insert("T", (1,), expires_at=50)  # max-merge extension
+                poison(txn, "T")
+        assert table.relation.expiration_of((1,)) == ts(5)
+        assert table.next_expiration() == ts(5)  # index rolled back too
+        db.advance_to(5)
+        assert fired == [((1,), ts(5))]  # original time, original texp
+        db.advance_to(50)
+        assert fired == [((1,), ts(5))]  # nothing left to fire
+
+    def test_undone_delete_expires_physically(self):
+        db = Database(check_invariants=True)
+        table = db.create_table("T", ["k"])
+        table.insert((1,), expires_at=10)
+        fired = []
+        table.triggers.register("log", lambda e: fired.append(e.tuple.row))
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.delete("T", (1,))
+                poison(txn, "T")
+        assert sorted(table.read().rows()) == [(1,)]
+        db.advance_to(10)
+        assert fired == [(1,)]
+        assert table.physical_size == 0  # re-scheduled, so actually purged
+
+
+class TestAbortThenCachedRead:
+    def test_cache_serves_pre_txn_content_after_abort(self):
+        db = Database(check_invariants=True)
+        table = db.create_table("T", ["k", "v"])
+        table.insert((1, 10), expires_at=100)
+        expr = db.table_expr("T")
+        before = sorted(db.evaluate(expr).relation.rows())
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.insert("T", (2, 20), expires_at=100)
+                poison(txn, "T")
+        after = sorted(db.evaluate(expr).relation.rows())
+        assert after == before == [(1, 10)]
+        # Repeat lookups (cache hits included) stay on the aborted-free
+        # content as time passes.
+        db.advance_to(50)
+        assert sorted(db.evaluate(expr).relation.rows()) == [(1, 10)]
+        db.advance_to(100)
+        assert sorted(db.evaluate(expr).relation.rows()) == []
+
+
+class TestAbortThenViewRead:
+    def test_monotonic_view_after_abort(self):
+        db = Database(check_invariants=True)
+        table = db.create_table("T", ["k", "v"])
+        table.insert((1, 10), expires_at=50)
+        view = db.materialise("V", db.table_expr("T").project(1))
+        assert sorted(view.read().rows()) == [(1,)]
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.insert("T", (2, 20), expires_at=50)
+                txn.delete("T", (1, 10))
+                poison(txn, "T")
+        assert sorted(view.read().rows()) == [(1,)]
+
+    def test_difference_view_after_abort(self):
+        db = Database(check_invariants=True)
+        left = db.create_table("L", ["k"])
+        right = db.create_table("R", ["k"])
+        left.insert((1,), expires_at=30)
+        right.insert((2,), expires_at=30)
+        view = db.materialise(
+            "V",
+            db.table_expr("L").difference(db.table_expr("R")),
+            policy=MaintenancePolicy.SCHRODINGER,
+        )
+        assert sorted(view.read().rows()) == [(1,)]
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.insert("L", (2,), expires_at=40)  # would be shadowed
+                txn.delete("L", (1,))
+                poison(txn, "L")
+        assert sorted(view.read().rows()) == [(1,)]
+        db.advance_to(30)
+        assert sorted(view.read().rows()) == []
+
+
+class TestAbortOnPartitionedTables:
+    def test_partitioned_abort_rolls_back_every_shard(self):
+        db = Database(check_invariants=True)
+        table = db.create_table("P", ["k", "v"], partitions=3)
+        for key in range(6):
+            table.insert((key, 0), expires_at=10)
+        fired = []
+        table.triggers.register("log", lambda e: fired.append(e.tuple.row))
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.insert("P", (6, 1), expires_at=20)
+                txn.insert("P", (7, 1), expires_at=20)
+                txn.delete("P", (0, 0))
+                poison(txn, "P")
+        assert len(table) == 6
+        assert sorted(table.read().rows()) == [(k, 0) for k in range(6)]
+        db.advance_to(10)
+        assert sorted(fired) == [(k, 0) for k in range(6)]
+        assert len(table) == 0 and table.physical_size == 0
+        db.advance_to(20)
+        assert len(fired) == 6  # the aborted inserts never fire
+        db.close()
+
+    def test_partitioned_abort_under_lazy_removal(self):
+        from repro.engine.expiration_index import RemovalPolicy
+
+        db = Database(
+            default_removal_policy=RemovalPolicy.LAZY, check_invariants=True
+        )
+        table = db.create_table("P", ["k", "v"], partitions=2)
+        table.insert((1, 0), expires_at=5)
+        with pytest.raises(RelationError):
+            with db.transaction() as txn:
+                txn.delete("P", (1, 0))
+                poison(txn, "P")
+        db.advance_to(5)
+        assert sorted(table.read().rows()) == []
+        assert table.vacuum() == 1  # the restored row was swept, not leaked
+        assert table.physical_size == 0
+        db.close()
