@@ -37,6 +37,11 @@ def main(argv=None) -> int:
         "--no-shrink", action="store_true",
         help="report failures without minimising them",
     )
+    parser.add_argument(
+        "--crash-points", action="store_true",
+        help="run on a write-ahead log and inject simulated crashes, "
+             "torn log tails, checkpoints, and compactions",
+    )
     args = parser.parse_args(argv)
 
     registry = MetricsRegistry()
@@ -49,6 +54,7 @@ def main(argv=None) -> int:
             policy=policy,
             registry=registry,
             shrink=not args.no_shrink,
+            crash_points=args.crash_points,
         )
         print(report.summary())
         failed = failed or not report.ok
@@ -56,6 +62,8 @@ def main(argv=None) -> int:
     print()
     for line in registry.to_prom_text().splitlines():
         if "repro_check" in line:
+            print(line)
+        elif args.crash_points and "repro_wal" in line:
             print(line)
     return 1 if failed else 0
 

@@ -39,18 +39,50 @@ Ops and semantics
 ``("view", name)``              read a materialised view;
 ``("sql", t, k | None)``        a SQL point or full scan through the
                                 front door (exercising the plan cache).
+
+Crash-point injection (``crash_points=True``)
+---------------------------------------------
+
+With crash points enabled the harness runs its database on a write-ahead
+log (:mod:`repro.engine.wal`) in a scratch directory and three more op
+kinds join the mix:
+
+``("crash", mode)``   simulate a crash: drop every in-memory structure
+                      and recover from disk.  ``mode="torn"`` first
+                      appends a partial frame to the log -- the write
+                      that was in flight when the machine died -- so
+                      recovery must truncate-and-warn; ``mode="clean"``
+                      crashes between appends.  The recovered database
+                      is differentially compared against the dict oracle
+                      restricted to committed-and-unexpired state (which
+                      is exactly what the oracle holds -- the model is
+                      only advanced after an op is acknowledged) and must
+                      pass ``Database.verify(strict=True, deep=True)``;
+``("checkpoint",)``   write an atomic snapshot and truncate the log;
+``("compact",)``      rewrite the log dropping expired and superseded
+                      records -- the recovered state must not change.
+
+Crash ops replay deterministically like every other op, so shrinking
+works unchanged: a failure after three crashes shrinks to the minimal op
+list that still breaks, crashes included.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
+import shutil
+import struct
+import tempfile
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.algebra.expressions import BaseRef
 from repro.engine.database import Database
 from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.recovery import recover_database
 from repro.engine.views import MaintenancePolicy
 from repro.errors import RelationError
 
@@ -143,10 +175,31 @@ class FuzzReport:
 # -- op generation -----------------------------------------------------------
 
 
-def generate_ops(rng: random.Random, count: int) -> List[tuple]:
-    """``count`` concrete ops drawn from ``rng`` (replayable as any subset)."""
+def generate_ops(
+    rng: random.Random, count: int, crash_points: bool = False
+) -> List[tuple]:
+    """``count`` concrete ops drawn from ``rng`` (replayable as any subset).
+
+    ``crash_points=True`` mixes in ``crash``/``checkpoint``/``compact``
+    ops (~8% combined); it draws extra randomness, so a seed generates a
+    different sequence with crash points on than off -- but each mode is
+    deterministic for a given seed, which is all replay and shrinking
+    need.
+    """
     ops: List[tuple] = []
     for _ in range(count):
+        if crash_points:
+            injected = rng.random()
+            if injected < 0.04:
+                mode = "torn" if rng.random() < 0.5 else "clean"
+                ops.append(("crash", mode))
+                continue
+            if injected < 0.06:
+                ops.append(("checkpoint",))
+                continue
+            if injected < 0.08:
+                ops.append(("compact",))
+                continue
         roll = rng.random()
         table = rng.choice(_TABLES)
         row = (rng.randrange(_KEYS), rng.randrange(_VALUES))
@@ -185,10 +238,24 @@ def generate_ops(rng: random.Random, count: int) -> List[tuple]:
 class _Harness:
     """One database + one oracle, advanced op by op in lockstep."""
 
-    def __init__(self, policy: RemovalPolicy) -> None:
-        self.db = Database(
+    def __init__(
+        self,
+        policy: RemovalPolicy,
+        wal_dir: Optional[str] = None,
+        registry=None,
+    ) -> None:
+        self._policy = policy
+        self._wal_dir = wal_dir
+        db_kwargs: dict = dict(
             default_removal_policy=policy, check_invariants=True
         )
+        if registry is not None:
+            db_kwargs["metrics"] = registry
+        if wal_dir is not None:
+            # "never" still flushes every append to the OS, which is all
+            # a *simulated* crash (the process survives) can lose.
+            db_kwargs.update(wal_dir=wal_dir, wal_fsync="never")
+        self.db = Database(**db_kwargs)
         self.db.create_table("flat", ["k", "v"], lazy_batch_size=8)
         self.db.create_table(
             "part", ["k", "v"], partitions=3, partition_key="k",
@@ -207,6 +274,9 @@ class _Harness:
         self.now = 0
         self.fired: List[Tuple[str, tuple, int, int]] = []
         self._fired_seen: set = set()
+        self._register_triggers()
+
+    def _register_triggers(self) -> None:
         for name in _TABLES:
             self.db.table(name).triggers.register(
                 "audit", self._make_trigger(name)
@@ -265,6 +335,14 @@ class _Harness:
         elif kind == "txn":
             _, table, subops, poison = op
             self._apply_txn(table, subops, poison)
+        elif kind == "crash":
+            self._crash(op[1])
+        elif kind == "checkpoint":
+            self._require_wal(kind)
+            self.db.checkpoint()
+        elif kind == "compact":
+            self._require_wal(kind)
+            self.db.compact_wal()
         elif kind == "view":
             _, name = op
             got = set(self.db.view(name).read().rows())
@@ -301,6 +379,42 @@ class _Harness:
         self.model[table][row] = (
             expires if current is None else max(current, expires)
         )
+
+    def _require_wal(self, kind: str) -> None:
+        if self._wal_dir is None:
+            raise ValueError(
+                f"op {kind!r} needs a WAL harness (crash_points=True)"
+            )
+
+    def _crash(self, mode: str) -> None:
+        """Drop the in-memory database and recover from disk.
+
+        The oracle is untouched: it only ever advances after an op is
+        acknowledged, so it already equals committed-and-unexpired state.
+        ``mode="torn"`` simulates a crash mid-append by writing a partial
+        frame of the *next hypothetical* record -- unacknowledged work, so
+        recovery discarding it keeps the oracle consistent.
+        """
+        self._require_wal("crash")
+        self.db.close()
+        if mode == "torn":
+            log_path = os.path.join(self._wal_dir, "wal.log")
+            with open(log_path, "ab") as handle:
+                # A header promising 96 payload bytes of which only a few
+                # reached disk before the "power went out".
+                handle.write(struct.pack(">II", 96, 0) + b"interrupted")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # the torn-tail warning is the point
+            self.db = recover_database(
+                self._wal_dir,
+                fsync="never",
+                default_removal_policy=self._policy,
+                check_invariants=True,
+                metrics=self.db.metrics,
+            )
+        # recover_database already ran verify(strict=True, deep=True);
+        # the caller's post-op check() adds the oracle differential.
+        self._register_triggers()
 
     def _apply_txn(self, table: str, subops: tuple, poison: bool) -> None:
         txn = self.db.transaction()
@@ -378,30 +492,52 @@ class _Harness:
 
 
 def _replay(
-    ops: List[tuple], policy: str, ops_counter=None
+    ops: List[tuple],
+    policy: str,
+    ops_counter=None,
+    crash_points: bool = False,
+    registry=None,
 ) -> Tuple[int, Optional[FuzzFailure]]:
-    """Run ``ops`` from scratch; returns ``(ops_run, failure_or_None)``."""
-    harness = _Harness(_POLICIES[policy])
-    for step, op in enumerate(ops):
-        try:
-            harness.apply(op)
-            harness.check()
-        except Exception as error:  # noqa: BLE001 - every breakage counts
-            return step, FuzzFailure(step, op, error)
-        if ops_counter is not None:
-            ops_counter.labels(op[0]).inc()
-    return len(ops), None
+    """Run ``ops`` from scratch; returns ``(ops_run, failure_or_None)``.
+
+    With ``crash_points=True`` the harness runs on a write-ahead log in a
+    scratch directory, removed when the replay finishes -- every shrink
+    candidate recovers from its own blank slate, keeping replays
+    independent and deterministic.  ``registry`` makes the harness
+    database publish its engine metrics (``repro_wal_*`` included) there.
+    """
+    wal_dir = (
+        tempfile.mkdtemp(prefix="repro-fuzz-wal-") if crash_points else None
+    )
+    harness = _Harness(_POLICIES[policy], wal_dir=wal_dir, registry=registry)
+    try:
+        for step, op in enumerate(ops):
+            try:
+                harness.apply(op)
+                harness.check()
+            except Exception as error:  # noqa: BLE001 - every breakage counts
+                return step, FuzzFailure(step, op, error)
+            if ops_counter is not None:
+                ops_counter.labels(op[0]).inc()
+        return len(ops), None
+    finally:
+        if wal_dir is not None:
+            harness.db.close()
+            shutil.rmtree(wal_dir, ignore_errors=True)
 
 
 def _shrink(
-    ops: List[tuple], policy: str, replay_counter=None
+    ops: List[tuple],
+    policy: str,
+    replay_counter=None,
+    crash_points: bool = False,
 ) -> List[tuple]:
     """ddmin-style greedy chunk removal to a locally-minimal failing list."""
 
     def fails(candidate: List[tuple]) -> bool:
         if replay_counter is not None:
             replay_counter.inc()
-        return _replay(candidate, policy)[1] is not None
+        return _replay(candidate, policy, crash_points=crash_points)[1] is not None
 
     current = list(ops)
     chunk = max(1, len(current) // 2)
@@ -427,12 +563,16 @@ def run_fuzz(
     policy: str = "eager",
     registry=None,
     shrink: bool = True,
+    crash_points: bool = False,
 ) -> FuzzReport:
     """One fuzz run: generate, replay, and (on failure) shrink.
 
     ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`) receives
     the ``repro_check_*`` families; ``shrink=False`` skips minimisation
-    (useful when the caller only wants the verdict).
+    (useful when the caller only wants the verdict); ``crash_points=True``
+    runs the database on a write-ahead log and injects simulated crashes,
+    torn log tails, checkpoints, and log compactions into the op mix,
+    checking every recovery against the dict oracle.
     """
     if policy not in _POLICIES:
         raise ValueError(f"policy must be one of {sorted(_POLICIES)}")
@@ -442,14 +582,22 @@ def run_fuzz(
     ops_counter, failures, replays, shrunk_gauge = (
         families if families is not None else (None, None, None, None)
     )
-    sequence = generate_ops(random.Random(seed), ops)
-    ops_run, failure = _replay(sequence, policy, ops_counter)
+    sequence = generate_ops(random.Random(seed), ops, crash_points)
+    ops_run, failure = _replay(
+        sequence, policy, ops_counter, crash_points=crash_points,
+        registry=registry,
+    )
     shrunk: Optional[List[tuple]] = None
     if failure is not None:
         if failures is not None:
             failures.labels(policy).inc()
         if shrink:
-            shrunk = _shrink(sequence[: failure.step + 1], policy, replays)
+            shrunk = _shrink(
+                sequence[: failure.step + 1],
+                policy,
+                replays,
+                crash_points=crash_points,
+            )
             if shrunk_gauge is not None:
                 shrunk_gauge.set(len(shrunk))
     return FuzzReport(

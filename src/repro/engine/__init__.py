@@ -27,12 +27,14 @@ from repro.engine.persistence import (
     load_database,
     save_database,
 )
+from repro.engine.recovery import RecoveryReport, recover_database
 from repro.engine.statistics import EngineStatistics, StatisticsSnapshot
 from repro.engine.table import Table
 from repro.engine.timer_wheel import TimerWheelIndex
 from repro.engine.transactions import Transaction, TransactionState
 from repro.engine.triggers import ExpirationEvent, Trigger, TriggerManager
 from repro.engine.views import MaintenancePolicy, MaterialisedView
+from repro.engine.wal import WriteAheadLog
 
 __all__ = [
     "LogicalClock",
@@ -63,4 +65,7 @@ __all__ = [
     "TriggerManager",
     "MaintenancePolicy",
     "MaterialisedView",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "recover_database",
 ]

@@ -16,10 +16,12 @@ exact assertions.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.algebra.evaluator import EvalResult, EvalStats, Evaluator
 from repro.core.algebra.expressions import BaseRef, Expression
@@ -35,7 +37,8 @@ from repro.engine.statistics import EngineStatistics
 from repro.engine.table import Table, declare_expiration_families
 from repro.engine.transactions import Transaction
 from repro.engine.views import MaintenancePolicy, MaterialisedView
-from repro.errors import CatalogError
+from repro.engine.wal import WriteAheadLog
+from repro.errors import CatalogError, WalError
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
 
@@ -81,6 +84,8 @@ class Database:
         plan_cache_capacity: int = 128,
         metrics: Optional[MetricsRegistry] = None,
         check_invariants: bool = False,
+        wal_dir: Optional[Union[str, Path]] = None,
+        wal_fsync: str = "commit",
     ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
@@ -136,6 +141,31 @@ class Database:
         # Re-entrancy latch: the audits themselves evaluate expressions,
         # which must not recursively trigger another audit.
         self._in_verify = False
+        #: The write-ahead log (``None`` = no durability).  Every insert,
+        #: delete, renewal, rollback, clock advance, and DDL statement is
+        #: appended; view *content* is never logged (views re-materialise
+        #: at recovery).  See :mod:`repro.engine.wal`.
+        self.wal: Optional[WriteAheadLog] = None
+        #: Set by :func:`repro.engine.recovery.recover_database`.
+        self.last_recovery = None
+        # Transaction id stamped onto physical records while a commit is
+        # applying (recovery rolls unbracketed transactions back).
+        self._wal_txn: Optional[int] = None
+        if wal_dir is not None:
+            directory = Path(wal_dir)
+            snapshot = directory / WriteAheadLog.SNAPSHOT_NAME
+            log = directory / WriteAheadLog.LOG_NAME
+            if snapshot.exists() or (
+                log.exists() and log.stat().st_size > 0
+            ):
+                raise WalError(
+                    f"{directory} already holds durable state; recover it "
+                    f"with repro.engine.recovery.recover_database() instead "
+                    f"of opening a fresh Database on top of it"
+                )
+            self.wal = WriteAheadLog(
+                directory, fsync=wal_fsync, registry=self.metrics
+            )
 
     # -- catalog -----------------------------------------------------------
 
@@ -197,6 +227,12 @@ class Database:
         self.clock.on_advance(table.on_clock_advance)
         self._refresh_partition_scheme()
         self.note_schema_change()
+        if self.wal is not None:
+            from repro.engine.persistence import table_spec
+
+            self._wal_append(
+                "create_table", spec=table_spec(table, include_rows=False)
+            )
         return table
 
     def drop_table(self, name: str) -> None:
@@ -215,6 +251,7 @@ class Database:
         del self._tables[name]
         self._refresh_partition_scheme()
         self.note_schema_change()
+        self._wal_append("drop_table", name=name)
 
     def _refresh_partition_scheme(self) -> None:
         self._partition_scheme = tuple(
@@ -234,10 +271,13 @@ class Database:
         return self._executor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; pool recreates on use)."""
+        """Shut the worker pool and WAL down (idempotent; pool recreates)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self.wal is not None:
+            self.wal.sync()
+            self.wal.close()
 
     def table(self, name: str) -> Table:
         """Look up a table by name; raises CatalogError if unknown."""
@@ -295,12 +335,21 @@ class Database:
 
     def advance_to(self, time: TimeLike) -> Timestamp:
         """Advance the logical clock, processing expirations en route."""
-        stamp = self.clock.advance_to(time)
+        target = ts(time)
+        # The clock record goes in *before* the advance so that replay
+        # sees it before any record a ON-EXPIRE trigger writes during the
+        # sweep.  Expirations themselves are never logged: replaying the
+        # advance re-derives them through the expiration model.
+        if self.wal is not None and target.is_finite and target > self.clock.now:
+            self._wal_append("clock", now=target.value)
+        stamp = self.clock.advance_to(target)
         self._maybe_verify()
         return stamp
 
     def tick(self, delta: int = 1) -> Timestamp:
         """Advance the clock by ``delta`` ticks."""
+        if self.wal is not None and delta > 0:
+            self._wal_append("clock", now=(self.clock.now + delta).value)
         stamp = self.clock.tick(delta)
         self._maybe_verify()
         return stamp
@@ -416,6 +465,12 @@ class Database:
             name, expression, self, policy=policy, patch_limit=patch_limit
         )
         self._views[name] = view
+        if self.wal is not None:
+            from repro.engine.persistence import view_spec
+
+            # Only the definition is logged; the view's content is
+            # re-materialised from the base tables at recovery.
+            self._wal_append("create_view", spec=view_spec(view))
         self._maybe_verify()
         return view
 
@@ -440,6 +495,65 @@ class Database:
             raise CatalogError(f"unknown view {name!r}")
         self._views[name]._unsubscribe()
         del self._views[name]
+        self._wal_append("drop_view", name=name)
+
+    # -- durability -------------------------------------------------------------------
+
+    def _wal_append(self, kind: str, sync: bool = False, **fields: Any) -> None:
+        """Append one WAL record (no-op without a log).
+
+        Physical records written while a transaction commit is applying
+        are stamped with the transaction id so recovery can tell an
+        unbracketed (in-flight-at-crash) transaction's work apart.
+        """
+        if self.wal is None:
+            return
+        if self._wal_txn is not None and kind in ("upsert", "remove"):
+            fields.setdefault("txn", self._wal_txn)
+        self.wal.append(kind, sync=sync, **fields)
+
+    def _attach_wal(self, wal: WriteAheadLog) -> None:
+        """Adopt an already-recovered log for subsequent appends."""
+        self.wal = wal
+
+    def checkpoint(self) -> None:
+        """Write an atomic snapshot and truncate the write-ahead log.
+
+        After a checkpoint the snapshot alone reproduces the database, so
+        the log restarts empty; recovery loads the snapshot and replays
+        whatever accumulated since.
+        """
+        if self.wal is None:
+            raise WalError("checkpoint() needs a write-ahead log (wal_dir=)")
+        if self._wal_txn is not None:
+            raise WalError("cannot checkpoint while a transaction is applying")
+        from repro.engine.persistence import save_database
+
+        self.wal.sync()
+        save_database(self, self.wal.snapshot_path)
+        self.wal.reset()
+
+    def compact_wal(self) -> Dict[str, int]:
+        """Rewrite the log dropping expired and superseded records.
+
+        The expiration-replaces-deletion asymmetry, applied to the log: a
+        record whose tuple is already past its ``texp`` will never be
+        applied by recovery, so compaction discards it (demoting it to a
+        tombstone only when the base snapshot still holds the row).
+        Returns the compaction stats dict (see
+        :meth:`~repro.engine.wal.WriteAheadLog.compact`).
+        """
+        if self.wal is None:
+            raise WalError("compact_wal() needs a write-ahead log (wal_dir=)")
+        if self._wal_txn is not None:
+            raise WalError("cannot compact while a transaction is applying")
+        base_rows = set()
+        if self.wal.snapshot_path.exists():
+            data = json.loads(self.wal.snapshot_path.read_text())
+            for spec in data.get("tables", ()):
+                for values, _ in spec.get("rows", ()):
+                    base_rows.add((spec["name"], tuple(values)))
+        return self.wal.compact(self.clock.now.value, base_rows)
 
     # -- transactions -----------------------------------------------------------------
 

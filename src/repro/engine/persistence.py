@@ -1,71 +1,143 @@
 """Saving and loading databases as JSON snapshots.
 
 A snapshot captures the logical clock, every table (schema, removal
-policy, rows with expiration times), and every materialised view
-(definition via :mod:`repro.core.algebra.serde`, plus its maintenance
-policy).  Loading replays the snapshot into a fresh
+policy, partitioning, expiration-index substrate, rows with expiration
+times), and every materialised view (definition via
+:mod:`repro.core.algebra.serde`, plus its maintenance policy and patch
+limit).  Loading replays the snapshot into a fresh
 :class:`~repro.engine.database.Database`, re-materialising the views at
 the restored clock time.
 
+Snapshots are written *crash-safely*: :func:`save_database` writes to a
+temporary file in the target directory and atomically ``os.replace``\\ s it
+into place, so a crash mid-save can never leave a torn snapshot -- readers
+see either the old complete snapshot or the new complete snapshot.
+
 Not captured (they hold Python callables): triggers, constraints, and
-incremental-view subscriptions -- re-register them after loading.  Values
-must be JSON-representable (int / float / str / bool / null), which is the
-attribute domain every workload in this repository uses.
+incremental-view subscriptions -- re-register them after loading.  The
+expiration-index substrate *is* captured for the factories shipped with
+the engine (the binary heap and the timer wheel); a custom factory is
+dropped with a warning.  Values must be JSON-representable (int / float /
+str / bool / null), which is the attribute domain every workload in this
+repository uses.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.algebra.serde import expression_from_dict, expression_to_dict
 from repro.core.timestamps import ts
 from repro.engine.database import Database
-from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.expiration_index import ExpirationIndex, RemovalPolicy
+from repro.engine.table import Table
+from repro.engine.timer_wheel import TimerWheelIndex
 from repro.engine.views import MaintenancePolicy
 from repro.errors import EngineError
 
-__all__ = ["database_to_dict", "database_from_dict", "save_database", "load_database"]
+__all__ = [
+    "INDEX_FACTORIES",
+    "database_to_dict",
+    "database_from_dict",
+    "save_database",
+    "load_database",
+    "table_spec",
+    "view_spec",
+    "restore_table",
+    "restore_views",
+]
 
 _FORMAT_VERSION = 1
 _JSON_SCALARS = (int, float, str, bool, type(None))
 
+#: The expiration-index substrates a snapshot can name.  ``None`` in a
+#: table spec means the default (binary heap).
+INDEX_FACTORIES = {
+    "heap": ExpirationIndex,
+    "timer_wheel": TimerWheelIndex,
+}
 
-def database_to_dict(db: Database) -> Dict[str, Any]:
-    """The snapshot as a plain dict (see module docs for what's included)."""
-    tables = []
-    for name in db.table_names():
-        table = db.table(name)
+
+def _index_factory_name(table: Table) -> Optional[str]:
+    """The persistable name of a table's index factory (None = default)."""
+    factory = table.index_factory
+    if factory is None:
+        return None
+    for name, known in INDEX_FACTORIES.items():
+        if factory is known:
+            return name
+    warnings.warn(
+        f"table {table.name!r}: index_factory {factory!r} is not one of the "
+        f"persistable substrates {sorted(INDEX_FACTORIES)}; the snapshot "
+        f"will restore the default heap index",
+        stacklevel=3,
+    )
+    return None
+
+
+def _resolve_index_factory(name: Optional[str]):
+    if name is None:
+        return None
+    try:
+        return INDEX_FACTORIES[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown index_factory {name!r} in snapshot "
+            f"(known: {sorted(INDEX_FACTORIES)})"
+        ) from None
+
+
+def table_spec(table: Table, include_rows: bool = True) -> Dict[str, Any]:
+    """A table's persistable definition (shared by snapshots and WAL DDL)."""
+    spec: Dict[str, Any] = {
+        "name": table.name,
+        "columns": list(table.schema.names),
+        "removal_policy": table.removal_policy.value,
+        "lazy_batch_size": table.lazy_batch_size,
+    }
+    factory_name = _index_factory_name(table)
+    if factory_name is not None:
+        spec["index_factory"] = factory_name
+    if getattr(table, "partitions", None) is not None:
+        spec["partitions"] = table.partitions
+        spec["partition_key"] = table.partition_key
+    if include_rows:
         rows = []
         for row, texp in table.relation.items():
             for value in row:
                 if not isinstance(value, _JSON_SCALARS):
                     raise EngineError(
-                        f"cannot snapshot non-JSON value {value!r} in table {name!r}"
+                        f"cannot snapshot non-JSON value {value!r} in "
+                        f"table {table.name!r}"
                     )
-            rows.append([list(row), None if texp.is_infinite else texp.value])
-        spec = {
-            "name": name,
-            "columns": list(table.schema.names),
-            "removal_policy": table.removal_policy.value,
-            "lazy_batch_size": table.lazy_batch_size,
-            "rows": rows,
-        }
-        if getattr(table, "partitions", None) is not None:
-            spec["partitions"] = table.partitions
-            spec["partition_key"] = table.partition_key
-        tables.append(spec)
-    views = []
-    for name in db.view_names():
-        view = db.view(name)
-        views.append(
-            {
-                "name": name,
-                "policy": view.policy.value,
-                "expression": expression_to_dict(view.expression),
-            }
-        )
+            rows.append(
+                [list(row), None if texp.is_infinite else texp.value]
+            )
+        spec["rows"] = rows
+    return spec
+
+
+def view_spec(view) -> Dict[str, Any]:
+    """A view's persistable definition (shared by snapshots and WAL DDL)."""
+    spec = {
+        "name": view.name,
+        "policy": view.policy.value,
+        "expression": expression_to_dict(view.expression),
+    }
+    if view.patch_limit is not None:
+        spec["patch_limit"] = view.patch_limit
+    return spec
+
+
+def database_to_dict(db: Database) -> Dict[str, Any]:
+    """The snapshot as a plain dict (see module docs for what's included)."""
+    tables = [table_spec(db.table(name)) for name in db.table_names()]
+    views = [view_spec(db.view(name)) for name in db.view_names()]
     return {
         "format": _FORMAT_VERSION,
         "now": db.now.value,
@@ -74,38 +146,84 @@ def database_to_dict(db: Database) -> Dict[str, Any]:
     }
 
 
-def database_from_dict(data: Dict[str, Any]) -> Database:
-    """Rebuild a database from a snapshot dict."""
-    if data.get("format") != _FORMAT_VERSION:
-        raise EngineError(f"unsupported snapshot format {data.get('format')!r}")
-    db = Database(start_time=data["now"])
-    for spec in data["tables"]:
-        table = db.create_table(
-            spec["name"],
-            spec["columns"],
-            removal_policy=RemovalPolicy(spec["removal_policy"]),
-            lazy_batch_size=spec.get("lazy_batch_size", 64),
-            partitions=spec.get("partitions"),
-            partition_key=spec.get("partition_key"),
-        )
-        for values, texp in spec["rows"]:
-            # Bypass the "already expired" insert guard: a lazy-policy
-            # snapshot may legitimately contain expired-but-unreclaimed
-            # tuples that the next vacuum will process.
-            table.relation.insert(tuple(values), expires_at=ts(texp))
-            table._index.schedule(tuple(values), ts(texp))
-    for spec in data["views"]:
+def restore_table(db: Database, spec: Dict[str, Any]) -> Table:
+    """Create and fill one table from its snapshot spec."""
+    table = db.create_table(
+        spec["name"],
+        spec["columns"],
+        removal_policy=RemovalPolicy(spec["removal_policy"]),
+        lazy_batch_size=spec.get("lazy_batch_size", 64),
+        partitions=spec.get("partitions"),
+        partition_key=spec.get("partition_key"),
+        index_factory=_resolve_index_factory(spec.get("index_factory")),
+    )
+    for values, texp in spec.get("rows", ()):
+        # Bypass the "already expired" insert guard: a lazy-policy
+        # snapshot may legitimately contain expired-but-unreclaimed
+        # tuples that the next vacuum will process.
+        table.relation.insert(tuple(values), expires_at=ts(texp))
+        table._index.schedule(tuple(values), ts(texp))
+    return table
+
+
+def restore_views(db: Database, specs: List[Dict[str, Any]]) -> None:
+    """Re-materialise views from their snapshot specs."""
+    for spec in specs:
         db.materialise(
             spec["name"],
             expression_from_dict(spec["expression"]),
             policy=MaintenancePolicy(spec["policy"]),
+            patch_limit=spec.get("patch_limit"),
         )
+
+
+def database_from_dict(
+    data: Dict[str, Any],
+    include_views: bool = True,
+    **db_kwargs: Any,
+) -> Database:
+    """Rebuild a database from a snapshot dict.
+
+    ``db_kwargs`` are forwarded to the :class:`Database` constructor
+    (``engine=``, ``check_invariants=``, ...); ``include_views=False``
+    restores tables only, which crash recovery uses so it can replay the
+    log before materialising views.
+    """
+    if data.get("format") != _FORMAT_VERSION:
+        raise EngineError(f"unsupported snapshot format {data.get('format')!r}")
+    db = Database(start_time=data["now"], **db_kwargs)
+    for spec in data["tables"]:
+        restore_table(db, spec)
+    if include_views:
+        restore_views(db, data["views"])
     return db
 
 
 def save_database(db: Database, path: Union[str, Path]) -> None:
-    """Write a JSON snapshot to ``path``."""
-    Path(path).write_text(json.dumps(database_to_dict(db), indent=1, sort_keys=True))
+    """Write a JSON snapshot to ``path`` atomically.
+
+    The snapshot is serialised to a temporary file in the same directory
+    and moved into place with ``os.replace``, so a crash at any point
+    leaves either the previous snapshot or the new one -- never a torn
+    file.
+    """
+    path = Path(path)
+    payload = json.dumps(database_to_dict(db), indent=1, sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_database(path: Union[str, Path]) -> Database:

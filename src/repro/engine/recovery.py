@@ -1,0 +1,288 @@
+"""Crash recovery: snapshot load + expiration-aware log replay.
+
+:func:`recover_database` rebuilds a :class:`~repro.engine.database.Database`
+from a WAL directory (see :mod:`repro.engine.wal`):
+
+1. **Snapshot.**  Load ``snapshot.json`` if present (tables only -- views
+   wait until the log is replayed).  Snapshots are written atomically, so
+   one is either absent or complete.
+2. **Torn tail.**  Scan the log; if a crash tore the final record (short
+   frame, short payload, CRC mismatch, garbage), truncate the file back
+   to the last intact frame boundary with a warning -- never crash.
+3. **Replay through the expiration model.**  Records apply in order:
+   ``clock`` records advance the engine clock (re-driving expiration
+   sweeps exactly as the live run drove them), DDL re-creates tables, and
+   physical records restore row state.  The expiration-time asymmetry
+   does the classical redo log one better: an ``upsert`` whose expiration
+   is already ``<= `` the *final* recovered clock is **skipped** -- its
+   tuple could only ever be dead weight (it is erased instead, in case an
+   older incarnation survives from the snapshot).
+4. **Roll back in-flight transactions.**  A ``begin`` with no ``commit``/
+   ``abort`` bracket was applying at the crash; its physical records are
+   undone newest-first through :meth:`Table.undo_insert` /
+   :meth:`Table.undo_delete` -- the same audited rollback paths live
+   aborts use -- restoring each row's logged pre-state.
+5. **Re-materialise views.**  View definitions come from the snapshot and
+   ``create_view``/``drop_view`` records; their content is always
+   recomputed from the recovered base tables (never logged).
+6. **Audit.**  ``Database.verify(strict=True, deep=True)`` must pass
+   before the database is handed back (disable with ``verify=False``).
+
+The recovered database adopts the log for subsequent appends, so
+``recover_database`` composes: crash, recover, keep writing, crash again.
+
+Replay is idempotent by construction -- ``upsert`` records carry the
+*resulting* absolute expiration, not a delta -- which is what makes the
+checkpoint race benign: a crash between writing ``snapshot.json`` and
+truncating the log replays pre-snapshot records on top of the snapshot
+without changing the outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.engine.database import Database
+from repro.engine.wal import (
+    WalRecord,
+    WriteAheadLog,
+    declare_wal_families,
+    decode_exp,
+    decode_prev,
+)
+from repro.errors import RecoveryError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["RecoveryReport", "recover_database"]
+
+
+class RecoveryReport:
+    """What one recovery did (attached as ``db.last_recovery``)."""
+
+    def __init__(self) -> None:
+        self.snapshot_loaded = False
+        self.records_replayed = 0
+        self.records_skipped_expired = 0
+        self.torn_tail_truncated = False
+        self.transactions_rolled_back = 0
+        self.seconds = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryReport(snapshot={self.snapshot_loaded}, "
+            f"replayed={self.records_replayed}, "
+            f"skipped_expired={self.records_skipped_expired}, "
+            f"torn={self.torn_tail_truncated}, "
+            f"rolled_back={self.transactions_rolled_back}, "
+            f"seconds={self.seconds:.4f})"
+        )
+
+
+def _final_time(db: Database, records: List[WalRecord]) -> int:
+    """The clock value recovery will end at (snapshot time or last advance)."""
+    final = db.now.value
+    for record in records:
+        if record.kind == "clock" and record["now"] > final:
+            final = record["now"]
+    return final
+
+
+def _replay_physical(
+    db: Database, record: WalRecord, final_time: int
+) -> bool:
+    """Apply one upsert/remove; returns True if skipped-as-expired.
+
+    State is written at the relation/index level (the same trusted path
+    snapshot restore uses): listener and data-version side effects are
+    pointless here -- views materialise after replay and the plan cache
+    of a fresh database is empty.
+    """
+    if not db.has_table(record["table"]):
+        # Pre-snapshot record for a table dropped before the snapshot
+        # (checkpoint-race replay); the drop supersedes it.
+        return False
+    table = db.table(record["table"])
+    row = tuple(record["row"])
+    if record.kind == "remove":
+        table.relation.delete(row)
+        table._index.remove(row)
+        return False
+    texp = decode_exp(record["texp"])
+    if texp.is_finite and texp.value <= final_time:
+        # Already past its expiration at recovery time: never apply it.
+        # Erase instead of ignore -- an older incarnation of the row may
+        # survive from the snapshot and must not outlive this state.
+        table.relation.delete(row)
+        table._index.remove(row)
+        return True
+    table.relation.override(row, texp)
+    table._index.schedule(row, texp)
+    return False
+
+
+def _rollback_open_transactions(
+    db: Database,
+    open_txns: "Dict[int, List[WalRecord]]",
+) -> int:
+    """Undo every unbracketed transaction's records, newest first."""
+    undone = 0
+    for txn_id in sorted(open_txns, reverse=True):
+        for record in reversed(open_txns[txn_id]):
+            if not db.has_table(record["table"]):
+                continue
+            table = db.table(record["table"])
+            row = tuple(record["row"])
+            previous = decode_prev(record["prev"])
+            if record.kind == "upsert":
+                table.undo_insert(row, previous)
+            else:
+                # ``remove`` records always have a concrete previous state
+                # (a delete of an absent row is never logged).
+                table.undo_delete(row, previous)
+        undone += 1
+    return undone
+
+
+def recover_database(
+    wal_dir: Union[str, Path],
+    fsync: str = "commit",
+    verify: bool = True,
+    **db_kwargs: Any,
+) -> Database:
+    """Rebuild the database persisted in ``wal_dir`` and re-attach its log.
+
+    ``db_kwargs`` are forwarded to :class:`Database` (``engine=``,
+    ``check_invariants=``, ``metrics=``, ...).  The returned database has
+    the recovered WAL attached (subsequent mutations append to it) and a
+    :class:`RecoveryReport` as ``db.last_recovery``.
+
+    Raises :class:`~repro.errors.RecoveryError` if the directory's state
+    is unusable (unreadable snapshot) or, with ``verify=True`` (default),
+    if the recovered database fails its deep invariant audit.
+    """
+    wal_dir = Path(wal_dir)
+    if "start_time" in db_kwargs:
+        raise RecoveryError("start_time comes from the recovered state")
+    registry = db_kwargs.get("metrics")
+    if registry is None:
+        registry = MetricsRegistry()
+        db_kwargs["metrics"] = registry
+    families = declare_wal_families(registry)
+    report = RecoveryReport()
+    started = time.perf_counter()
+
+    wal = WriteAheadLog(wal_dir, fsync=fsync, registry=registry)
+    # truncate_torn_tail counts into repro_wal_torn_tails_total itself.
+    report.torn_tail_truncated = wal.truncate_torn_tail()
+    records = wal.records()
+
+    snapshot_data: Optional[Dict[str, Any]] = None
+    if wal.snapshot_path.exists():
+        try:
+            snapshot_data = json.loads(wal.snapshot_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise RecoveryError(
+                f"unreadable snapshot {wal.snapshot_path}: {error}"
+            ) from error
+
+    from repro.engine.persistence import (
+        database_from_dict,
+        restore_table,
+        restore_views,
+    )
+
+    if snapshot_data is not None:
+        db = database_from_dict(
+            snapshot_data, include_views=False, **db_kwargs
+        )
+        view_specs: List[Dict[str, Any]] = list(
+            snapshot_data.get("views", ())
+        )
+        report.snapshot_loaded = True
+    else:
+        db = Database(**db_kwargs)
+        view_specs = []
+
+    final_time = _final_time(db, records)
+    open_txns: Dict[int, List[WalRecord]] = {}
+    for record in records:
+        kind = record.kind
+        report.records_replayed += 1
+        if kind == "clock":
+            if record["now"] > db.now.value:
+                db.advance_to(record["now"])
+        elif kind in ("upsert", "remove"):
+            skipped = _replay_physical(db, record, final_time)
+            if skipped:
+                report.records_skipped_expired += 1
+                families["skipped"].inc()
+            txn = record.get("txn")
+            if txn is not None and txn in open_txns:
+                open_txns[txn].append(record)
+        elif kind == "begin":
+            open_txns[record["txn"]] = []
+        elif kind in ("commit", "abort"):
+            open_txns.pop(record["txn"], None)
+        elif kind == "create_table":
+            if not db.has_table(record["spec"]["name"]):
+                restore_table(db, record["spec"])
+        elif kind == "drop_table":
+            if db.has_table(record["name"]):
+                # Views over the table cannot exist yet (materialisation
+                # is deferred), but their pending specs must go too.
+                view_specs = [
+                    spec for spec in view_specs
+                    if record["name"] not in _spec_base_names(spec)
+                ]
+                db.drop_table(record["name"])
+        elif kind == "create_view":
+            view_specs = [
+                spec for spec in view_specs
+                if spec["name"] != record["spec"]["name"]
+            ]
+            view_specs.append(record["spec"])
+        elif kind == "drop_view":
+            view_specs = [
+                spec for spec in view_specs
+                if spec["name"] != record["name"]
+            ]
+        else:
+            warnings.warn(
+                f"skipping unknown WAL record kind {kind!r} "
+                f"(written by a newer version?)",
+                stacklevel=2,
+            )
+    families["recovery_records"].inc(report.records_replayed)
+
+    if open_txns:
+        report.transactions_rolled_back = _rollback_open_transactions(
+            db, open_txns
+        )
+
+    restore_views(db, view_specs)
+
+    report.seconds = time.perf_counter() - started
+    families["recovery_seconds"].observe(report.seconds)
+    db.last_recovery = report
+
+    if verify:
+        try:
+            db.verify(strict=True, deep=True)
+        except Exception as error:
+            raise RecoveryError(
+                f"recovered database failed its invariant audit: {error}"
+            ) from error
+
+    db._attach_wal(wal)
+    return db
+
+
+def _spec_base_names(spec: Dict[str, Any]) -> Tuple[str, ...]:
+    """Base tables a persisted view definition references."""
+    from repro.core.algebra.serde import expression_from_dict
+
+    return tuple(expression_from_dict(spec["expression"]).base_names())

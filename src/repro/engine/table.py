@@ -30,6 +30,7 @@ from repro.engine.clock import LogicalClock
 from repro.engine.expiration_index import ExpirationIndex, RemovalPolicy
 from repro.engine.statistics import EngineStatistics
 from repro.engine.triggers import TriggerManager
+from repro.engine.wal import encode_exp, encode_prev
 from repro.errors import EngineError, RelationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
@@ -137,8 +138,15 @@ class Table:
             except Exception:
                 self.statistics.constraint_violations += 1
                 raise
+        logging = self.database is not None and self.database.wal is not None
+        previous = self.relation.expiration_or_none(row) if logging else None
         stored = self.relation.insert(row, expires_at=stamp)
         self._index.schedule(stored.row, stored.expires_at)
+        if logging:
+            # The *resulting* (post-max-merge) expiration is logged, so a
+            # replayed record restores the exact stored state; ``prev`` is
+            # what transaction rollback at recovery restores.
+            self._wal_physical("upsert", row, stored.expires_at, previous)
         self.statistics.inserts += 1
         if self.database is not None:
             # Unpredictable mutation: cached evaluation results are stale.
@@ -151,9 +159,13 @@ class Table:
     def delete(self, values: Iterable[Any]) -> bool:
         """Explicit delete (the traditional path expiration times replace)."""
         row = make_row(values)
+        logging = self.database is not None and self.database.wal is not None
+        previous = self.relation.expiration_or_none(row) if logging else None
         removed = self.relation.delete(row)
         if removed:
             self._index.remove(row)
+            if logging:
+                self._wal_physical("remove", row, None, previous)
             self.statistics.explicit_deletes += 1
             if self.database is not None:
                 self.database.note_data_change()
@@ -179,12 +191,18 @@ class Table:
         results, and materialised views that never learn the row changed.
         """
         row = make_row(values)
+        logging = self.database is not None and self.database.wal is not None
+        current = self.relation.expiration_or_none(row) if logging else None
         if previous is None:
             self.relation.delete(row)
             self._index.remove(row)
+            if logging and current is not None:
+                self._wal_physical("remove", row, None, current)
         else:
             self.relation.override(row, previous)
             self._index.schedule(row, previous)
+            if logging:
+                self._wal_physical("upsert", row, previous, current)
         if self.database is not None:
             self.database.note_data_change()
         for listener in self.delete_listeners:
@@ -194,8 +212,12 @@ class Table:
     def undo_delete(self, values: Iterable[Any], previous: Timestamp) -> None:
         """Roll back an explicit delete: restore the row and its index entry."""
         row = make_row(values)
+        logging = self.database is not None and self.database.wal is not None
+        current = self.relation.expiration_or_none(row) if logging else None
         restored = self.relation.override(row, previous)
         self._index.schedule(row, previous)
+        if logging:
+            self._wal_physical("upsert", row, previous, current)
         if self.database is not None:
             self.database.note_data_change()
         for listener in self.insert_listeners:
@@ -269,6 +291,33 @@ class Table:
     def vacuum(self, now: Optional[TimeLike] = None) -> int:
         """Batch reclamation under lazy removal (alias of the eager path)."""
         return self.process_expirations(now)
+
+    # -- durability hooks --------------------------------------------------------------
+
+    def _wal_physical(
+        self,
+        kind: str,
+        row: Row,
+        texp: Optional[Timestamp],
+        previous: Optional[Timestamp],
+    ) -> None:
+        """Append one physical WAL record for a mutation on this table.
+
+        ``texp`` is the resulting stored expiration (``None`` only for
+        ``remove`` records); ``previous`` is the row's pre-mutation state,
+        which is what lets recovery roll an in-flight transaction back
+        through :meth:`undo_insert` / :meth:`undo_delete`.  Partitioned
+        tables inherit this unchanged: records are routed into the
+        database's single log and re-sharded by the relation at replay.
+        """
+        fields = {
+            "table": self.name,
+            "row": list(row),
+            "prev": encode_prev(previous),
+        }
+        if kind == "upsert":
+            fields["texp"] = encode_exp(texp)
+        self.database._wal_append(kind, **fields)
 
     # -- invariant hooks ---------------------------------------------------------------
 

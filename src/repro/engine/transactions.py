@@ -89,8 +89,23 @@ class Transaction:
     # -- lifecycle -------------------------------------------------------------
 
     def commit(self) -> None:
-        """Apply all buffered operations; undo everything on any failure."""
+        """Apply all buffered operations; undo everything on any failure.
+
+        With a write-ahead log attached, the whole apply is bracketed by
+        ``begin``/``commit`` records and every physical record carries the
+        transaction id; a crash mid-apply leaves the bracket open, and
+        recovery rolls the partial work back through the same
+        ``undo_insert``/``undo_delete`` paths :meth:`_undo` uses live.
+        The ``commit`` record is the durability point (fsynced under the
+        ``"commit"`` policy).
+        """
         self._check_active()
+        wal = self.database.wal
+        txn_id: Optional[int] = None
+        if wal is not None:
+            txn_id = wal.next_txn_id()
+            wal.append("begin", txn=txn_id)
+            self.database._wal_txn = txn_id
         undo: List[Tuple[str, str, Row, Optional[Timestamp]]] = []
         try:
             for op in self._ops:
@@ -105,9 +120,15 @@ class Transaction:
                         undo.append(("delete", op.table, op.row, previous))
         except Exception:
             self._undo(undo)
+            if wal is not None:
+                self.database._wal_txn = None
+                wal.append("abort", txn=txn_id)
             self.state = TransactionState.ABORTED
             self.database.statistics.transactions_aborted += 1
             raise
+        if wal is not None:
+            self.database._wal_txn = None
+            wal.append("commit", txn=txn_id, sync=True)
         self.state = TransactionState.COMMITTED
         self.database.statistics.transactions_committed += 1
 

@@ -97,6 +97,11 @@ class MaterialisedView:
         # are monotone).
         self._materialise(database.clock.now)
 
+    @property
+    def patch_limit(self) -> Optional[int]:
+        """The configured patch-queue bound (PATCH policy), or ``None``."""
+        return self._patch_limit
+
     def _on_base_mutation(self, table, payload) -> None:
         self._stale = True
 

@@ -1,0 +1,503 @@
+"""An expiration-aware append-only write-ahead log.
+
+Durability in an expiration-enabled engine has one structural advantage
+over a classical WAL, and this module is built around it: a log record
+whose tuple is already past its ``texp`` at recovery (or compaction) time
+never needs to be applied (or kept) -- expiration replaces the explicit
+deletes that a classical log must retain and replay.  This is the
+short-lived-data log-compaction analysis of the paper's companion report
+("Efficient Management of Short-Lived Data"), turned into code.
+
+Physical format
+---------------
+
+The log is a single append-only file of *frames*::
+
+    +----------------+----------------+------------------+
+    | length (u32 BE)| crc32 (u32 BE) | payload (length) |
+    +----------------+----------------+------------------+
+
+The payload is one JSON object (compact separators, sorted keys) -- the
+same value domain the snapshot format already imposes.  A reader stops at
+the first frame whose header is short, whose payload is short, or whose
+CRC mismatches: everything before that point is trusted, everything from
+it on is a *torn tail* left by a crash mid-append and is truncated away by
+recovery (warn-and-truncate, never crash).
+
+Logical records (the ``kind`` field of each payload):
+
+``upsert``   row state after an insert/renewal/undo-restore: table, row,
+             resulting (post-max-merge) expiration, and the row's previous
+             expiration state (for transaction rollback at recovery);
+``remove``   row explicitly deleted (or un-inserted by a rollback);
+``clock``    the logical clock advanced -- replay re-drives expiration
+             processing through the engine, so expired tuples drop out of
+             recovery exactly as they dropped out of the live run;
+``begin`` / ``commit`` / ``abort``
+             transaction brackets; physical records carry the transaction
+             id.  A transaction with no closing bracket at the end of the
+             log was in flight at the crash and is rolled back at
+             recovery via the ``undo_insert`` / ``undo_delete`` paths;
+``create_table`` / ``drop_table`` / ``create_view`` / ``drop_view``
+             DDL.  Views are *re-materialised* at recovery -- their
+             content is never logged, only their definition.
+
+Fsync policy
+------------
+
+``"always"`` fsyncs every append, ``"commit"`` (the default) fsyncs on
+transaction commits, checkpoints, and :meth:`WriteAheadLog.sync`,
+``"never"`` only flushes to the OS (sufficient against process crashes,
+not power loss).  Every append is flushed to the OS regardless, so a
+simulated crash -- dropping the Python process's state -- loses nothing
+that was acknowledged.
+
+Compaction
+----------
+
+:meth:`WriteAheadLog.compact` rewrites the log in place (atomically, via
+a temp file and ``os.replace``) keeping only what recovery still needs:
+
+* the final physical record per ``(table, row)`` -- earlier records are
+  *superseded*;
+* ...and only if that final state can still matter: an ``upsert`` whose
+  expiration is ``<= now`` is dropped outright when the base snapshot
+  does not contain the row (it was born and died entirely within the
+  log), or demoted to a ``remove`` when it does;
+* all DDL records, in order;
+* a single trailing ``clock`` record at the current time, replacing every
+  intermediate advance (recovery replays no triggers, so intermediate
+  expiration processing is unobservable);
+* no transaction brackets -- compaction refuses to run while a
+  transaction is open, so every bracket is resolved.
+
+Metrics land in the ``repro_wal_*`` families
+(:func:`declare_wal_families`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import warnings
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.timestamps import Timestamp, ts
+from repro.errors import WalError
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalRecord",
+    "WriteAheadLog",
+    "declare_wal_families",
+    "decode_exp",
+    "decode_prev",
+    "encode_exp",
+    "encode_prev",
+    "scan_log",
+]
+
+_HEADER = struct.Struct(">II")  # (payload length, crc32)
+#: Sanity bound on a single frame; a length field beyond this is treated
+#: as torn-tail garbage rather than an allocation request.
+_MAX_FRAME = 64 * 1024 * 1024
+
+FSYNC_POLICIES = ("always", "commit", "never")
+
+#: Record kinds that mutate row state (and may carry a ``txn`` tag).
+PHYSICAL_KINDS = ("upsert", "remove")
+#: Record kinds that bracket transactions.
+TXN_KINDS = ("begin", "commit", "abort")
+#: Record kinds that replay as DDL.
+DDL_KINDS = ("create_table", "drop_table", "create_view", "drop_view")
+
+
+def declare_wal_families(registry):
+    """Idempotently register the ``repro_wal_*`` metric families.
+
+    Returns a dict of the families; safe to call repeatedly against the
+    same registry (families are shared, like every other subsystem's).
+    """
+    return {
+        "bytes": registry.counter(
+            "repro_wal_bytes_appended_total",
+            "Bytes appended to the write-ahead log (frames incl. headers).",
+        ),
+        "records": registry.counter(
+            "repro_wal_records_total",
+            "Records appended to the write-ahead log, by kind.",
+            labels=("kind",),
+        ),
+        "fsyncs": registry.counter(
+            "repro_wal_fsyncs_total",
+            "fsync() calls issued by the write-ahead log.",
+        ),
+        "skipped": registry.counter(
+            "repro_wal_records_skipped_expired_total",
+            "Replayed records skipped because the tuple was already past "
+            "its expiration time at recovery.",
+        ),
+        "torn": registry.counter(
+            "repro_wal_torn_tails_total",
+            "Torn log tails truncated during recovery.",
+        ),
+        "compaction_kept": registry.counter(
+            "repro_wal_compaction_records_kept_total",
+            "Records surviving log compaction.",
+        ),
+        "compaction_dropped": registry.counter(
+            "repro_wal_compaction_records_dropped_total",
+            "Records dropped by log compaction, by reason "
+            "(expired / superseded / collapsed).",
+            labels=("reason",),
+        ),
+        "compaction_ratio": registry.gauge(
+            "repro_wal_compaction_drop_ratio",
+            "Fraction of records dropped by the most recent compaction.",
+        ),
+        "recovery_seconds": registry.histogram(
+            "repro_wal_recovery_seconds",
+            "Wall time of crash recoveries (snapshot load + log replay).",
+        ),
+        "recovery_records": registry.counter(
+            "repro_wal_recovery_records_replayed_total",
+            "Log records replayed by crash recoveries.",
+        ),
+    }
+
+
+class WalRecord(dict):
+    """One decoded log record: a dict with attribute sugar for ``kind``."""
+
+    @property
+    def kind(self) -> str:
+        return self["kind"]
+
+
+def encode_exp(stamp: Timestamp) -> Optional[int]:
+    """JSON encoding of an expiration: ``None`` = never expires."""
+    return None if stamp.is_infinite else stamp.value
+
+
+def decode_exp(value: Optional[int]) -> Timestamp:
+    return ts(value)
+
+
+def encode_prev(stamp: Optional[Timestamp]) -> Union[str, int, None]:
+    """JSON encoding of a row's *previous* state: ``"absent"`` = no row."""
+    if stamp is None:
+        return "absent"
+    return encode_exp(stamp)
+
+
+def decode_prev(value: Union[str, int, None]) -> Optional[Timestamp]:
+    if value == "absent":
+        return None
+    return ts(value)
+
+
+def _encode_frame(payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(
+        payload, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def scan_log(path: Union[str, Path]) -> Tuple[List[WalRecord], int, bool]:
+    """Decode every trustworthy frame in ``path``.
+
+    Returns ``(records, valid_length, torn)``: the decoded records, the
+    byte offset of the last fully-verified frame boundary, and whether
+    anything (a torn final record, garbage, a CRC mismatch) follows it.
+    Never raises on malformed data -- a crash can tear a frame at any
+    byte, and recovery's contract is truncate-and-warn, not crash.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0, False
+    blob = path.read_bytes()
+    records: List[WalRecord] = []
+    offset = 0
+    total = len(blob)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(blob, offset)
+        if length > _MAX_FRAME:
+            return records, offset, True
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            return records, offset, True  # torn payload
+        body = blob[start:end]
+        if zlib.crc32(body) != crc:
+            return records, offset, True  # corrupt frame
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, offset, True
+        if not isinstance(payload, dict) or "kind" not in payload:
+            return records, offset, True
+        records.append(WalRecord(payload))
+        offset = end
+    return records, offset, offset != total
+
+
+class WriteAheadLog:
+    """The append-only log for one database, living in ``directory``.
+
+    Layout: ``directory/wal.log`` (the active segment) next to
+    ``directory/snapshot.json`` (the most recent checkpoint, written
+    atomically by :func:`~repro.engine.persistence.save_database`).  The
+    segment holds everything since the last checkpoint; a checkpoint
+    truncates it.
+    """
+
+    LOG_NAME = "wal.log"
+    SNAPSHOT_NAME = "snapshot.json"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fsync: str = "commit",
+        registry=None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self._families = (
+            declare_wal_families(registry) if registry is not None else None
+        )
+        self._file = open(self.log_path, "ab")
+        #: Monotone transaction-id source for this process's appends.
+        self._txn_counter = self._seed_txn_counter()
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def log_path(self) -> Path:
+        return self.directory / self.LOG_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / self.SNAPSHOT_NAME
+
+    def _seed_txn_counter(self) -> int:
+        # Continue past any txn id already in the log so recovery can never
+        # confuse a pre-crash transaction with a post-recovery one.
+        records, _, _ = scan_log(self.log_path)
+        highest = 0
+        for record in records:
+            txn = record.get("txn")
+            if txn is not None and txn > highest:
+                highest = txn
+        return highest
+
+    def next_txn_id(self) -> int:
+        self._txn_counter += 1
+        return self._txn_counter
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, kind: str, sync: bool = False, **fields) -> None:
+        """Append one record; flushed to the OS before returning.
+
+        ``sync=True`` forces an fsync regardless of policy (used by
+        transaction commits under the ``"commit"`` policy).
+        """
+        if self._file.closed:
+            raise WalError("write-ahead log is closed")
+        payload = {"kind": kind, **fields}
+        frame = _encode_frame(payload)
+        self._file.write(frame)
+        self._file.flush()
+        if self.fsync_policy == "always" or (
+            sync and self.fsync_policy == "commit"
+        ):
+            os.fsync(self._file.fileno())
+            if self._families is not None:
+                self._families["fsyncs"].inc()
+        if self._families is not None:
+            self._families["bytes"].inc(len(frame))
+            self._families["records"].labels(kind).inc()
+
+    def sync(self) -> None:
+        """Flush and (policy permitting) fsync the log."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self.fsync_policy != "never":
+            os.fsync(self._file.fileno())
+            if self._families is not None:
+                self._families["fsyncs"].inc()
+
+    def close(self) -> None:
+        """Flush and close the log file (idempotent)."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> List[WalRecord]:
+        """Every trustworthy record currently in the segment."""
+        self._file.flush()
+        records, _, _ = scan_log(self.log_path)
+        return records
+
+    def truncate_torn_tail(self) -> bool:
+        """Drop any torn tail; returns whether anything was truncated."""
+        self._file.flush()
+        records, valid, torn = scan_log(self.log_path)
+        if not torn:
+            return False
+        warnings.warn(
+            f"write-ahead log {self.log_path} has a torn tail after byte "
+            f"{valid} ({len(records)} intact record(s)); truncating",
+            stacklevel=2,
+        )
+        self._file.close()
+        with open(self.log_path, "r+b") as fh:
+            fh.truncate(valid)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._file = open(self.log_path, "ab")
+        if self._families is not None:
+            self._families["torn"].inc()
+        return True
+
+    # -- checkpointing -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Empty the segment (called after a checkpoint made it redundant)."""
+        self._file.close()
+        with open(self.log_path, "wb") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._file = open(self.log_path, "ab")
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(
+        self,
+        now: int,
+        base_rows: Optional[Set[Tuple[str, tuple]]] = None,
+    ) -> Dict[str, int]:
+        """Rewrite the segment dropping expired and superseded records.
+
+        ``now`` is the current logical time (finite int); ``base_rows`` is
+        the set of ``(table, row)`` pairs present in the base snapshot --
+        an expired final ``upsert`` is dropped outright when its row is
+        not in the base, demoted to a ``remove`` when it is (the base copy
+        must still be erased at replay).  Refuses (returns zero counts)
+        while a transaction is open in the log.
+
+        Returns a stats dict: ``kept``, ``expired``, ``superseded``,
+        ``collapsed`` (clock + bracket records), ``demoted``.
+        """
+        base_rows = base_rows if base_rows is not None else set()
+        self._file.flush()
+        records, _, torn = scan_log(self.log_path)
+        if torn:
+            raise WalError(
+                "refusing to compact a log with a torn tail; run recovery "
+                "(or truncate_torn_tail) first"
+            )
+        stats = {
+            "kept": 0, "expired": 0, "superseded": 0,
+            "collapsed": 0, "demoted": 0,
+        }
+        open_txns: Set[int] = set()
+        for record in records:
+            kind = record["kind"]
+            if kind == "begin":
+                open_txns.add(record["txn"])
+            elif kind in ("commit", "abort"):
+                open_txns.discard(record["txn"])
+        if open_txns:
+            return stats
+
+        # Index of the final physical record per (table, row).  A physical
+        # record always precedes any drop of its table (the engine cannot
+        # write into a dropped table), so keeping only the globally-final
+        # record per row is replay-safe even across drop/re-create pairs.
+        final_index: Dict[Tuple[str, tuple], int] = {}
+        for i, record in enumerate(records):
+            if record["kind"] in PHYSICAL_KINDS:
+                final_index[(record["table"], tuple(record["row"]))] = i
+
+        kept: List[Dict[str, Any]] = []
+        for i, record in enumerate(records):
+            kind = record["kind"]
+            if kind in DDL_KINDS:
+                kept.append(dict(record))
+                stats["kept"] += 1
+                continue
+            if kind == "clock" or kind in TXN_KINDS:
+                stats["collapsed"] += 1
+                continue
+            # Physical record.
+            key = (record["table"], tuple(record["row"]))
+            if final_index[key] != i:
+                stats["superseded"] += 1
+                continue
+            if kind == "upsert":
+                texp = record["texp"]
+                if texp is not None and texp <= now:
+                    if key in base_rows:
+                        demoted = {
+                            "kind": "remove",
+                            "table": record["table"],
+                            "row": record["row"],
+                        }
+                        kept.append(demoted)
+                        stats["demoted"] += 1
+                        stats["kept"] += 1
+                    else:
+                        stats["expired"] += 1
+                    continue
+            # A kept record must not resurrect its transaction bracket:
+            # strip the tag (the txn is resolved, so recovery must not
+            # treat the record as in-flight).
+            clean = {k: v for k, v in record.items() if k != "txn"}
+            kept.append(clean)
+            stats["kept"] += 1
+        kept.append({"kind": "clock", "now": now})
+        stats["kept"] += 1
+
+        tmp = self.log_path.with_name(self.log_path.name + ".compact.tmp")
+        with open(tmp, "wb") as fh:
+            for payload in kept:
+                fh.write(_encode_frame(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._file.close()
+        os.replace(tmp, self.log_path)
+        self._file = open(self.log_path, "ab")
+
+        if self._families is not None:
+            self._families["compaction_kept"].inc(stats["kept"])
+            for reason in ("expired", "superseded", "collapsed"):
+                if stats[reason]:
+                    self._families["compaction_dropped"].labels(reason).inc(
+                        stats[reason]
+                    )
+            total = len(records) + 1  # + the appended clock record
+            dropped = (
+                stats["expired"] + stats["superseded"] + stats["collapsed"]
+            )
+            self._families["compaction_ratio"].set(
+                dropped / total if total else 0.0
+            )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, "
+            f"fsync={self.fsync_policy!r})"
+        )

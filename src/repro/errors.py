@@ -84,6 +84,20 @@ class TransactionError(EngineError):
     """Transaction misuse (commit without begin, write after abort...)."""
 
 
+class WalError(EngineError):
+    """Write-ahead-log misuse or an unrecoverable log condition.
+
+    Torn tails are *not* errors (recovery truncates them with a warning);
+    this is for genuine misuse: appending to a closed log, compacting over
+    a torn tail, or opening a fresh :class:`~repro.engine.database.Database`
+    on a directory that needs recovery first.
+    """
+
+
+class RecoveryError(WalError):
+    """Crash recovery could not reconstruct a consistent database."""
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

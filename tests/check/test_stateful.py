@@ -101,6 +101,59 @@ class TestDetection:
         assert "shrunk to" in report.summary()
 
 
+class TestCrashPoints:
+    @pytest.mark.parametrize("policy", ["eager", "lazy"])
+    def test_crash_fuzz_passes(self, policy):
+        report = run_fuzz(202, ops=250, policy=policy, crash_points=True)
+        assert report.ok, report.summary()
+
+    def test_crash_ops_are_generated(self):
+        ops = generate_ops(random.Random(9), 600, crash_points=True)
+        kinds = {op[0] for op in ops}
+        assert {"crash", "checkpoint", "compact"} <= kinds
+        modes = {op[1] for op in ops if op[0] == "crash"}
+        assert modes == {"clean", "torn"}
+
+    def test_generation_without_crash_points_unchanged(self):
+        assert generate_ops(random.Random(7), 200) == generate_ops(
+            random.Random(7), 200, crash_points=False
+        )
+
+    def test_crash_ops_without_wal_rejected(self):
+        failure = _replay([("crash", "clean")], "eager")[1]
+        assert failure is not None
+        assert "crash_points=True" in str(failure)
+
+    def test_recovery_divergence_is_caught(self, monkeypatch):
+        # Break recovery itself: physical records stop applying, so a
+        # crash silently loses committed rows.  The database still passes
+        # its own invariant audit (it is merely emptier), so only the
+        # dict-oracle differential can catch this bug class.
+        from repro.engine import recovery
+
+        monkeypatch.setattr(
+            recovery, "_replay_physical", lambda db, record, final: False
+        )
+        crash_heavy = [
+            ("immortal", "flat", (1, 1)),
+            ("crash", "clean"),
+        ]
+        failure = _replay(crash_heavy, "eager", crash_points=True)[1]
+        assert failure is not None
+        assert failure.op == ("crash", "clean")
+
+    def test_wal_metrics_published(self):
+        registry = MetricsRegistry()
+        report = run_fuzz(
+            202, ops=250, policy="eager", registry=registry,
+            crash_points=True,
+        )
+        assert report.ok, report.summary()
+        text = registry.to_prom_text()
+        assert "repro_wal_bytes_appended_total" in text
+        assert "repro_wal_recovery_seconds" in text
+
+
 class TestCli:
     def test_main_passes(self, capsys):
         from repro.check.__main__ import main

@@ -79,6 +79,77 @@ class TestRoundtrip:
         )
 
 
+class TestIndexFactoryAndViewSettings:
+    """Round-trip regressions for the substrate and view knobs that the
+    snapshot format previously silently dropped."""
+
+    def _partitioned_timer_wheel_db(self):
+        from repro.engine.database import Database
+        from repro.engine.timer_wheel import TimerWheelIndex
+
+        db = Database()
+        db.create_table(
+            "P", ["k", "v"], partitions=3, partition_key="k",
+            index_factory=TimerWheelIndex,
+        )
+        db.create_table("F", ["k", "v"], index_factory=TimerWheelIndex)
+        for key in range(12):
+            db.table("P").insert((key, key % 4), expires_at=10 + key)
+            db.table("F").insert((key, key % 4), expires_at=10 + key)
+        db.materialise(
+            "W", db.table_expr("F").difference(db.table_expr("P")),
+            policy=MaintenancePolicy.PATCH, patch_limit=5,
+        )
+        return db
+
+    def test_index_factory_roundtrip(self):
+        from repro.engine.timer_wheel import TimerWheelIndex
+
+        db = self._partitioned_timer_wheel_db()
+        restored = database_from_dict(database_to_dict(db))
+        assert restored.table("P").index_factory is TimerWheelIndex
+        assert restored.table("F").index_factory is TimerWheelIndex
+        assert restored.table("P").partitions == 3
+        # The restored substrate behaves: expirations still sweep.
+        db.advance_to(15)
+        restored.advance_to(15)
+        assert set(restored.table("P").read().rows()) == set(
+            db.table("P").read().rows()
+        )
+
+    def test_patch_limit_roundtrip(self):
+        db = self._partitioned_timer_wheel_db()
+        restored = database_from_dict(database_to_dict(db))
+        view = restored.view("W")
+        assert view.policy is MaintenancePolicy.PATCH
+        assert view.patch_limit == 5
+        assert set(view.read().rows()) == set(db.view("W").read().rows())
+
+    def test_unknown_custom_factory_warns_and_degrades(self):
+        from repro.engine.database import Database
+        from repro.engine.expiration_index import ExpirationIndex
+
+        class OddIndex(ExpirationIndex):
+            pass
+
+        db = Database()
+        db.create_table("T", ["k"], index_factory=OddIndex)
+        with pytest.warns(UserWarning, match="not one of the persistable"):
+            data = database_to_dict(db)
+        assert "index_factory" not in data["tables"][0]
+
+    def test_unknown_factory_name_rejected(self):
+        from repro.engine.database import Database
+
+        data = database_to_dict(Database())
+        data["tables"] = [{
+            "name": "T", "columns": ["k"], "removal_policy": "eager",
+            "index_factory": "skip_list", "rows": [],
+        }]
+        with pytest.raises(EngineError, match="unknown index_factory"):
+            database_from_dict(data)
+
+
 class TestValidation:
     def test_non_json_values_rejected(self, figure1_db):
         figure1_db.create_table("Weird", ["a"]).insert(((1, 2),))  # nested tuple
