@@ -1,0 +1,297 @@
+"""Experiment X11: columnar batch kernels vs the row fused pipeline.
+
+Not a paper artefact -- the acceptance harness for the columnar storage
+layout (``core/columnar.py``) and its batch kernels in the compiled
+evaluator: the same compiled plans run against row-layout and columnar
+catalogs, results are checked equivalent (rows *and* expirations), and
+the wall-time ratio is reported per workload.  The workloads are shaped
+after the paper's figures and the macro query: a Figure-1-style
+``exp_τ`` scan of a profile table, selection, duplicate-eliminating
+projection, and fact-to-dimension equijoin/semijoin as in the authz
+macro plan, each at τ=0 (everything live, as in the figures) and at a
+mid-life τ where a large share of tuples has expired.
+
+The pure-Python backend carries the headline claim (>=3x on at least
+two of the gate workloads); numpy numbers are reported separately when
+numpy is importable.  Full runs also report the per-row memory
+footprint of row vs columnar storage at 1M rows.
+
+``--smoke`` runs a reduced-size equivalence-and-speedup gate: every
+workload must produce identical results across layouts, and at least
+``GATE_MIN_WORKLOADS`` of the gate workloads must clear
+``GATE_SPEEDUP``x.
+"""
+
+import random
+import statistics
+import time
+import tracemalloc
+
+from repro.core.algebra.compiler import compile_expression
+from repro.core.algebra.expressions import BaseRef
+from repro.core.algebra.predicates import col
+from repro.core.columnar import ColumnarRelation, numpy_available
+from repro.core.relation import Relation
+from repro.core.timestamps import ts
+from repro.workloads.generators import UniformLifetime, random_relation
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+GATE_WORKLOADS = ("fig1 scan", "authz dim join", "project dedup")
+GATE_SPEEDUP = 3.0
+GATE_MIN_WORKLOADS = 2
+
+
+def build_catalog(size, seed=71):
+    """Row-layout base relations shaped after the figure/macro tables.
+
+    ``Pol`` is the Figure-1-style profile fact table (uniform lifetimes,
+    duplicate-heavy value attributes); ``Grp`` is an authz dimension
+    keyed by a *unique* uid, the shape the macro plan joins against.
+    """
+    life = UniformLifetime(10, 400)
+    fact = random_relation(
+        ["uid", "deg", "seg"], size, life,
+        seed=seed, key_range=size, value_domain=50,
+    )
+    rng = random.Random(seed + 3)
+    dim = Relation(["uid", "grp"])
+    for i in range(size):
+        dim.insert((i, rng.randrange(50)), expires_at=rng.randrange(10, 400))
+    return {"Pol": fact, "Grp": dim}
+
+
+def columnar_catalog(catalog, backend="python"):
+    return {
+        name: ColumnarRelation.from_relation(relation, backend=backend)
+        for name, relation in catalog.items()
+    }
+
+
+def workloads():
+    """``name -> (expression, tau)``; figure workloads run at τ=0."""
+    return {
+        "fig1 scan": (BaseRef("Pol"), 0),
+        "selective select": (
+            BaseRef("Pol").select((col(2) >= 10) & (col(3) < 40)), 0,
+        ),
+        "project dedup": (BaseRef("Pol").project(2, 3), 0),
+        "authz dim join": (
+            BaseRef("Pol").join(BaseRef("Grp"), on=[(1, 1)]), 0,
+        ),
+        "dim semijoin": (
+            BaseRef("Pol").semijoin(BaseRef("Grp"), on=[(1, 1)]), 0,
+        ),
+        "mid-life scan": (BaseRef("Pol"), 200),
+        "mid-life join": (
+            BaseRef("Pol").join(BaseRef("Grp"), on=[(1, 1)]), 200,
+        ),
+    }
+
+
+def _time_plan(expression, catalog, tau, reps):
+    schemas = {name: relation.schema for name, relation in catalog.items()}
+    plan = compile_expression(expression, lambda name: schemas[name])
+    stamp = ts(tau)
+    result = plan.execute(catalog, stamp)
+    samples = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        plan.execute(catalog, stamp)
+        samples.append(time.perf_counter() - started)
+    return min(samples) * 1000, result
+
+
+def run_workloads(size, seed=71, reps=5, numpy_backend=None):
+    """Per-workload timings and equivalence checks across layouts.
+
+    Returns ``name -> report`` dicts with row/columnar milliseconds and
+    the speedup ratio (plus numpy numbers when requested).
+    """
+    if numpy_backend is None:
+        numpy_backend = numpy_available()
+    row_catalog = build_catalog(size, seed)
+    col_catalog = columnar_catalog(row_catalog)
+    np_catalog = (
+        columnar_catalog(row_catalog, backend="numpy")
+        if numpy_backend
+        else None
+    )
+    reports = {}
+    for name, (expression, tau) in workloads().items():
+        row_ms, row_result = _time_plan(expression, row_catalog, tau, reps)
+        col_ms, col_result = _time_plan(expression, col_catalog, tau, reps)
+        if not col_result.relation.same_content(row_result.relation):
+            raise AssertionError(f"columnar result diverged on {name!r}")
+        if col_result.expiration != row_result.expiration:
+            raise AssertionError(f"columnar texp(e) diverged on {name!r}")
+        report = {
+            "tau": tau,
+            "row_ms": row_ms,
+            "col_ms": col_ms,
+            "speedup": row_ms / col_ms if col_ms else float("inf"),
+            "rows": len(row_result.relation),
+        }
+        if np_catalog is not None:
+            np_ms, np_result = _time_plan(expression, np_catalog, tau, reps)
+            if not np_result.relation.same_content(row_result.relation):
+                raise AssertionError(f"numpy result diverged on {name!r}")
+            report["np_ms"] = np_ms
+            report["np_speedup"] = row_ms / np_ms if np_ms else float("inf")
+        reports[name] = report
+    return reports
+
+
+def print_report(reports, size):
+    headers = ["workload", "τ", "result rows", "row ms", "columnar ms", "speedup"]
+    has_numpy = any("np_ms" in r for r in reports.values())
+    if has_numpy:
+        headers += ["numpy ms", "np speedup"]
+    rows = []
+    for name, r in reports.items():
+        line = [
+            name, r["tau"], r["rows"],
+            f"{r['row_ms']:.1f}", f"{r['col_ms']:.1f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        if has_numpy:
+            line += [
+                f"{r.get('np_ms', float('nan')):.1f}",
+                f"{r.get('np_speedup', float('nan')):.2f}x",
+            ]
+        rows.append(line)
+    emit(
+        f"Columnar batch kernels vs row fused pipeline (|base| = {size})",
+        headers,
+        rows,
+    )
+
+
+def memory_report(size=1_000_000, seed=9):
+    """Per-row resident bytes of row-dict vs columnar storage.
+
+    The attribute values are generated up front and shared by both
+    builds, so the tracemalloc deltas isolate the *layout* cost: dict
+    table + row tuples + texp objects versus three column lists + one
+    raw int64 array.
+    """
+    rng = random.Random(seed)
+    uid = list(range(size))
+    deg = [rng.randrange(50) for _ in range(size)]
+    seg = [rng.randrange(50) for _ in range(size)]
+    texp = [rng.randrange(10, 400) for _ in range(size)]
+    stamps = [ts(t) for t in texp]  # interned; shared by both layouts
+    schema = Relation(["uid", "deg", "seg"]).schema
+
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    row_relation = Relation._from_trusted(
+        schema,
+        {
+            (uid[i], deg[i], seg[i]): stamps[i]
+            for i in range(size)
+        },
+    )
+    after, _ = tracemalloc.get_traced_memory()
+    row_bytes = after - before
+
+    before, _ = tracemalloc.get_traced_memory()
+    col_relation = ColumnarRelation._from_columns(
+        schema,
+        [list(uid), list(deg), list(seg)],
+        texp,
+        backend="python",
+    )
+    after, _ = tracemalloc.get_traced_memory()
+    col_bytes = after - before
+    tracemalloc.stop()
+
+    assert len(col_relation) == len(row_relation) == size
+    return {
+        "rows": size,
+        "row_bytes_per_row": row_bytes / size,
+        "col_bytes_per_row": col_bytes / size,
+        "ratio": row_bytes / col_bytes if col_bytes else float("inf"),
+    }
+
+
+def print_memory(report):
+    emit(
+        f"Storage footprint at {report['rows']:,} rows (structure only)",
+        ["layout", "bytes/row"],
+        [
+            ("row (dict of tuples)", f"{report['row_bytes_per_row']:.1f}"),
+            ("columnar (lists + int64 texp)", f"{report['col_bytes_per_row']:.1f}"),
+            ("row / columnar", f"{report['ratio']:.2f}x"),
+        ],
+    )
+
+
+def smoke_gate(size=60_000, reps=5):
+    """Equivalence on every workload + speedup on the gate workloads."""
+    reports = run_workloads(size, reps=reps)
+    print_report(reports, size)
+    cleared = [
+        name for name in GATE_WORKLOADS
+        if reports[name]["speedup"] >= GATE_SPEEDUP
+    ]
+    passed = len(cleared) >= GATE_MIN_WORKLOADS
+    return {
+        "passed": passed,
+        "cleared": cleared,
+        "speedups": {
+            name: round(reports[name]["speedup"], 2)
+            for name in GATE_WORKLOADS
+        },
+    }
+
+
+# -- pytest entry points (collected only when targeting benchmarks/) --------
+
+
+def test_workload_equivalence_small():
+    reports = run_workloads(3_000, reps=1)
+    assert set(GATE_WORKLOADS) <= set(reports)
+    for report in reports.values():
+        assert report["rows"] >= 0
+
+
+def test_memory_report_small():
+    report = memory_report(size=20_000)
+    assert report["col_bytes_per_row"] < report["row_bytes_per_row"]
+
+
+def test_columnar_kernels_benchmark(benchmark):
+    reports = benchmark(run_workloads, 10_000, 71, 1)
+    assert set(workloads()) == set(reports)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        gate = smoke_gate()
+        print(
+            "gate workloads: "
+            + ", ".join(
+                f"{name} {speed:.2f}x"
+                for name, speed in gate["speedups"].items()
+            )
+        )
+        if not gate["passed"]:
+            print(
+                f"FAIL: fewer than {GATE_MIN_WORKLOADS} gate workloads "
+                f"reached {GATE_SPEEDUP:.1f}x"
+            )
+            raise SystemExit(1)
+        print(
+            f"OK: {len(gate['cleared'])} gate workloads at >= "
+            f"{GATE_SPEEDUP:.1f}x ({', '.join(gate['cleared'])})"
+        )
+    else:
+        size = 100_000
+        print_report(run_workloads(size), size)
+        print_memory(memory_report())

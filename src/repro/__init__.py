@@ -72,7 +72,7 @@ from repro.check import run_fuzz, run_invariants
 from repro.obs import MetricsRegistry, Span, Tracer
 from repro.sql import execute_sql, parse_sql
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "FOREVER",

@@ -94,7 +94,7 @@ __all__ = [
     "run_fuzz",
 ]
 
-_TABLES = ("flat", "part")
+_TABLES = ("flat", "part", "col")
 _VIEWS = ("v_mono", "v_diff", "v_patch")
 _POLICIES = {"eager": RemovalPolicy.EAGER, "lazy": RemovalPolicy.LAZY}
 
@@ -260,6 +260,14 @@ class _Harness:
         self.db.create_table(
             "part", ["k", "v"], partitions=3, partition_key="k",
             lazy_batch_size=8,
+        )
+        # Columnar storage under the same op mix: batch kernels, the
+        # swap-remove sweep path, and snapshot/WAL layout round-trips all
+        # get differential coverage against the dict oracle.  The backend
+        # follows the environment (REPRO_NUMPY), so the numpy kernels are
+        # fuzzed wherever numpy is present.
+        self.db.create_table(
+            "col", ["k", "v"], lazy_batch_size=8, layout="columnar",
         )
         self.db.materialise("v_mono", BaseRef("flat").project(1))
         diff = BaseRef("flat").difference(BaseRef("part"))

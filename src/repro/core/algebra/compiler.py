@@ -82,6 +82,13 @@ from repro.core.algebra.predicates import (
     Predicate,
     TruePredicate,
 )
+from repro.core.columnar import (
+    ColumnBatch,
+    ColumnarRelation,
+    from_raw,
+    numpy_module,
+    to_raw,
+)
 from repro.core.intervals import IntervalSet
 from repro.core.relation import Relation
 from repro.core.schema import Schema
@@ -203,9 +210,23 @@ class _Stream:
     kernel instead of consuming the merged stream.  Shards are disjoint by
     construction (hash partitioning), so concatenating them and max-merging
     at the consumer is exactly the flat semantics.
+
+    ``batch``, when not ``None``, is the same payload again as a
+    :class:`ColumnBatch` of column slices with raw-int expirations -- the
+    handoff between columnar batch kernels.  ``pairs`` is then a lazy
+    decode of the batch, so batch-unaware consumers fall back
+    transparently; a consumer uses one or the other, never both.
+    ``dup_free`` records (from compile-time analysis) that no two entries
+    share a row, letting the root adopt batch columns without a max-merge
+    pass.  ``billed`` marks that the producing kernel already charged the
+    batch's rows to its trace span, so :func:`_traced` must not wrap
+    ``pairs`` in a second counter (rows are billed exactly once).
     """
 
-    __slots__ = ("pairs", "expiration", "validity", "shards")
+    __slots__ = (
+        "pairs", "expiration", "validity", "shards", "batch", "dup_free",
+        "billed",
+    )
 
     def __init__(
         self,
@@ -213,11 +234,17 @@ class _Stream:
         expiration: Timestamp,
         validity: IntervalSet,
         shards: Optional[List[List[Tuple[tuple, Timestamp]]]] = None,
+        batch: Optional[ColumnBatch] = None,
+        dup_free: bool = False,
+        billed: bool = False,
     ) -> None:
         self.pairs = pairs
         self.expiration = expiration
         self.validity = validity
         self.shards = shards
+        self.batch = batch
+        self.dup_free = dup_free
+        self.billed = billed
 
 
 #: A compiled node: executed with a context, yields its output stream.
@@ -278,6 +305,13 @@ def _traced(label: str, fused: bool, runner: _Runner) -> _Runner:
         finally:
             span.add_time(time.perf_counter() - started)
             ctx.trace = parent
+        if stream.billed:
+            # A batch kernel already charged this stream's rows to the
+            # span (batch kernels run eagerly inside the runner, so their
+            # time is covered by the bracket above); wrapping ``pairs``
+            # would bill the same rows a second time if a batch-unaware
+            # consumer falls back to the pair view.
+            return stream
         stream.pairs = _timed_pairs(stream.pairs, span)
         return stream
 
@@ -372,6 +406,288 @@ def _parallel_source(
     return [pairs for _, pairs, _ in results]
 
 
+# ---------------------------------------------------------------------------
+# Columnar batch kernels
+# ---------------------------------------------------------------------------
+
+
+def _columnar_stream(
+    ctx: _Context,
+    kernel: str,
+    batch: ColumnBatch,
+    expiration: Timestamp,
+    validity: IntervalSet,
+    started: float,
+    dup_free: bool,
+) -> _Stream:
+    """Wrap a kernel's output batch as a stream, billing its rows once.
+
+    Per-kernel row counts land in ``EvalStats.columnar_kernel_rows`` (and
+    from there in the ``repro_columnar_*`` registry families); under a
+    trace the operator span gets its ``rows`` attribute plus a
+    ``columnar_batch`` child span carrying the kernel name and the
+    kernel-only wall time, and the stream is marked ``billed`` so
+    :func:`_traced` skips the per-pair counter.
+    """
+    rows = len(batch)
+    ctx.stats.note_columnar(kernel, rows)
+    billed = False
+    if ctx.trace is not None:
+        ctx.trace.note(rows=rows)
+        child = ctx.trace.child("columnar_batch", kernel=kernel, stage="batch")
+        child.add_time(time.perf_counter() - started)
+        child.note(rows=rows)
+        billed = True
+    return _Stream(
+        batch.pairs(), expiration, validity,
+        batch=batch, dup_free=dup_free, billed=billed,
+    )
+
+
+def _col_list(batch: ColumnBatch, index: int) -> list:
+    """Attribute column ``index`` as a plain list (tolist() for ndarrays)."""
+    column = batch.columns[index]
+    return column.tolist() if batch.is_numpy else column
+
+
+def _texp_list(batch: ColumnBatch) -> list:
+    return batch.texp.tolist() if batch.is_numpy else batch.texp
+
+
+def _keys_of(batch: ColumnBatch, indexes: List[int]) -> list:
+    """Join-key values per row, sliced straight off the key column(s)."""
+    if len(indexes) == 1:
+        return _col_list(batch, indexes[0])
+    return list(zip(*(_col_list(batch, i) for i in indexes)))
+
+
+def _gather(batch: ColumnBatch, indices: List[int], texp) -> ColumnBatch:
+    """Select ``indices`` (with repetition) out of a batch's columns."""
+    if batch.is_numpy:
+        np = numpy_module()
+        idx = np.asarray(indices, dtype=np.intp)
+        return ColumnBatch(
+            [col[idx] for col in batch.columns], texp, owned=True
+        )
+    return ColumnBatch(
+        [[col[i] for i in indices] for col in batch.columns],
+        texp,
+        owned=True,
+    )
+
+
+def _concat_batches(batches: List[ColumnBatch]) -> ColumnBatch:
+    """Concatenate disjoint batches (shard merge, union)."""
+    if len(batches) == 1:
+        return batches[0]
+    arity = len(batches[0].columns)
+    if all(batch.is_numpy for batch in batches):
+        np = numpy_module()
+        return ColumnBatch(
+            [
+                np.concatenate([batch.columns[i] for batch in batches])
+                for i in range(arity)
+            ],
+            np.concatenate([batch.texp for batch in batches]),
+            owned=True,
+        )
+    batches = [batch.to_python() for batch in batches]
+    return ColumnBatch(
+        [
+            list(itertools.chain.from_iterable(b.columns[i] for b in batches))
+            for i in range(arity)
+        ],
+        list(itertools.chain.from_iterable(b.texp for b in batches)),
+        owned=True,
+    )
+
+
+def _apply_mask(batch: ColumnBatch, mask) -> ColumnBatch:
+    """Keep the rows a predicate mask selected (whole-column filter)."""
+    if batch.is_numpy:
+        np = numpy_module()
+        selected = np.asarray(mask, dtype=bool)
+        if selected.all():
+            return batch
+        return ColumnBatch(
+            [col[selected] for col in batch.columns],
+            batch.texp[selected],
+            owned=True,
+        )
+    if all(mask):
+        return batch
+    compress = itertools.compress
+    return ColumnBatch(
+        [list(compress(col, mask)) for col in batch.columns],
+        list(compress(batch.texp, mask)),
+        owned=True,
+    )
+
+
+def _compile_mask(predicate: Predicate):
+    """Compile a resolved predicate into a whole-column mask builder.
+
+    The returned ``build(columns, n, np)`` produces a boolean selection
+    vector for ``n`` rows: a list-comprehension compare per column in pure
+    Python, or one vectorised ufunc per comparison when ``np`` is the
+    numpy module (columns are then ndarrays).  Semantics match
+    :func:`_closure` row-at-a-time evaluation elementwise.
+    """
+    if isinstance(predicate, Comparison):
+        compare = _COMPARATORS[predicate.op]
+        left, right = predicate.left, predicate.right
+        if isinstance(left, Attribute) and isinstance(right, Attribute):
+            i, j = left.ref - 1, right.ref - 1
+
+            def build(columns, n, np):
+                a, b = columns[i], columns[j]
+                if np is not None:
+                    return compare(a, b)
+                return [compare(x, y) for x, y in zip(a, b)]
+
+            return build
+        if isinstance(left, Attribute):
+            i, value = left.ref - 1, right.evaluate(())
+
+            def build(columns, n, np):
+                a = columns[i]
+                if np is not None:
+                    return compare(a, value)
+                return [compare(x, value) for x in a]
+
+            return build
+        if isinstance(right, Attribute):
+            value, j = left.evaluate(()), right.ref - 1
+
+            def build(columns, n, np):
+                b = columns[j]
+                if np is not None:
+                    return compare(value, b)
+                return [compare(value, y) for y in b]
+
+            return build
+        constant = compare(left.evaluate(()), right.evaluate(()))
+
+        def build(columns, n, np):
+            if np is not None:
+                return np.full(n, constant, dtype=bool)
+            return [constant] * n
+
+        return build
+    if isinstance(predicate, And):
+        parts = [_compile_mask(child) for child in predicate.children]
+
+        def build(columns, n, np):
+            mask = parts[0](columns, n, np)
+            for part in parts[1:]:
+                other = part(columns, n, np)
+                if np is not None:
+                    mask = np.logical_and(mask, other)
+                else:
+                    mask = [x and y for x, y in zip(mask, other)]
+            return mask
+
+        return build
+    if isinstance(predicate, Or):
+        parts = [_compile_mask(child) for child in predicate.children]
+
+        def build(columns, n, np):
+            mask = parts[0](columns, n, np)
+            for part in parts[1:]:
+                other = part(columns, n, np)
+                if np is not None:
+                    mask = np.logical_or(mask, other)
+                else:
+                    mask = [x or y for x, y in zip(mask, other)]
+            return mask
+
+        return build
+    if isinstance(predicate, Not):
+        inner = _compile_mask(predicate.child)
+
+        def build(columns, n, np):
+            mask = inner(columns, n, np)
+            if np is not None:
+                return np.logical_not(mask)
+            return [not x for x in mask]
+
+        return build
+    if isinstance(predicate, TruePredicate):
+        def build(columns, n, np):
+            if np is not None:
+                return np.ones(n, dtype=bool)
+            return [True] * n
+
+        return build
+    raise EvaluationError(f"uncompilable predicate {type(predicate).__name__}")
+
+
+def _run_mask(build, batch: ColumnBatch):
+    np = numpy_module() if batch.is_numpy else None
+    return build(batch.columns, len(batch), np)
+
+
+def _predicate_columns(predicate: Predicate) -> set:
+    """0-based column indexes a resolved predicate reads (for pruning)."""
+    if isinstance(predicate, Comparison):
+        refs = set()
+        if isinstance(predicate.left, Attribute):
+            refs.add(predicate.left.ref - 1)
+        if isinstance(predicate.right, Attribute):
+            refs.add(predicate.right.ref - 1)
+        return refs
+    if isinstance(predicate, (And, Or)):
+        return set().union(
+            *(_predicate_columns(child) for child in predicate.children)
+        )
+    if isinstance(predicate, Not):
+        return _predicate_columns(predicate.child)
+    return set()
+
+
+def _batch_to_members(batch: ColumnBatch) -> Dict[tuple, Timestamp]:
+    """Max-merge a batch into a ``row -> Timestamp`` dict.
+
+    The batched form of :func:`_to_dict`: duplicate elimination compares
+    raw ints and decodes one Timestamp per *distinct* row, instead of one
+    per pair.
+    """
+    plain = batch.to_python()
+    merged_raw: Dict[tuple, int] = {}
+    get = merged_raw.get
+    for row, raw in zip(plain.iter_rows(), plain.texp):
+        existing = get(row)
+        if existing is None or existing < raw:
+            merged_raw[row] = raw
+    return {row: from_raw(raw) for row, raw in merged_raw.items()}
+
+
+def _parallel_columnar_source(ctx: _Context, shards, tau_raw: int) -> ColumnBatch:
+    """Per-shard whole-column exp-filter, fanned out on the pool.
+
+    The columnar counterpart of :func:`_parallel_source`: each worker
+    runs its shard's raw ``texp > τ`` scan, and the disjoint shard batches
+    concatenate into one merged batch (hash partitioning guarantees no
+    cross-shard duplicates).
+    """
+
+    def scan(indexed):
+        index, shard = indexed
+        started = time.perf_counter()
+        batch = shard.batch(tau_raw)
+        return index, batch, time.perf_counter() - started
+
+    results = list(ctx.executor.map(scan, enumerate(shards)))
+    if ctx.trace is not None:
+        for index, batch, elapsed in results:
+            span = ctx.trace.child(
+                "shard_scan", shard=index, stage="parallel", kernel="columnar"
+            )
+            span.add_time(elapsed)
+            span.note(rows=len(batch))
+    return _concat_batches([batch for _, batch, _ in results])
+
+
 def _key_getter(indexes: List[int]) -> Callable[[tuple], Any]:
     """A fast key extractor over 0-based positions (scalar for one key)."""
     if not indexes:
@@ -397,6 +713,30 @@ class _Compiler:
 
     def schema_of(self, node: Expression) -> Schema:
         return node.infer_schema(self._resolver)
+
+    @staticmethod
+    def dup_free(node: Expression) -> bool:
+        """Whether ``node``'s compiled stream can never repeat a row.
+
+        Base relations are sets; the eager non-monotonic operators emit
+        deduplicated dicts; select/rename preserve distinctness; a join
+        of dup-free inputs is dup-free (fixed arities make the split of a
+        concatenated row unambiguous, so distinct input pairs concatenate
+        to distinct outputs).  Fused projections and unions are the two
+        duplicate producers.  A dup-free root batch can be adopted as
+        result columns with no max-merge materialisation pass -- the big
+        win of the columnar path.
+        """
+        if isinstance(node, (BaseRef, Literal, Difference, AntiSemiJoin,
+                             Aggregate)):
+            return True
+        if isinstance(node, (Select, Rename)):
+            return _Compiler.dup_free(node.child)
+        if isinstance(node, (Product, Join)):
+            return _Compiler.dup_free(node.left) and _Compiler.dup_free(node.right)
+        if isinstance(node, (SemiJoin, Intersect)):
+            return _Compiler.dup_free(node.left)
+        return False  # Project, Union
 
     def compile(self, node: Expression) -> _Runner:
         fused = isinstance(node, _FUSED_NODES)
@@ -448,12 +788,28 @@ class _Compiler:
             tau = ctx.tau
             shards = getattr(relation, "shards", None)
             if shards is not None and ctx.executor is not None and len(shards) > 1:
+                if isinstance(shards[0], ColumnarRelation):
+                    started = time.perf_counter()
+                    batch = _parallel_columnar_source(ctx, shards, to_raw(tau))
+                    return _columnar_stream(
+                        ctx, "scan_filter", batch, INFINITY,
+                        IntervalSet.from_onwards(tau), started, True,
+                    )
                 shard_lists = _parallel_source(ctx, shards)
                 return _Stream(
                     itertools.chain.from_iterable(shard_lists),
                     INFINITY,
                     IntervalSet.from_onwards(tau),
                     shards=shard_lists,
+                )
+            if isinstance(relation, ColumnarRelation):
+                # Whole-column expiration filter: one pass over the raw
+                # int64 texp array, no Timestamp objects on the hot path.
+                started = time.perf_counter()
+                batch = relation.batch(to_raw(tau))
+                return _columnar_stream(
+                    ctx, "scan_filter", batch, INFINITY,
+                    IntervalSet.from_onwards(tau), started, True,
                 )
             # Stream exp_τ(R) without copying the relation at all.
             pairs = (
@@ -470,6 +826,13 @@ class _Compiler:
             ctx.stats.operators_evaluated += 1
             ctx.stats.tuples_scanned += len(relation)
             tau = ctx.tau
+            if isinstance(relation, ColumnarRelation):
+                started = time.perf_counter()
+                batch = relation.batch(to_raw(tau))
+                return _columnar_stream(
+                    ctx, "scan_filter", batch, INFINITY,
+                    IntervalSet.from_onwards(tau), started, True,
+                )
             pairs = (
                 (row, texp) for row, texp in relation.items() if tau < texp
             )
@@ -481,11 +844,22 @@ class _Compiler:
 
     def _compile_select(self, node: Select) -> _Runner:
         child = self.compile(node.child)
-        matches = compile_predicate(node.predicate, self.schema_of(node.child))
+        child_schema = self.schema_of(node.child)
+        matches = compile_predicate(node.predicate, child_schema)
+        mask_build = _compile_mask(node.predicate.resolve(child_schema))
+        dup_free = self.dup_free(node)
 
         def run(ctx: _Context) -> _Stream:
             ctx.stats.operators_evaluated += 1
             inner = child(ctx)
+            if inner.batch is not None:
+                # Vectorised predicate mask over whole column slices.
+                started = time.perf_counter()
+                batch = _apply_mask(inner.batch, _run_mask(mask_build, inner.batch))
+                return _columnar_stream(
+                    ctx, "select_mask", batch, inner.expiration,
+                    inner.validity, started, dup_free,
+                )
             if (
                 inner.shards is not None
                 and ctx.executor is not None
@@ -525,15 +899,118 @@ class _Compiler:
         else:
             project = operator.itemgetter(*indexes)
 
+        fused_scan = self._compile_pruned_scan(node, indexes)
+
         def run(ctx: _Context) -> _Stream:
+            if fused_scan is not None and ctx.trace is None:
+                stream = fused_scan(ctx)
+                if stream is not None:
+                    return stream
             ctx.stats.operators_evaluated += 1
             inner = child(ctx)
+            if inner.batch is not None:
+                # Column-subset projection: pick (and reorder) column
+                # slices wholesale -- zero per-row work, zero copies.
+                # Duplicates stay deferred to the consumer as on the row
+                # path, so this is never dup_free.
+                started = time.perf_counter()
+                batch = ColumnBatch(
+                    [inner.batch.columns[i] for i in indexes], inner.batch.texp
+                )
+                return _columnar_stream(
+                    ctx, "project_gather", batch, inner.expiration,
+                    inner.validity, started, False,
+                )
             # No dedup here: downstream stages max-merge (Equation 3) or
             # are duplicate-insensitive; see the module docstring.
             pairs = ((project(row), texp) for row, texp in inner.pairs)
             return _Stream(pairs, inner.expiration, inner.validity)
 
         return run
+
+    def _compile_pruned_scan(
+        self, node: Project, indexes: List[int]
+    ) -> Optional[Callable[["_Context"], Optional[_Stream]]]:
+        """Column-pruned fused scan for ``π(σ?(base))`` chains.
+
+        A projection straight over a base leaf (with at most one Select
+        in between) only ever reads the projected and predicate columns,
+        so the scan materialises just those column slices -- the row path
+        has no analogue, since it must move whole tuples regardless.  The
+        returned runner yields ``None`` when the resolved relation is not
+        an unsharded columnar one (the caller then falls back to the
+        generic pipeline); trace runs skip it so per-operator spans keep
+        their shape.
+        """
+        select_node: Optional[Select] = None
+        base_node = node.child
+        if isinstance(base_node, Select):
+            select_node, base_node = base_node, base_node.child
+        if not isinstance(base_node, (BaseRef, Literal)):
+            return None
+        base_schema = self.schema_of(base_node)
+        mask_build = None
+        pred_cols: List[int] = []
+        if select_node is not None:
+            resolved = select_node.predicate.resolve(base_schema)
+            mask_build = _compile_mask(resolved)
+            pred_cols = sorted(_predicate_columns(resolved))
+        pruned: List[int] = []
+        for index in list(indexes) + pred_cols:
+            if index not in pruned:
+                pruned.append(index)
+        position = {orig: pos for pos, orig in enumerate(pruned)}
+        out_positions = [position[i] for i in indexes]
+        arity = base_schema.arity
+        fused_ops = 2 if select_node is None else 3
+        distinct_out = len(set(indexes)) == len(indexes)
+        if isinstance(base_node, BaseRef):
+            base_name = base_node.name
+
+            def resolve_relation(ctx: _Context):
+                return ctx.lookup(base_name)
+
+        else:
+            literal_relation = base_node.relation
+
+            def resolve_relation(ctx: _Context):
+                return literal_relation
+
+        def fused(ctx: _Context) -> Optional[_Stream]:
+            relation = resolve_relation(ctx)
+            if (
+                not isinstance(relation, ColumnarRelation)
+                or getattr(relation, "shards", None) is not None
+            ):
+                return None
+            ctx.stats.operators_evaluated += fused_ops
+            ctx.stats.tuples_scanned += len(relation)
+            started = time.perf_counter()
+            tau = ctx.tau
+            batch = relation.batch(to_raw(tau), keep=pruned)
+            ctx.stats.note_columnar("scan_filter", len(batch))
+            if mask_build is not None:
+                # The mask builder indexes columns by their original
+                # schema position: hand it a sparse view with the pruned
+                # slices at those positions.
+                view: List[Any] = [None] * arity
+                for orig, pos in position.items():
+                    view[orig] = batch.columns[pos]
+                np = numpy_module() if batch.is_numpy else None
+                mask = mask_build(view, len(batch), np)
+                batch = _apply_mask(batch, mask)
+                ctx.stats.note_columnar("select_mask", len(batch))
+            out = ColumnBatch(
+                [batch.columns[pos] for pos in out_positions],
+                batch.texp,
+                owned=batch.owned and distinct_out,
+            )
+            return _columnar_stream(
+                ctx, "project_gather", out, INFINITY,
+                IntervalSet.from_onwards(tau), started, False,
+            )
+
+        return fused
 
     def _compile_rename(self, node: Rename) -> _Runner:
         child = self.compile(node.child)
@@ -581,6 +1058,18 @@ class _Compiler:
             ctx.stats.operators_evaluated += 1
             left_stream = left(ctx)
             right_stream = right(ctx)
+            if left_stream.batch is not None and right_stream.batch is not None:
+                # Bulk concatenation; the shared-row max (Equation 4)
+                # stays deferred to the consumer exactly as on the row
+                # path, so the result is never dup_free.
+                started = time.perf_counter()
+                batch = _concat_batches([left_stream.batch, right_stream.batch])
+                return _columnar_stream(
+                    ctx, "union_concat", batch,
+                    ts_min((left_stream.expiration, right_stream.expiration)),
+                    left_stream.validity & right_stream.validity,
+                    started, False,
+                )
 
             def generate() -> Iterator[Tuple[tuple, Timestamp]]:
                 # Equation (4): shared rows get the max; deferred to the
@@ -605,7 +1094,16 @@ class _Compiler:
             ctx.stats.operators_evaluated += 1
             left_stream = left(ctx)
             right_stream = right(ctx)
-            lookup = _to_dict(right_stream.pairs)
+            if right_stream.batch is not None:
+                # Build the probe side from raw column slices: duplicate
+                # elimination compares raw ints, one Timestamp decode per
+                # distinct row.
+                ctx.stats.note_columnar(
+                    "intersect_build", len(right_stream.batch)
+                )
+                lookup = _batch_to_members(right_stream.batch)
+            else:
+                lookup = _to_dict(right_stream.pairs)
             get = lookup.get
 
             def generate() -> Iterator[Tuple[tuple, Timestamp]]:
@@ -634,16 +1132,157 @@ class _Compiler:
             if node.predicate is not None
             else None
         )
+        residual_mask = (
+            _compile_mask(
+                node.predicate.resolve(left_schema.concat(right_schema))
+            )
+            if node.predicate is not None
+            else None
+        )
         if node.on:
-            left_key = _key_getter([left_schema.index(ref) for ref, _ in node.on])
-            right_key = _key_getter([right_schema.index(ref) for _, ref in node.on])
+            left_key_idx = [left_schema.index(ref) for ref, _ in node.on]
+            right_key_idx = [right_schema.index(ref) for _, ref in node.on]
+            left_key = _key_getter(left_key_idx)
+            right_key = _key_getter(right_key_idx)
         else:
+            left_key_idx = right_key_idx = None
             left_key = right_key = None
+        dup_free = self.dup_free(node)
 
         def run(ctx: _Context) -> _Stream:
             ctx.stats.operators_evaluated += 1
             left_stream = left(ctx)
             right_stream = right(ctx)
+
+            if (
+                right_key is not None
+                and left_stream.batch is not None
+                and right_stream.batch is not None
+            ):
+                # Batched hash join: build buckets of *row indices* over
+                # the right key column slice, probe the left key slice,
+                # then gather both sides' columns through the matched
+                # index vectors and bulk min-merge the raw texp arrays.
+                started = time.perf_counter()
+                lb, rb = left_stream.batch, right_stream.batch
+                compress = itertools.compress
+                rkeys = _keys_of(rb, right_key_idx)
+                positions: Dict[Any, int] = dict(
+                    zip(rkeys, range(len(rkeys)))
+                )
+                if len(positions) == len(rkeys):
+                    # Unique right keys (the common case after exp-
+                    # filtering): probe with three C-level passes and
+                    # gather the left side through boolean compress
+                    # instead of per-pair index loops.
+                    position_get = positions.get
+                    matches = [
+                        position_get(key)
+                        for key in _keys_of(lb, left_key_idx)
+                    ]
+                    flags = [match is not None for match in matches]
+                    right_idx = list(compress(matches, flags))
+                    ctx.stats.hash_probes += len(right_idx)
+                    if lb.is_numpy and rb.is_numpy:
+                        np = numpy_module()
+                        selected = np.asarray(flags, dtype=bool)
+                        ri = np.asarray(right_idx, dtype=np.intp)
+                        # Equation (2): elementwise min of the parents.
+                        texp = np.minimum(lb.texp[selected], rb.texp[ri])
+                        batch = ColumnBatch(
+                            [col[selected] for col in lb.columns]
+                            + [col[ri] for col in rb.columns],
+                            texp,
+                            owned=True,
+                        )
+                    else:
+                        lbp, rbp = lb.to_python(), rb.to_python()
+                        rt = rbp.texp
+                        texp = [
+                            a if a < b else b
+                            for a, b in zip(
+                                compress(lbp.texp, flags),
+                                [rt[j] for j in right_idx],
+                            )
+                        ]
+                        batch = ColumnBatch(
+                            [
+                                list(compress(col, flags))
+                                for col in lbp.columns
+                            ]
+                            + [
+                                [col[j] for j in right_idx]
+                                for col in rbp.columns
+                            ],
+                            texp,
+                            owned=True,
+                        )
+                    if residual_mask is not None:
+                        batch = _apply_mask(
+                            batch, _run_mask(residual_mask, batch)
+                        )
+                    return _columnar_stream(
+                        ctx, "hash_join", batch,
+                        ts_min(
+                            (left_stream.expiration, right_stream.expiration)
+                        ),
+                        left_stream.validity & right_stream.validity,
+                        started, dup_free,
+                    )
+                buckets: Dict[Any, List[int]] = {}
+                bucket_get = buckets.get
+                for j, key in enumerate(rkeys):
+                    bucket = bucket_get(key)
+                    if bucket is None:
+                        buckets[key] = [j]
+                    else:
+                        bucket.append(j)
+                left_idx: List[int] = []
+                right_idx = []
+                add_left = left_idx.append
+                add_right = right_idx.append
+                probes = 0
+                for i, key in enumerate(_keys_of(lb, left_key_idx)):
+                    bucket = bucket_get(key)
+                    if bucket is not None:
+                        probes += len(bucket)
+                        for j in bucket:
+                            add_left(i)
+                            add_right(j)
+                ctx.stats.hash_probes += probes
+                if lb.is_numpy and rb.is_numpy:
+                    np = numpy_module()
+                    li = np.asarray(left_idx, dtype=np.intp)
+                    ri = np.asarray(right_idx, dtype=np.intp)
+                    # Equation (2): elementwise min of the parents.
+                    texp = np.minimum(lb.texp[li], rb.texp[ri])
+                    batch = ColumnBatch(
+                        [col[li] for col in lb.columns]
+                        + [col[ri] for col in rb.columns],
+                        texp,
+                        owned=True,
+                    )
+                else:
+                    lbp, rbp = lb.to_python(), rb.to_python()
+                    lt, rt = lbp.texp, rbp.texp
+                    texp = [
+                        lt[i] if lt[i] < rt[j] else rt[j]
+                        for i, j in zip(left_idx, right_idx)
+                    ]
+                    batch = ColumnBatch(
+                        [[col[i] for i in left_idx] for col in lbp.columns]
+                        + [[col[j] for j in right_idx] for col in rbp.columns],
+                        texp,
+                        owned=True,
+                    )
+                if residual_mask is not None:
+                    batch = _apply_mask(batch, _run_mask(residual_mask, batch))
+                return _columnar_stream(
+                    ctx, "hash_join", batch,
+                    ts_min((left_stream.expiration, right_stream.expiration)),
+                    left_stream.validity & right_stream.validity,
+                    started, dup_free,
+                )
 
             if right_key is not None:
                 if (
@@ -724,13 +1363,73 @@ class _Compiler:
     def _compile_semijoin(self, node: SemiJoin) -> _Runner:
         left = self.compile(node.left)
         right = self.compile(node.right)
-        left_key = _key_getter([self.schema_of(node.left).index(ref) for ref, _ in node.on])
-        right_key = _key_getter([self.schema_of(node.right).index(ref) for _, ref in node.on])
+        left_key_idx = [self.schema_of(node.left).index(ref) for ref, _ in node.on]
+        right_key_idx = [self.schema_of(node.right).index(ref) for _, ref in node.on]
+        left_key = _key_getter(left_key_idx)
+        right_key = _key_getter(right_key_idx)
+        dup_free = self.dup_free(node)
 
         def run(ctx: _Context) -> _Stream:
             ctx.stats.operators_evaluated += 1
             left_stream = left(ctx)
             right_stream = right(ctx)
+            if left_stream.batch is not None and right_stream.batch is not None:
+                # Batched semijoin: running raw max per right key, probe
+                # the left key slice, gather the survivors' columns.  The
+                # texp rule (min with the match set's max) runs on raw
+                # ints; survivors keep their column slices intact.
+                started = time.perf_counter()
+                lb, rb = left_stream.batch, right_stream.batch
+                rkeys = _keys_of(rb, right_key_idx)
+                # dict(zip(...)) builds the key map at C speed; it keeps
+                # the *last* texp per key, which is only the max when keys
+                # are unique -- fall back to the max-merge loop otherwise.
+                best_raw: Dict[Any, int] = dict(zip(rkeys, _texp_list(rb)))
+                best_get = best_raw.get
+                if len(best_raw) != len(rkeys):
+                    best_raw.clear()
+                    for key, raw in zip(rkeys, _texp_list(rb)):
+                        current = best_get(key)
+                        if current is None or current < raw:
+                            best_raw[key] = raw
+                # Probe as three C-level passes (lookup, flag, min-merge)
+                # instead of one per-row Python loop.
+                matches = [best_get(key) for key in _keys_of(lb, left_key_idx)]
+                flags = [match is not None for match in matches]
+                compress = itertools.compress
+                keep_texp = [
+                    raw if raw < match else match
+                    for raw, match in zip(
+                        compress(_texp_list(lb), flags),
+                        compress(matches, flags),
+                    )
+                ]
+                # Survivors come out via compress (C speed) rather than a
+                # per-index gather.
+                if lb.is_numpy:
+                    np = numpy_module()
+                    texp = np.asarray(keep_texp, dtype=np.int64)
+                    selected = np.asarray(flags, dtype=bool)
+                    batch = ColumnBatch(
+                        [col[selected] for col in lb.columns],
+                        texp,
+                        owned=True,
+                    )
+                else:
+                    batch = ColumnBatch(
+                        [
+                            list(compress(col, flags))
+                            for col in lb.columns
+                        ],
+                        keep_texp,
+                        owned=True,
+                    )
+                return _columnar_stream(
+                    ctx, "semijoin", batch,
+                    ts_min((left_stream.expiration, right_stream.expiration)),
+                    left_stream.validity & right_stream.validity,
+                    started, dup_free,
+                )
             # Bulk kernel: only the running max per key is kept -- the
             # semijoin's texp rule needs max over the match set, nothing else.
             best: Dict[Any, Timestamp] = {}
@@ -761,8 +1460,9 @@ class _Compiler:
     def _compile_antijoin(self, node: AntiSemiJoin) -> _Runner:
         left = self.compile(node.left)
         right = self.compile(node.right)
+        right_key_idx = [self.schema_of(node.right).index(ref) for _, ref in node.on]
         left_key = _key_getter([self.schema_of(node.left).index(ref) for ref, _ in node.on])
-        right_key = _key_getter([self.schema_of(node.right).index(ref) for _, ref in node.on])
+        right_key = _key_getter(right_key_idx)
 
         def run(ctx: _Context) -> _Stream:
             ctx.stats.operators_evaluated += 1
@@ -770,11 +1470,26 @@ class _Compiler:
             right_stream = right(ctx)
             dies: Dict[Any, Timestamp] = {}
             dies_get = dies.get
-            for row, texp in right_stream.pairs:
-                key = right_key(row)
-                current = dies_get(key)
-                if current is None or current < texp:
-                    dies[key] = texp
+            if right_stream.batch is not None:
+                # Build the dies-map from raw column slices: the running
+                # max per key compares ints, decoding one Timestamp per
+                # distinct key at the end.
+                rb = right_stream.batch
+                ctx.stats.note_columnar("antijoin_build", len(rb))
+                dies_raw: Dict[Any, int] = {}
+                raw_get = dies_raw.get
+                for key, raw in zip(_keys_of(rb, right_key_idx), _texp_list(rb)):
+                    current = raw_get(key)
+                    if current is None or current < raw:
+                        dies_raw[key] = raw
+                dies = {key: from_raw(raw) for key, raw in dies_raw.items()}
+                dies_get = dies.get
+            else:
+                for row, texp in right_stream.pairs:
+                    key = right_key(row)
+                    current = dies_get(key)
+                    if current is None or current < texp:
+                        dies[key] = texp
 
             result: Dict[tuple, Timestamp] = {}
             result_get = result.get
@@ -813,7 +1528,13 @@ class _Compiler:
             ctx.stats.operators_evaluated += 1
             left_stream = left(ctx)
             right_stream = right(ctx)
-            lookup = _to_dict(right_stream.pairs)
+            if right_stream.batch is not None:
+                ctx.stats.note_columnar(
+                    "difference_build", len(right_stream.batch)
+                )
+                lookup = _batch_to_members(right_stream.batch)
+            else:
+                lookup = _to_dict(right_stream.pairs)
             get = lookup.get
 
             result: Dict[tuple, Timestamp] = {}
@@ -860,7 +1581,15 @@ class _Compiler:
             # Aggregation counts tuples, so the input must be a *set*:
             # deduplicate the (possibly fused) child stream first.
             child_stream = child(ctx)
-            members = _to_dict(child_stream.pairs)
+            if child_stream.batch is not None:
+                # Batched dedup: raw-int max-merge, one Timestamp decode
+                # per distinct row.
+                ctx.stats.note_columnar(
+                    "aggregate_dedup", len(child_stream.batch)
+                )
+                members = _batch_to_members(child_stream.batch)
+            else:
+                members = _to_dict(child_stream.pairs)
 
             partitions: Dict[Any, List[Tuple[tuple, Timestamp]]] = {}
             partition_get = partitions.get
@@ -954,7 +1683,61 @@ class CompiledPlan:
             executor,
         )
         stream = self._root(ctx)
-        if isinstance(stream.pairs, type({}.items())):
+        batch = stream.batch
+        if batch is not None:
+            if stream.dup_free:
+                # Adopt the batch's columns as the result's storage with
+                # no max-merge materialisation pass.  An owned batch
+                # (kernel-built, referenced by nothing else) is adopted
+                # outright; an aliasing one -- a pure scan handing out the
+                # base relation's live storage -- must be copied so later
+                # result or base mutation cannot leak through.
+                plain = batch.to_python()
+                ctx.stats.note_columnar("root_adopt", len(plain))
+                ctx.stats.tuples_emitted += len(plain)
+                if plain.owned:
+                    columns = plain.columns
+                    texp = plain.texp
+                else:
+                    columns = [list(col) for col in plain.columns]
+                    texp = list(plain.texp)
+                relation = ColumnarRelation._from_columns(
+                    self.schema,
+                    columns,
+                    texp,
+                    backend="numpy" if batch.is_numpy else "python",
+                )
+                return EvalResult(
+                    relation, stream.expiration, stream.validity, stamp
+                )
+            # Max-merge duplicates on raw ints (Equation 3/4) and adopt
+            # the surviving rows column-wise: no Timestamp decode, no
+            # row-dict relation build.  ``zip(*merged)`` re-slices the
+            # distinct row tuples back into columns at C speed.
+            plain = batch.to_python()
+            ctx.stats.note_columnar("root_dedup", len(plain))
+            merged: Dict[tuple, int] = {}
+            get = merged.get
+            for row, raw in zip(plain.iter_rows(), plain.texp):
+                existing = get(row)
+                if existing is None or existing < raw:
+                    merged[row] = raw
+            ctx.stats.tuples_emitted += len(merged)
+            arity = self.schema.arity
+            # One listcomp per attribute, not ``zip(*merged)``: star-
+            # unpacking the row set would build a len(merged)-argument
+            # call just to transpose it.
+            columns = [[row[i] for row in merged] for i in range(arity)]
+            relation = ColumnarRelation._from_columns(
+                self.schema,
+                columns,
+                merged.values(),
+                backend="numpy" if batch.is_numpy else "python",
+            )
+            return EvalResult(
+                relation, stream.expiration, stream.validity, stamp
+            )
+        elif isinstance(stream.pairs, type({}.items())):
             tuples = dict(stream.pairs)
         else:
             tuples = _to_dict(stream.pairs)

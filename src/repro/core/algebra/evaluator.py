@@ -90,6 +90,21 @@ class EvalStats:
     operators_evaluated: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    columnar_batches: int = 0
+    columnar_rows: int = 0
+
+    def __post_init__(self) -> None:
+        #: Rows processed per columnar batch kernel (``scan_filter``,
+        #: ``select_mask``, ``hash_join``, ...); kept off the dataclass
+        #: fields so :meth:`as_dict` stays a flat int mapping.
+        self.columnar_kernel_rows: Dict[str, int] = {}
+
+    def note_columnar(self, kernel: str, rows: int) -> None:
+        """Bill one batch-kernel invocation that processed ``rows`` rows."""
+        self.columnar_batches += 1
+        self.columnar_rows += rows
+        per_kernel = self.columnar_kernel_rows
+        per_kernel[kernel] = per_kernel.get(kernel, 0) + rows
 
     def as_dict(self) -> Dict[str, int]:
         """All counters by name (stable order for reporting)."""

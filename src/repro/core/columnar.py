@@ -1,0 +1,622 @@
+"""Columnar twin of :class:`~repro.core.relation.Relation`.
+
+The row engine stores a relation as ``Dict[Row, Timestamp]`` -- ideal for
+point lookups and max-merge inserts, but every whole-relation operation
+(the paper's ``exp_τ`` restriction above all) then pays per-row Python
+object traffic: tuple hashing, ``Timestamp`` rich comparisons, generator
+frames.  :class:`ColumnarRelation` keeps the same *logical* content as
+parallel per-attribute arrays plus a raw ``int64`` expiration array::
+
+    _cols  = [[uid...], [deg...]]      # one Python list per attribute
+    _texp  = array('q', [10, 15, ...]) # raw ticks; RAW_INFINITY encodes ∞
+
+so ``exp_τ(R)`` becomes a single-pass compare of a machine-int column
+against a scalar, and the compiled evaluator's batch kernels
+(``core/algebra/compiler.py``) can move whole column slices instead of
+``(row, texp)`` pairs.  An optional numpy backend (``REPRO_NUMPY=1`` or
+``Database(columnar_backend="numpy")``) layers cached ``ndarray`` views
+over the same storage for vectorised masks; the ``array``/list storage
+remains the source of truth, so the two backends never diverge.
+
+Duplicate policy, ``exp_at``, max-merge-on-insert, and the whole
+:class:`Relation` API are preserved bit-for-bit -- the differential suite
+(`tests/core/algebra/test_compiler_differential.py`) and ``repro.check``
+treat row and columnar layouts as interchangeable oracles.
+
+Point mutations stay O(1): a lazy ``row -> position`` map serves lookups
+and deletion compacts by swapping the last row into the hole, keeping the
+arrays dense so sweeps and scans never skip tombstones.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from itertools import compress as _compress
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema, anonymous_schema
+from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
+from repro.core.tuples import ExpiringTuple, Row, make_row
+from repro.errors import RelationError, TimeError
+
+try:  # pragma: no cover - exercised via the numpy CI job
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy genuinely absent
+    _np = None
+
+__all__ = [
+    "RAW_INFINITY",
+    "ColumnBatch",
+    "ColumnarRelation",
+    "from_raw",
+    "numpy_available",
+    "resolve_backend",
+    "to_raw",
+]
+
+#: Raw encoding of the infinite timestamp.  Finite ticks are non-negative
+#: and must stay strictly below this sentinel so that ``raw > tau`` keeps
+#: the total order of the time domain; ``int64`` max leaves every
+#: realistic tick representable while fitting ``array('q')`` and numpy's
+#: native integer dtype.
+RAW_INFINITY = (1 << 63) - 1
+
+_ENV_FLAG = "REPRO_NUMPY"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Interned finite timestamps, so batch-to-pair fallbacks do not allocate
+#: a fresh Timestamp per row for the (few, repeated) tick values of a
+#: workload.  Bounded to keep pathological tick ranges from leaking.
+_TS_CACHE: Dict[int, Timestamp] = {}
+_TS_CACHE_LIMIT = 1 << 16
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy backend can be used in this process."""
+    return _np is not None
+
+
+def numpy_module():
+    """The imported numpy module, or ``None`` when unavailable."""
+    return _np
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a backend request to ``"python"`` or ``"numpy"``.
+
+    ``None``/``"auto"`` consults the ``REPRO_NUMPY`` environment flag, so
+    a deployment can flip every columnar table to numpy without touching
+    call sites.  Requesting numpy when it is not importable is an error --
+    silently degrading would invalidate benchmark comparisons.
+    """
+    if name in (None, "", "auto"):
+        if os.environ.get(_ENV_FLAG, "").strip().lower() in _TRUTHY:
+            if _np is None:
+                raise RelationError(
+                    f"{_ENV_FLAG} requested the numpy backend but numpy is "
+                    "not importable"
+                )
+            return "numpy"
+        return "python"
+    if name == "python":
+        return "python"
+    if name == "numpy":
+        if _np is None:
+            raise RelationError(
+                "columnar backend 'numpy' requested but numpy is not importable"
+            )
+        return "numpy"
+    raise RelationError(
+        f"unknown columnar backend {name!r} (expected 'python' or 'numpy')"
+    )
+
+
+def to_raw(stamp: Timestamp) -> int:
+    """Encode a :class:`Timestamp` as a raw machine int."""
+    value = stamp._value
+    if value is None:
+        return RAW_INFINITY
+    if value >= RAW_INFINITY:
+        raise TimeError(
+            f"finite timestamp {value} too large for columnar storage"
+        )
+    return value
+
+
+def from_raw(raw: int) -> Timestamp:
+    """Decode a raw machine int back into an (interned) :class:`Timestamp`."""
+    if raw == RAW_INFINITY:
+        return INFINITY
+    cached = _TS_CACHE.get(raw)
+    if cached is None:
+        cached = Timestamp(raw)
+        if len(_TS_CACHE) < _TS_CACHE_LIMIT:
+            _TS_CACHE[raw] = cached
+    return cached
+
+
+class ColumnBatch:
+    """A column-sliced payload flowing between compiled batch kernels.
+
+    ``columns[i]`` holds attribute ``i`` for every surviving row and
+    ``texp`` the matching raw expiration ticks; all sequences share one
+    length.  Columns are *read-only by convention*: kernels that reshape
+    data always build fresh lists (or arrays), so a batch may alias a
+    relation's live storage with zero copies.  ``owned=True`` marks a
+    batch whose column/texp sequences were freshly built by a kernel and
+    are referenced by nothing else -- the plan root may then adopt them
+    into a result relation without a defensive copy.
+    """
+
+    __slots__ = ("columns", "texp", "owned")
+
+    def __init__(
+        self, columns: Sequence[Any], texp: Any, owned: bool = False
+    ) -> None:
+        self.columns = list(columns)
+        self.texp = texp
+        self.owned = owned
+
+    def __len__(self) -> int:
+        return len(self.texp)
+
+    @property
+    def is_numpy(self) -> bool:
+        return _np is not None and isinstance(self.texp, _np.ndarray)
+
+    def iter_rows(self) -> Iterator[Row]:
+        if self.columns:
+            return zip(*self.columns)
+        return iter([()] * len(self.texp))
+
+    def pairs(self) -> Iterator[Tuple[Row, Timestamp]]:
+        """Fallback bridge to the row engine's ``(row, texp)`` streams.
+
+        Always decodes through plain-list columns so ndarray batches do
+        not leak numpy scalar types into row-engine tuples.
+        """
+        plain = self.to_python()
+        decode = from_raw
+        for row, raw in zip(plain.iter_rows(), plain.texp):
+            yield row, decode(raw)
+
+    def to_python(self) -> "ColumnBatch":
+        """A batch with plain-list columns (exit ramp from numpy views)."""
+        if not self.is_numpy:
+            return self
+        return ColumnBatch(
+            [col.tolist() for col in self.columns],
+            self.texp.tolist(),
+            owned=True,
+        )
+
+
+class ColumnarRelation(Relation):
+    """A :class:`Relation` stored as parallel attribute/texp arrays.
+
+    Drop-in compatible: every inherited behaviour (max-merge insert,
+    ``exp_at``, equality, ``same_content``) holds, so engine layers and
+    the invariant checker treat the two layouts interchangeably.  The
+    inherited ``_tuples`` slot is shadowed by a snapshot property, the
+    same trick ``ShardedRelation`` uses, which keeps dict-shaped
+    consumers (equality, pretty-printing, audits) working unmodified.
+    """
+
+    __slots__ = ("_cols", "_texp", "_rowmap", "backend", "_version", "_np_cache")
+
+    def __init__(
+        self,
+        schema: Schema | Sequence[str] | int,
+        tuples: Optional[Mapping[Row, Timestamp]] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if isinstance(schema, Schema):
+            self.schema = schema
+        elif isinstance(schema, int):
+            self.schema = anonymous_schema(schema)
+        else:
+            self.schema = Schema(schema)
+        self.backend = resolve_backend(backend)
+        self._cols: List[List[Any]] = [[] for _ in range(self.schema.arity)]
+        self._texp = array("q")
+        self._rowmap: Optional[Dict[Row, int]] = None
+        self._version = 0
+        self._np_cache = None
+        if tuples:
+            for row, stamp in tuples.items():
+                self.insert(row, expires_at=stamp)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def _from_columns(
+        cls,
+        schema: Schema,
+        columns: Sequence[Sequence[Any]],
+        texp_raw: Iterable[int],
+        backend: str = "python",
+    ) -> "ColumnarRelation":
+        """Adopt already-deduplicated column data (trusted fast path).
+
+        The columnar analogue of :meth:`Relation._from_trusted`: rows at
+        the same index across ``columns`` must be distinct hashable
+        tuples and ``texp_raw`` raw-encoded ticks.  Lists are adopted,
+        not copied.
+        """
+        relation = cls.__new__(cls)
+        relation.schema = schema
+        relation.backend = backend
+        relation._cols = [
+            col if type(col) is list else list(col) for col in columns
+        ]
+        relation._texp = (
+            texp_raw if type(texp_raw) is array else array("q", texp_raw)
+        )
+        relation._rowmap = None
+        relation._version = 0
+        relation._np_cache = None
+        return relation
+
+    @classmethod
+    def from_relation(
+        cls, source: Relation, backend: Optional[str] = None
+    ) -> "ColumnarRelation":
+        """Columnar copy of any relation (used by tests and benchmarks)."""
+        arity = source.schema.arity
+        cols: List[List[Any]] = [[] for _ in range(arity)]
+        texp = array("q")
+        for row, stamp in source.items():
+            for i in range(arity):
+                cols[i].append(row[i])
+            texp.append(to_raw(stamp))
+        return cls._from_columns(
+            source.schema, cols, texp, resolve_backend(backend)
+        )
+
+    # -- internal plumbing ---------------------------------------------------
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._np_cache = None
+
+    def _iter_rows(self) -> Iterator[Row]:
+        if self._cols:
+            return zip(*self._cols)
+        return iter([()] * len(self._texp))
+
+    def _ensure_rowmap(self) -> Dict[Row, int]:
+        rowmap = self._rowmap
+        if rowmap is None:
+            rowmap = {row: i for i, row in enumerate(self._iter_rows())}
+            self._rowmap = rowmap
+        return rowmap
+
+    @property
+    def _tuples(self) -> Dict[Row, Timestamp]:  # type: ignore[override]
+        """Row-engine-shaped snapshot (equality, audits, pretty printing)."""
+        decode = from_raw
+        return {
+            row: decode(raw)
+            for row, raw in zip(self._iter_rows(), self._texp)
+        }
+
+    def np_arrays(self):
+        """Cached ``(columns, texp)`` ndarray views for the numpy backend.
+
+        Arrays are converted once per mutation generation (the version
+        counter invalidates the cache), so repeated scans of a stable
+        relation pay the conversion only once.  The texp view is a copy,
+        not ``frombuffer``: a zero-copy view would pin the backing
+        ``array('q')`` buffer and make every later append/pop raise
+        ``BufferError``.
+        """
+        if _np is None:
+            raise RelationError("numpy backend requested but numpy is absent")
+        cache = self._np_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2]
+        texp = _np.array(self._texp, dtype=_np.int64)
+        cols = [_np.asarray(col) for col in self._cols]
+        self._np_cache = (self._version, cols, texp)
+        return cols, texp
+
+    # -- batch access for the compiled evaluator -----------------------------
+
+    def batch(
+        self,
+        tau_raw: Optional[int] = None,
+        keep: Optional[Sequence[int]] = None,
+    ) -> ColumnBatch:
+        """The relation's content as a :class:`ColumnBatch`.
+
+        With ``tau_raw`` the batch is exp-filtered (``texp > τ``) in one
+        pass over the raw array -- the whole-column form of ``exp_τ``.
+        Without a filter the live storage is aliased zero-copy.  ``keep``
+        prunes the scan to the given column indexes (in ``keep`` order):
+        columns no downstream kernel touches are never materialised.
+        """
+        texp = self._texp
+        if self.backend == "numpy" and _np is not None:
+            np_cols, np_texp = self.np_arrays()
+            if keep is not None:
+                np_cols = [np_cols[i] for i in keep]
+            if tau_raw is None:
+                return ColumnBatch(np_cols, np_texp)
+            mask = np_texp > tau_raw
+            if bool(mask.all()):
+                return ColumnBatch(np_cols, np_texp)
+            return ColumnBatch(
+                [col[mask] for col in np_cols], np_texp[mask], owned=True
+            )
+        cols = self._cols if keep is None else [self._cols[i] for i in keep]
+        if tau_raw is None:
+            return ColumnBatch(cols, texp)
+        # Flag-and-compress beats an index-list gather: the survivors are
+        # copied out by itertools.compress at C speed instead of one
+        # ``col[i]`` subscript per (row, attribute).
+        flags = [raw > tau_raw for raw in texp]
+        if all(flags):
+            return ColumnBatch(cols, texp)
+        compress = _compress
+        # The filtered texp comes out as a plain list: building an
+        # array("q") here costs ~2.4x a list, and every downstream kernel
+        # consumes either; only the plan root re-encodes (once).
+        return ColumnBatch(
+            [list(compress(col, flags)) for col in cols],
+            list(compress(texp, flags)),
+            owned=True,
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def bulk_load(self, pairs: Iterable[Tuple[Row, Timestamp]]) -> int:
+        rowmap = self._ensure_rowmap()
+        cols = self._cols
+        texp = self._texp
+        count = 0
+        for row, stamp in pairs:
+            raw = to_raw(stamp)
+            pos = rowmap.get(row)
+            if pos is None:
+                rowmap[row] = len(texp)
+                for i, col in enumerate(cols):
+                    col.append(row[i])
+                texp.append(raw)
+            elif texp[pos] < raw:
+                texp[pos] = raw
+            count += 1
+        self._touch()
+        return count
+
+    def bulk_restore(
+        self, ops: Iterable[Tuple[Row, Optional[Timestamp]]]
+    ) -> None:
+        """Apply trusted ``(row, texp-or-None)`` ops with override semantics.
+
+        ``None`` deletes; anything else sets the expiration
+        unconditionally.  The WAL replay fast path.
+        """
+        rowmap = self._ensure_rowmap()
+        cols = self._cols
+        texp = self._texp
+        for row, stamp in ops:
+            pos = rowmap.get(row)
+            if stamp is None:
+                if pos is not None:
+                    self._swap_remove(rowmap, pos, row)
+            elif pos is None:
+                rowmap[row] = len(texp)
+                for i, col in enumerate(cols):
+                    col.append(row[i])
+                texp.append(to_raw(stamp))
+            else:
+                texp[pos] = to_raw(stamp)
+        self._touch()
+
+    def insert(
+        self, values: Iterable[Any], expires_at: TimeLike = None
+    ) -> ExpiringTuple:
+        row = make_row(values)
+        self._check_arity(row)
+        raw = to_raw(ts(expires_at))
+        rowmap = self._ensure_rowmap()
+        texp = self._texp
+        pos = rowmap.get(row)
+        if pos is None:
+            rowmap[row] = len(texp)
+            for i, col in enumerate(self._cols):
+                col.append(row[i])
+            texp.append(raw)
+        elif texp[pos] < raw:
+            texp[pos] = raw
+        else:
+            raw = texp[pos]
+        self._touch()
+        return ExpiringTuple(row, from_raw(raw))
+
+    def override(
+        self, values: Iterable[Any], expires_at: TimeLike
+    ) -> ExpiringTuple:
+        row = make_row(values)
+        self._check_arity(row)
+        raw = to_raw(ts(expires_at))
+        rowmap = self._ensure_rowmap()
+        texp = self._texp
+        pos = rowmap.get(row)
+        if pos is None:
+            rowmap[row] = len(texp)
+            for i, col in enumerate(self._cols):
+                col.append(row[i])
+            texp.append(raw)
+        else:
+            texp[pos] = raw
+        self._touch()
+        return ExpiringTuple(row, from_raw(raw))
+
+    def _swap_remove(self, rowmap: Dict[Row, int], pos: int, row: Row) -> None:
+        """Fill the hole at ``pos`` with the last row; arrays stay dense."""
+        cols = self._cols
+        texp = self._texp
+        last = len(texp) - 1
+        if pos != last:
+            moved = tuple(col[last] for col in cols)
+            for col in cols:
+                col[pos] = col[last]
+            texp[pos] = texp[last]
+            rowmap[moved] = pos
+        for col in cols:
+            col.pop()
+        texp.pop()
+        del rowmap[row]
+
+    def delete(self, values: Iterable[Any]) -> bool:
+        row = make_row(values)
+        rowmap = self._ensure_rowmap()
+        pos = rowmap.get(row)
+        if pos is None:
+            return False
+        self._swap_remove(rowmap, pos, row)
+        self._touch()
+        return True
+
+    def purge_expired(self, tau: TimeLike) -> int:
+        raw = to_raw(ts(tau))
+        texp = self._texp
+        flags = [t > raw for t in texp]
+        purged = len(texp) - sum(flags)
+        if purged:
+            compress = _compress
+            self._cols = [
+                list(compress(col, flags)) for col in self._cols
+            ]
+            self._texp = array("q", compress(texp, flags))
+            self._rowmap = None
+            self._touch()
+        return purged
+
+    def _sweep_due(
+        self,
+        due: Iterable[Tuple[Row, Any]],
+        now: Timestamp,
+        collect: bool = False,
+    ) -> Tuple[int, List[Tuple[Row, Any]]]:
+        """Bulk arm of the engine's expiration sweep.
+
+        ``due`` holds index-reported ``(row, scheduled)`` entries; a row is
+        removed when its *stored* expiration is ``<= now`` -- entries whose
+        lifetime was max-merge-renewed after scheduling are skipped, exactly
+        like the row engine's ``expiration_or_none`` + ``delete`` loop, but
+        compared as raw ticks straight off the texp array.  Returns
+        ``(processed, expired)`` where ``expired`` echoes the due entries
+        actually removed (for ON-EXPIRE triggers) when ``collect`` is set.
+        """
+        now_raw = to_raw(now)
+        rowmap = self._ensure_rowmap()
+        texp = self._texp
+        expired: List[Tuple[Row, Any]] = []
+        processed = 0
+        for row, scheduled in due:
+            pos = rowmap.get(row)
+            if pos is None or texp[pos] > now_raw:
+                continue
+            self._swap_remove(rowmap, pos, row)
+            processed += 1
+            if collect:
+                expired.append((row, scheduled))
+        if processed:
+            self._touch()
+        return processed, expired
+
+    # -- the model's primitives ----------------------------------------------
+
+    def exp_at(self, tau: TimeLike) -> "ColumnarRelation":
+        raw = to_raw(ts(tau))
+        texp = self._texp
+        if self.backend == "numpy" and _np is not None and len(texp):
+            _, np_texp = self.np_arrays()
+            flags = (np_texp > raw).tolist()
+        else:
+            flags = [t > raw for t in texp]
+        if all(flags):
+            return self.copy()
+        compress = _compress
+        return ColumnarRelation._from_columns(
+            self.schema,
+            [list(compress(col, flags)) for col in self._cols],
+            array("q", compress(texp, flags)),
+            self.backend,
+        )
+
+    def expiration_of(self, values: Iterable[Any]) -> Timestamp:
+        row = make_row(values)
+        pos = self._ensure_rowmap().get(row)
+        if pos is None:
+            raise RelationError(f"row {row!r} not in relation")
+        return from_raw(self._texp[pos])
+
+    def expiration_or_none(
+        self, values: Iterable[Any]
+    ) -> Optional[Timestamp]:
+        pos = self._ensure_rowmap().get(make_row(values))
+        return None if pos is None else from_raw(self._texp[pos])
+
+    def earliest_expiration(self) -> Timestamp:
+        if not len(self._texp):
+            return INFINITY
+        return from_raw(min(self._texp))
+
+    def latest_expiration(self) -> Timestamp:
+        if not len(self._texp):
+            return Timestamp(0)
+        return from_raw(max(self._texp))
+
+    # -- iteration & access --------------------------------------------------
+
+    def rows(self) -> Iterator[Row]:
+        return self._iter_rows()
+
+    def items(self) -> Iterator[Tuple[Row, Timestamp]]:
+        decode = from_raw
+        for row, raw in zip(self._iter_rows(), self._texp):
+            yield row, decode(raw)
+
+    def expiring_tuples(self) -> Iterator[ExpiringTuple]:
+        for row, stamp in self.items():
+            yield ExpiringTuple(row, stamp)
+
+    def contains(self, values: Iterable[Any]) -> bool:
+        return make_row(values) in self._ensure_rowmap()
+
+    def __len__(self) -> int:
+        return len(self._texp)
+
+    def __bool__(self) -> bool:
+        return len(self._texp) > 0
+
+    # -- copies --------------------------------------------------------------
+
+    def copy(self) -> "ColumnarRelation":
+        return ColumnarRelation._from_columns(
+            self.schema,
+            [list(col) for col in self._cols],
+            array("q", self._texp),
+            self.backend,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarRelation(schema={list(self.schema.names)!r}, "
+            f"tuples={len(self._texp)}, backend={self.backend!r})"
+        )

@@ -24,7 +24,7 @@ for administrative corrections.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.schema import Schema, anonymous_schema
 from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts, ts_max, ts_min
@@ -103,6 +103,53 @@ class Relation:
                 tuples[row] = stamp
             count += 1
         return count
+
+    def bulk_restore(
+        self, ops: Iterable[Tuple[Row, Optional[Timestamp]]]
+    ) -> None:
+        """Apply trusted ``(row, texp-or-None)`` ops with override semantics.
+
+        ``None`` deletes the row; anything else sets its expiration
+        unconditionally (no max-merge).  This is the WAL-replay fast path:
+        rows are already-validated hashable tuples, so the per-record
+        ``make_row`` + arity check of :meth:`override`/:meth:`delete` is
+        skipped.
+        """
+        tuples = self._tuples
+        for row, stamp in ops:
+            if stamp is None:
+                tuples.pop(row, None)
+            else:
+                tuples[row] = stamp
+
+    def _sweep_due(
+        self,
+        due: Iterable[Tuple[Row, Any]],
+        now: Timestamp,
+        collect: bool = False,
+    ) -> Tuple[int, List[Tuple[Row, Any]]]:
+        """Bulk arm of the engine's expiration sweep.
+
+        ``due`` holds index-reported ``(row, scheduled)`` entries; a row is
+        removed when its *stored* expiration is ``<= now``.  Entries whose
+        lifetime was max-merge-renewed after they were scheduled never
+        expired and are skipped.  Returns ``(processed, expired)`` where
+        ``expired`` echoes the due entries actually removed (the ON-EXPIRE
+        trigger payload) when ``collect`` is set.
+        """
+        tuples = self._tuples
+        get = tuples.get
+        expired: List[Tuple[Row, Any]] = []
+        processed = 0
+        for row, scheduled in due:
+            current = get(row)
+            if current is None or now < current:
+                continue
+            del tuples[row]
+            processed += 1
+            if collect:
+                expired.append((row, scheduled))
+        return processed, expired
 
     def insert(self, values: Iterable[Any], expires_at: TimeLike = None) -> ExpiringTuple:
         """Insert a row; a duplicate keeps the later expiration time.

@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.algebra.evaluator import EvalResult, EvalStats, Evaluator
 from repro.core.algebra.expressions import BaseRef, Expression
 from repro.core.algebra.plan_cache import PlanCache
+from repro.core.columnar import resolve_backend
 from repro.core.relation import Relation
 from repro.core.schema import Schema
 from repro.core.timestamps import TimeLike, Timestamp, ts
@@ -56,6 +57,10 @@ EVAL_COUNTERS: Dict[str, tuple] = {
         "repro_eval_hash_probes_total", "Hash-join probe operations."),
     "operators_evaluated": (
         "repro_eval_operators_total", "Operator nodes evaluated."),
+    "columnar_batches": (
+        "repro_columnar_batches_total", "Columnar batch-kernel invocations."),
+    "columnar_rows": (
+        "repro_columnar_rows_total", "Rows processed by columnar kernels."),
 }
 
 __all__ = ["Database"]
@@ -86,11 +91,17 @@ class Database:
         check_invariants: bool = False,
         wal_dir: Optional[Union[str, Path]] = None,
         wal_fsync: str = "commit",
+        columnar_backend: Optional[str] = None,
     ) -> None:
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
                 f"engine must be 'compiled' or 'interpreted', got {engine!r}"
             )
+        #: Default backend for ``layout="columnar"`` tables: ``"python"``,
+        #: ``"numpy"``, or ``None``/``"auto"`` (numpy iff ``REPRO_NUMPY``
+        #: is set and importable).  Resolved once here so the environment
+        #: is sampled at construction, not per table.
+        self.columnar_backend = resolve_backend(columnar_backend)
         self.clock = LogicalClock(start_time)
         #: The single source of truth for every counter in the system.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -109,6 +120,10 @@ class Database:
         self._eval_queries = self.metrics.counter(
             "repro_eval_queries_total", "Expressions evaluated.",
             labels=("engine",))
+        self._columnar_kernel_rows = self.metrics.counter(
+            "repro_columnar_kernel_rows_total",
+            "Rows processed per columnar batch kernel.",
+            labels=("kernel",))
         self._eval_seconds = self.metrics.histogram(
             "repro_eval_seconds", "Wall time per evaluation.",
             labels=("engine",))
@@ -127,6 +142,7 @@ class Database:
         # cache key so plans compiled against one layout are never reused
         # against another.
         self._partition_scheme: Tuple = ()
+        self._has_partitioned = False
         # Data version: bumped on every unpredictable mutation (insert,
         # delete, renewal, DDL).  Physical expiration processing does NOT
         # bump it -- expiry is exactly what a result's I(e) already
@@ -178,6 +194,8 @@ class Database:
         partitions: Optional[int] = None,
         partition_key: Optional[Any] = None,
         index_factory: Optional[Any] = None,
+        layout: str = "row",
+        columnar_backend: Optional[str] = None,
     ) -> Table:
         """Create and register a table; returns it for convenience.
 
@@ -191,6 +209,13 @@ class Database:
         :class:`~repro.engine.expiration_index.ExpirationIndex` (e.g.
         :class:`~repro.engine.timer_wheel.TimerWheelIndex`); partitioned
         tables build one instance per shard.
+
+        ``layout="columnar"`` stores the table as parallel per-attribute
+        columns with a raw-int expiration array
+        (:class:`~repro.core.columnar.ColumnarRelation`); compiled plans
+        then run whole-column batch kernels over it.  ``columnar_backend``
+        overrides the database-wide :attr:`columnar_backend` for this
+        table.
         """
         if name in self._tables or name in self._views:
             raise CatalogError(f"name {name!r} already in use")
@@ -199,6 +224,11 @@ class Database:
             raise CatalogError(
                 f"table {name!r}: partition_key given without partitions"
             )
+        backend = (
+            resolve_backend(columnar_backend)
+            if columnar_backend is not None
+            else self.columnar_backend
+        )
         if partitions is not None:
             table: Table = PartitionedTable(
                 name,
@@ -211,6 +241,8 @@ class Database:
                 lazy_batch_size=lazy_batch_size,
                 database=self,
                 index_factory=index_factory,
+                layout=layout,
+                columnar_backend=backend,
             )
         else:
             table = Table(
@@ -222,6 +254,8 @@ class Database:
                 lazy_batch_size=lazy_batch_size,
                 database=self,
                 index_factory=index_factory,
+                layout=layout,
+                columnar_backend=backend,
             )
         self._tables[name] = table
         self.clock.on_advance(table.on_clock_advance)
@@ -254,10 +288,23 @@ class Database:
         self._wal_append("drop_table", name=name)
 
     def _refresh_partition_scheme(self) -> None:
+        # Partitioning *and* storage layout both select which compiled
+        # kernels fire at execution time, so both are fingerprinted into
+        # the plan-cache key: a plan compiled against one physical design
+        # is never reused (nor its cached results served) under another.
         self._partition_scheme = tuple(
-            (name, table.partitions, table.partition_key)
+            (
+                name,
+                table.partitions if isinstance(table, PartitionedTable) else None,
+                table.partition_key if isinstance(table, PartitionedTable) else None,
+                table.layout,
+            )
             for name, table in sorted(self._tables.items())
-            if isinstance(table, PartitionedTable)
+            if isinstance(table, PartitionedTable) or table.layout != "row"
+        )
+        self._has_partitioned = any(
+            isinstance(table, PartitionedTable)
+            for table in self._tables.values()
         )
 
     @property
@@ -410,7 +457,7 @@ class Database:
                     trace=span,
                     bypass_results=tracing,
                     partitioning=self._partition_scheme,
-                    executor=self.executor if self._partition_scheme else None,
+                    executor=self.executor if self._has_partitioned else None,
                 )
             elif which == "interpreted":
                 evaluator = Evaluator(self.catalog, stamp, trace=span)
@@ -430,6 +477,8 @@ class Database:
             value = getattr(stats, fld)
             if value:
                 counter.labels(which).inc(value)
+        for kernel, rows in stats.columnar_kernel_rows.items():
+            self._columnar_kernel_rows.labels(kernel).inc(rows)
         if span is not None:
             span.note(
                 rows=len(result.relation),

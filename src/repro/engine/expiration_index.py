@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.timestamps import TimeLike, Timestamp, ts
 from repro.core.tuples import Row
@@ -79,6 +79,27 @@ class ExpirationIndex:
             return
         self._live[row] = stamp.value
         heapq.heappush(self._heap, (stamp.value, next(self._counter), row))
+
+    def bulk_schedule(self, entries: Iterable[Tuple[Row, TimeLike]]) -> None:
+        """Index many rows at once: append everything, heapify once.
+
+        The trusted bulk-load fast path for snapshot restore and WAL
+        replay -- ``O(n)`` instead of n pushes' ``O(n log n)``.
+        Semantically one :meth:`schedule` per entry (later entries for the
+        same row supersede earlier ones; superseded and removed heap
+        residue is reclaimed lazily as usual).
+        """
+        heap = self._heap
+        live = self._live
+        counter = self._counter
+        for row, expires_at in entries:
+            stamp = ts(expires_at)
+            if stamp.is_infinite:
+                live.pop(row, None)
+                continue
+            live[row] = stamp.value
+            heap.append((stamp.value, next(counter), row))
+        heapq.heapify(heap)
 
     def remove(self, row: Row) -> None:
         """Forget ``row`` (explicit delete); O(1) via tombstoning."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, List, Optional, Tuple
 
+from repro.core.columnar import ColumnarRelation
 from repro.core.relation import Relation
 from repro.core.schema import Schema
 from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts, ts_max, ts_min
@@ -85,7 +86,13 @@ class ShardedRelation(Relation):
 
     __slots__ = ("key_index", "shard_count", "shards")
 
-    def __init__(self, schema: Schema, key_index: int, partitions: int) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        key_index: int,
+        partitions: int,
+        relation_factory=None,
+    ) -> None:
         if partitions < 1:
             raise EngineError(f"partitions must be >= 1, got {partitions}")
         if not 0 <= key_index < schema.arity:
@@ -96,8 +103,11 @@ class ShardedRelation(Relation):
         self.schema = schema
         self.key_index = key_index
         self.shard_count = partitions
+        # Shards default to flat row relations; a columnar table passes a
+        # factory so each shard stores column arrays instead.
+        factory = relation_factory if relation_factory is not None else Relation
         self.shards: Tuple[Relation, ...] = tuple(
-            Relation(schema) for _ in range(partitions)
+            factory(schema) for _ in range(partitions)
         )
 
     # The flat superclass reads ``self._tuples`` in the few methods not
@@ -119,16 +129,26 @@ class ShardedRelation(Relation):
 
     def bulk_load(self, pairs: Iterable[Tuple[Row, Timestamp]]) -> int:
         key = self.key_index
-        shards = self.shards
         n = self.shard_count
+        buckets: List[List[Tuple[Row, Timestamp]]] = [[] for _ in range(n)]
         count = 0
         for row, stamp in pairs:
-            tuples = shards[hash(row[key]) % n]._tuples
-            existing = tuples.get(row)
-            if existing is None or existing < stamp:
-                tuples[row] = stamp
+            buckets[hash(row[key]) % n].append((row, stamp))
             count += 1
+        for shard, bucket in zip(self.shards, buckets):
+            if bucket:
+                shard.bulk_load(bucket)
         return count
+
+    def bulk_restore(self, ops) -> None:
+        key = self.key_index
+        n = self.shard_count
+        buckets: List[list] = [[] for _ in range(n)]
+        for op in ops:
+            buckets[hash(op[0][key]) % n].append(op)
+        for shard, bucket in zip(self.shards, buckets):
+            if bucket:
+                shard.bulk_restore(bucket)
 
     def insert(self, values: Iterable[Any], expires_at: TimeLike = None) -> ExpiringTuple:
         row = make_row(values)
@@ -154,7 +174,7 @@ class ShardedRelation(Relation):
         stamp = ts(tau)
         survivors = {}
         for shard in self.shards:
-            for row, texp in shard._tuples.items():
+            for row, texp in shard.items():
                 if stamp < texp:
                     survivors[row] = texp
         return Relation._from_trusted(self.schema, survivors)
@@ -177,11 +197,11 @@ class ShardedRelation(Relation):
 
     def rows(self) -> Iterator[Row]:
         for shard in self.shards:
-            yield from shard._tuples
+            yield from shard.rows()
 
     def items(self) -> Iterator[Tuple[Row, Timestamp]]:
         for shard in self.shards:
-            yield from shard._tuples.items()
+            yield from shard.items()
 
     def expiring_tuples(self) -> Iterator[ExpiringTuple]:
         for row, stamp in self.items():
@@ -192,10 +212,10 @@ class ShardedRelation(Relation):
         return self.shard_of(row).contains(row)
 
     def __len__(self) -> int:
-        return sum(len(shard._tuples) for shard in self.shards)
+        return sum(len(shard) for shard in self.shards)
 
     def __bool__(self) -> bool:
-        return any(shard._tuples for shard in self.shards)
+        return any(len(shard) for shard in self.shards)
 
     def copy(self) -> Relation:
         """A *flat* snapshot copy (partitioning is physical, not logical)."""
@@ -237,6 +257,28 @@ class ShardedExpirationIndex(ExpirationIndex):
 
     def schedule(self, row: Row, expires_at: TimeLike) -> None:
         self.shard_of(row).schedule(row, expires_at)
+
+    def bulk_schedule(self, entries) -> None:
+        """Route a bulk load per shard, then bulk-schedule each shard.
+
+        Shards from a custom ``index_factory`` without a
+        ``bulk_schedule`` (e.g. the timer wheel) fall back to per-entry
+        scheduling.
+        """
+        buckets: List[List] = [[] for _ in self.shards]
+        key = self.key_index
+        count = self.shard_count
+        for entry in entries:
+            buckets[hash(entry[0][key]) % count].append(entry)
+        for shard, bucket in zip(self.shards, buckets):
+            if not bucket:
+                continue
+            bulk = getattr(shard, "bulk_schedule", None)
+            if bulk is not None:
+                bulk(bucket)
+            else:
+                for row, expires_at in bucket:
+                    shard.schedule(row, expires_at)
 
     def remove(self, row: Row) -> None:
         self.shard_of(row).remove(row)
@@ -304,6 +346,8 @@ class PartitionedTable(Table):
         lazy_batch_size: int = 64,
         database: Optional["Database"] = None,
         index_factory=None,
+        layout: str = "row",
+        columnar_backend: Optional[str] = None,
     ) -> None:
         super().__init__(
             name,
@@ -314,6 +358,8 @@ class PartitionedTable(Table):
             lazy_batch_size=lazy_batch_size,
             database=database,
             index_factory=index_factory,
+            layout=layout,
+            columnar_backend=columnar_backend,
         )
         if partitions < 1:
             raise EngineError(f"partitions must be >= 1, got {partitions}")
@@ -323,7 +369,16 @@ class PartitionedTable(Table):
         self.partitions = partitions
         self.partition_key = schema.name(key_index + 1)
         self.key_index = key_index
-        self.relation = ShardedRelation(schema, key_index, partitions)
+        relation_factory = None
+        if self.layout == "columnar":
+            backend = self.columnar_backend
+
+            def relation_factory(shard_schema, _backend=backend):
+                return ColumnarRelation(shard_schema, backend=_backend)
+
+        self.relation = ShardedRelation(
+            schema, key_index, partitions, relation_factory=relation_factory
+        )
         self._index = ShardedExpirationIndex(key_index, partitions, index_factory)
         # Per-shard due buffers (raw ints), replacing the flat _due_buffer.
         self._due_buffers: List[List[Tuple[Row, int]]] = [
@@ -366,21 +421,13 @@ class PartitionedTable(Table):
 
         def sweep(job: Tuple[int, List[Tuple[Row, int]]]):
             shard_id, shard_due = job
-            tuples = self.relation.shards[shard_id]._tuples
-            expired: List[Tuple[Row, int]] = []
-            processed = 0
             shard_started = time.perf_counter()
-            for row, value in shard_due:
-                # Buffered entries may have been renewed (re-inserted with
-                # a later expiration) meanwhile; a renewed tuple never
-                # expired and is skipped entirely.
-                current = tuples.get(row)
-                if current is None or stamp < current:
-                    continue
-                del tuples[row]
-                processed += 1
-                if collect_triggers:
-                    expired.append((row, value))
+            # The relation's bulk sweep skips renewed entries (stored
+            # expiration moved past ``stamp``) and, for columnar shards,
+            # compares raw ticks straight off the texp array.
+            processed, expired = self.relation.shards[shard_id]._sweep_due(
+                shard_due, stamp, collect_triggers
+            )
             return shard_id, processed, expired, time.perf_counter() - shard_started
 
         executor = self.database.executor if self.database is not None else None

@@ -106,6 +106,11 @@ def table_spec(table: Table, include_rows: bool = True) -> Dict[str, Any]:
     if getattr(table, "partitions", None) is not None:
         spec["partitions"] = table.partitions
         spec["partition_key"] = table.partition_key
+    if table.layout != "row":
+        # The layout persists; the columnar *backend* does not -- it is a
+        # machine-local choice (numpy availability, REPRO_NUMPY) resolved
+        # afresh by whoever loads the snapshot.
+        spec["layout"] = table.layout
     if include_rows:
         rows = []
         for row, texp in table.relation.items():
@@ -147,7 +152,16 @@ def database_to_dict(db: Database) -> Dict[str, Any]:
 
 
 def restore_table(db: Database, spec: Dict[str, Any]) -> Table:
-    """Create and fill one table from its snapshot spec."""
+    """Create and fill one table from its snapshot spec.
+
+    Rows go through the relation's trusted ``bulk_load`` (snapshot rows
+    are already a deduplicated set) and the index's one-shot
+    ``bulk_schedule`` (append + heapify) instead of per-row inserts and
+    heap pushes -- this path dominates recovery time on large snapshots.
+    Going around :meth:`Table.insert` also bypasses the "already expired"
+    guard on purpose: a lazy-policy snapshot may legitimately contain
+    expired-but-unreclaimed tuples that the next vacuum will process.
+    """
     table = db.create_table(
         spec["name"],
         spec["columns"],
@@ -156,13 +170,20 @@ def restore_table(db: Database, spec: Dict[str, Any]) -> Table:
         partitions=spec.get("partitions"),
         partition_key=spec.get("partition_key"),
         index_factory=_resolve_index_factory(spec.get("index_factory")),
+        layout=spec.get("layout", "row"),
     )
-    for values, texp in spec.get("rows", ()):
-        # Bypass the "already expired" insert guard: a lazy-policy
-        # snapshot may legitimately contain expired-but-unreclaimed
-        # tuples that the next vacuum will process.
-        table.relation.insert(tuple(values), expires_at=ts(texp))
-        table._index.schedule(tuple(values), ts(texp))
+    pairs = [
+        (tuple(values), ts(texp)) for values, texp in spec.get("rows", ())
+    ]
+    if pairs:
+        table.relation.bulk_load(pairs)
+        index = table._index
+        bulk = getattr(index, "bulk_schedule", None)
+        if bulk is not None:
+            bulk(pairs)
+        else:
+            for row, stamp in pairs:
+                index.schedule(row, stamp)
     return table
 
 

@@ -91,10 +91,58 @@ def _final_time(db: Database, records: List[WalRecord]) -> int:
     return final
 
 
+class _PhysicalBatch:
+    """Consecutive physical records buffered per table for bulk apply.
+
+    Replay used to write every ``upsert``/``remove`` through a per-row
+    relation/index call; on recovery-heavy logs those per-row paths (dict
+    churn, one heap push per row) dominate wall time.  The batch instead
+    accumulates ``(row, texp-or-None)`` ops per table and flushes them
+    through the trusted bulk paths -- ``Relation.bulk_restore`` (in-order
+    override/delete semantics) plus one ``bulk_schedule`` heapify per
+    table -- before any record that *reads* table state (a clock advance's
+    sweep, DDL) and at the end of the log.  Within a flush the index takes
+    each row's *final* action only, which is exactly the state the
+    per-record path would have converged to.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.pending: Dict[str, List[Tuple[tuple, Any]]] = {}
+
+    def add(self, name: str, row: tuple, texp) -> None:
+        self.pending.setdefault(name, []).append((row, texp))
+
+    def flush(self) -> None:
+        if not self.pending:
+            return
+        for name, ops in self.pending.items():
+            table = self.db.table(name)
+            table.relation.bulk_restore(ops)
+            final: Dict[tuple, Any] = {}
+            for row, texp in ops:
+                final[row] = texp
+            index = table._index
+            schedules = []
+            for row, texp in final.items():
+                if texp is None:
+                    index.remove(row)
+                else:
+                    schedules.append((row, texp))
+            if schedules:
+                bulk = getattr(index, "bulk_schedule", None)
+                if bulk is not None:
+                    bulk(schedules)
+                else:
+                    for row, stamp in schedules:
+                        index.schedule(row, stamp)
+        self.pending.clear()
+
+
 def _replay_physical(
-    db: Database, record: WalRecord, final_time: int
+    db: Database, record: WalRecord, final_time: int, batch: _PhysicalBatch
 ) -> bool:
-    """Apply one upsert/remove; returns True if skipped-as-expired.
+    """Buffer one upsert/remove; returns True if skipped-as-expired.
 
     State is written at the relation/index level (the same trusted path
     snapshot restore uses): listener and data-version side effects are
@@ -105,22 +153,18 @@ def _replay_physical(
         # Pre-snapshot record for a table dropped before the snapshot
         # (checkpoint-race replay); the drop supersedes it.
         return False
-    table = db.table(record["table"])
     row = tuple(record["row"])
     if record.kind == "remove":
-        table.relation.delete(row)
-        table._index.remove(row)
+        batch.add(record["table"], row, None)
         return False
     texp = decode_exp(record["texp"])
     if texp.is_finite and texp.value <= final_time:
         # Already past its expiration at recovery time: never apply it.
         # Erase instead of ignore -- an older incarnation of the row may
         # survive from the snapshot and must not outlive this state.
-        table.relation.delete(row)
-        table._index.remove(row)
+        batch.add(record["table"], row, None)
         return True
-    table.relation.override(row, texp)
-    table._index.schedule(row, texp)
+    batch.add(record["table"], row, texp)
     return False
 
 
@@ -209,28 +253,34 @@ def recover_database(
 
     final_time = _final_time(db, records)
     open_txns: Dict[int, List[WalRecord]] = {}
+    batch = _PhysicalBatch(db)
     for record in records:
         kind = record.kind
         report.records_replayed += 1
-        if kind == "clock":
-            if record["now"] > db.now.value:
-                db.advance_to(record["now"])
-        elif kind in ("upsert", "remove"):
-            skipped = _replay_physical(db, record, final_time)
+        if kind in ("upsert", "remove"):
+            skipped = _replay_physical(db, record, final_time, batch)
             if skipped:
                 report.records_skipped_expired += 1
                 families["skipped"].inc()
             txn = record.get("txn")
             if txn is not None and txn in open_txns:
                 open_txns[txn].append(record)
+        elif kind == "clock":
+            # The advance sweeps expirations, which must see every
+            # buffered physical record first.
+            batch.flush()
+            if record["now"] > db.now.value:
+                db.advance_to(record["now"])
         elif kind == "begin":
             open_txns[record["txn"]] = []
         elif kind in ("commit", "abort"):
             open_txns.pop(record["txn"], None)
         elif kind == "create_table":
+            batch.flush()
             if not db.has_table(record["spec"]["name"]):
                 restore_table(db, record["spec"])
         elif kind == "drop_table":
+            batch.flush()
             if db.has_table(record["name"]):
                 # Views over the table cannot exist yet (materialisation
                 # is deferred), but their pending specs must go too.
@@ -256,6 +306,7 @@ def recover_database(
                 f"(written by a newer version?)",
                 stacklevel=2,
             )
+    batch.flush()
     families["recovery_records"].inc(report.records_replayed)
 
     if open_txns:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
+from repro.core.columnar import ColumnarRelation, resolve_backend
 from repro.core.relation import Relation
 from repro.core.schema import Schema
 from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
@@ -75,7 +76,13 @@ class Table:
         lazy_batch_size: int = 64,
         database: Optional["Database"] = None,
         index_factory: Optional[Callable[[], ExpirationIndex]] = None,
+        layout: str = "row",
+        columnar_backend: Optional[str] = None,
     ) -> None:
+        if layout not in ("row", "columnar"):
+            raise EngineError(
+                f"unknown table layout {layout!r} (expected 'row' or 'columnar')"
+            )
         self.name = name
         self.schema = schema
         self.clock = clock
@@ -84,7 +91,19 @@ class Table:
         #: Under lazy removal, vacuum once this many expirations are pending.
         self.lazy_batch_size = lazy_batch_size
         self.database = database
-        self.relation = Relation(schema)
+        #: Physical storage layout ("row" dict vs "columnar" arrays); the
+        #: backend is resolved once at creation so later environment flips
+        #: cannot leave a table's shards disagreeing.
+        self.layout = layout
+        self.columnar_backend = (
+            resolve_backend(columnar_backend) if layout == "columnar" else None
+        )
+        if layout == "columnar":
+            self.relation: Relation = ColumnarRelation(
+                schema, backend=self.columnar_backend
+            )
+        else:
+            self.relation = Relation(schema)
         self.triggers = TriggerManager(name)
         self.constraints: List["Constraint"] = []
         #: Called with the stored ExpiringTuple after every successful
@@ -264,20 +283,27 @@ class Table:
         started = time.perf_counter()
         due = self._due_buffer + self._index.pop_due(stamp)
         self._due_buffer = []
-        processed = 0
-        for row, texp in due:
-            # Buffered entries may have been renewed (re-inserted with a
-            # later expiration) between coming due and being vacuumed; a
-            # renewed tuple never expired, so it is skipped entirely.
-            current = self.relation.expiration_or_none(row)
-            if current is None or stamp < current:
-                continue
-            self.relation.delete(row)
-            processed += 1
-            self.statistics.expirations_processed += 1
-            self.statistics.tuples_purged += 1
+        # The relation's bulk sweep skips entries renewed (re-inserted with
+        # a later expiration) between coming due and being processed -- a
+        # renewed tuple never expired.  Columnar relations compare raw
+        # ticks straight off the texp array.
+        logging = self.database is not None and self.database.wal is not None
+        collect = logging or len(self.triggers) > 0
+        processed, expired = self.relation._sweep_due(due, stamp, collect)
+        if processed:
+            self.statistics.expirations_processed += processed
+            self.statistics.tuples_purged += processed
+        for row, texp in expired:
             fired = self.triggers.fire(ExpiringTuple(row, texp), stamp)
             self.statistics.triggers_fired += fired
+        if logging:
+            # Sweep removals must be durable: replay re-derives expiration
+            # *state* from clock records, but a lazy-policy snapshot can
+            # retain a row whose vacuum (and ON-EXPIRE firing) happened
+            # before the crash -- without these records recovery would
+            # re-arm it and the trigger would fire a second time.
+            for row, texp in expired:
+                self._wal_physical("remove", row, None, texp)
         if due:
             self.statistics.purge_passes += 1
             policy = self.removal_policy.value

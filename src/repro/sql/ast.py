@@ -219,8 +219,8 @@ class CreateTable(Statement):
 
     The CTAS form derives the schema from the query and carries each
     result tuple's derived expiration time into the new table.  The
-    column-list form accepts a trailing
-    ``PARTITION BY HASH (col) PARTITIONS n`` clause.
+    column-list form accepts trailing ``PARTITION BY HASH (col)
+    PARTITIONS n`` and ``LAYOUT COLUMNAR`` clauses (in either order).
     """
 
     name: str
@@ -228,6 +228,7 @@ class CreateTable(Statement):
     query: Optional["QueryNode"] = None
     partitions: Optional[int] = None
     partition_key: Optional[str] = None
+    layout: str = "row"
 
 
 @dataclass(frozen=True)

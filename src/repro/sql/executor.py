@@ -156,17 +156,22 @@ def _dispatch_statement(db: Database, statement: Statement) -> SqlResult:
             list(statement.columns),
             partitions=statement.partitions,
             partition_key=statement.partition_key,
+            layout=statement.layout,
         )
+        layout_note = " columnar" if statement.layout == "columnar" else ""
         if statement.partitions is not None:
             return SqlResult(
                 kind="create_table",
                 message=(
-                    f"table {statement.name} created "
+                    f"table {statement.name} created{layout_note} "
                     f"({statement.partitions} hash partition(s) on "
                     f"{statement.partition_key or statement.columns[0]})"
                 ),
             )
-        return SqlResult(kind="create_table", message=f"table {statement.name} created")
+        return SqlResult(
+            kind="create_table",
+            message=f"table {statement.name} created{layout_note}",
+        )
 
     if isinstance(statement, InsertStatement):
         table = db.table(statement.table)
@@ -336,12 +341,17 @@ def _describe(db: Database, name: str) -> SqlResult:
                 f"; partitions={table.partitions} "
                 f"by hash({table.partition_key})"
             )
+        layout_note = ""
+        if table.layout != "row":
+            layout_note = (
+                f"; layout={table.layout}({table.columnar_backend})"
+            )
         message = (
             f"table {name}({', '.join(table.schema.names)}); "
             f"{len(table)} live tuple(s), {table.physical_size} stored; "
             f"removal={table.removal_policy.value}; "
             f"next expiration={upcoming if upcoming is not None else 'none'}"
-            f"{partitioned}"
+            f"{partitioned}{layout_note}"
         )
         return SqlResult(kind="describe", message=message, names=table.schema.names)
     if db.has_view(name):

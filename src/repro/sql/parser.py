@@ -192,19 +192,27 @@ class _Parser:
             self._expect_symbol(")")
             partitions = None
             partition_key = None
-            if self._accept_keyword("PARTITION"):
-                self._expect_keyword("BY")
-                self._expect_keyword("HASH")
-                self._expect_symbol("(")
-                partition_key = self._expect_ident()
-                self._expect_symbol(")")
-                self._expect_keyword("PARTITIONS")
-                partitions = self._expect_int()
+            layout = "row"
+            while True:
+                if partitions is None and self._accept_keyword("PARTITION"):
+                    self._expect_keyword("BY")
+                    self._expect_keyword("HASH")
+                    self._expect_symbol("(")
+                    partition_key = self._expect_ident()
+                    self._expect_symbol(")")
+                    self._expect_keyword("PARTITIONS")
+                    partitions = self._expect_int()
+                elif layout == "row" and self._accept_keyword("LAYOUT"):
+                    self._expect_keyword("COLUMNAR")
+                    layout = "columnar"
+                else:
+                    break
             return CreateTable(
                 name=name,
                 columns=tuple(columns),
                 partitions=partitions,
                 partition_key=partition_key,
+                layout=layout,
             )
         if self._accept_keyword("MATERIALIZED"):
             self._expect_keyword("VIEW")

@@ -30,6 +30,7 @@ KEYWORDS = frozenset(
         "AT",
         "AVG",
         "BY",
+        "COLUMNAR",
         "COUNT",
         "CREATE",
         "DELETE",
@@ -49,6 +50,7 @@ KEYWORDS = frozenset(
         "INTERSECT",
         "INTO",
         "JOIN",
+        "LAYOUT",
         "LEFT",
         "LIMIT",
         "MATERIALIZED",

@@ -132,7 +132,9 @@ class TestCrashPoints:
         from repro.engine import recovery
 
         monkeypatch.setattr(
-            recovery, "_replay_physical", lambda db, record, final: False
+            recovery,
+            "_replay_physical",
+            lambda db, record, final, batch: False,
         )
         crash_heavy = [
             ("immortal", "flat", (1, 1)),

@@ -24,6 +24,7 @@ from repro.core.algebra.compiler import (
 from repro.core.algebra.evaluator import evaluate
 from repro.core.algebra.expressions import BaseRef, Expression
 from repro.core.algebra.predicates import col
+from repro.core.columnar import ColumnarRelation, numpy_available
 from repro.core.relation import Relation
 from repro.core.validity import recompute_equals_materialised, relevant_times
 from repro.errors import CatalogError
@@ -33,12 +34,27 @@ from repro.errors import CatalogError
 # Random catalog / expression generation
 # ---------------------------------------------------------------------------
 
+#: Storage backends every differential property must hold over: the row
+#: dict, the pure-Python columnar layout (batch kernels), and -- when the
+#: module is importable -- the numpy columnar layout (vectorised kernels).
+BACKENDS = ["row", "columnar"] + (
+    ["columnar-numpy"] if numpy_available() else []
+)
 
-def random_catalog(rng: random.Random):
+
+def make_relation(arity, backend: str):
+    if backend == "row":
+        return Relation(arity)
+    return ColumnarRelation(
+        arity, backend="numpy" if backend == "columnar-numpy" else "python"
+    )
+
+
+def random_catalog(rng: random.Random, backend: str = "row"):
     """Three small base relations with colliding keys and mixed lifetimes."""
     catalog = {}
     for name, arity in (("R", 2), ("S", 2), ("T", 3)):
-        relation = Relation(arity)
+        relation = make_relation(arity, backend)
         for _ in range(rng.randrange(3, 12)):
             row = tuple(rng.randrange(5) for _ in range(arity))
             # Mix finite lifetimes with a few immortal tuples.
@@ -106,20 +122,22 @@ def assert_equivalent(expression: Expression, catalog, tau) -> None:
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", range(60))
-def test_random_expressions_agree(seed):
+def test_random_expressions_agree(seed, backend):
     rng = random.Random(seed)
-    catalog = random_catalog(rng)
+    catalog = random_catalog(rng, backend)
     expression = random_expression(rng, depth=rng.randrange(1, 5))
     for tau in (0, rng.randrange(1, 20), rng.randrange(20, 45)):
         assert_equivalent(expression, catalog, tau)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", range(8))
-def test_compiled_validity_matches_ground_truth(seed):
+def test_compiled_validity_matches_ground_truth(seed, backend):
     """Both engines' I(e) is the *true* validity, not merely mutual agreement."""
     rng = random.Random(1000 + seed)
-    catalog = random_catalog(rng)
+    catalog = random_catalog(rng, backend)
     expression = random_expression(rng, depth=2)
     tau = rng.randrange(0, 10)
     result = evaluate_compiled(expression, catalog, tau=tau)
