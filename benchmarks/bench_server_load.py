@@ -1,0 +1,278 @@
+"""Experiment X12: served-engine load -- 10k concurrent clients, one process.
+
+An in-process asyncio load generator drives the :class:`ReproServer` over
+its loopback transport (no sockets, no file descriptors, no ``ulimit``):
+each simulated client is a real :class:`AsyncSession` doing the full
+handshake, framed requests, and closed-loop waits, so the measured path is
+the production one -- parse, execute, frame, CRC, deliver.
+
+The workload mixes:
+
+* **readers** (most clients) issuing point queries;
+* **writers** inserting short-lived tuples (the expiring workload);
+* **subscribers** holding a patch stream over a materialised view while
+  the writers churn underneath them;
+* a **clock driver** advancing logical time so expiration does its silent
+  share of the maintenance.
+
+Latency percentiles (p50/p95/p99) are computed bench-side and published
+through ``obs`` as ``repro_server_load_*`` gauges next to the server's own
+``repro_server_*`` families, so one scrape shows offered load and server
+behaviour together.
+
+``--smoke`` runs the CI gate: 1k concurrent clients, every request must
+succeed, p99 below the budget, at least one patch delivered, and a
+subscriber's patched view must equal the server-side read at the end.
+The full run scales to 10k+ clients and just reports.
+"""
+
+import asyncio
+import sys
+import time
+
+from repro.server.client import AsyncSession
+from repro.server.server import ReproServer
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+#: Smoke-mode p99 budget (seconds) at SMOKE_CLIENTS concurrent clients.
+#: Closed-loop saturation means per-request latency is roughly
+#: clients x service time; the budget holds that product honest.
+SMOKE_P99_BUDGET = 0.75
+SMOKE_CLIENTS = 1_000
+FULL_CLIENTS = 10_000
+REQUESTS_PER_CLIENT = 4
+WRITER_SHARE = 0.1     # fraction of clients inserting expiring tuples
+SUBSCRIBERS = 20       # clients holding a patch stream during the run
+CONNECT_BATCH = 250    # handshake batch size (avoids a thundering herd)
+
+
+def declare_load_families(registry):
+    """The bench-side ``repro_server_load_*`` metric families."""
+    return {
+        "clients": registry.gauge(
+            "repro_server_load_clients",
+            "Concurrent simulated clients in the last load run",
+        ),
+        "requests": registry.counter(
+            "repro_server_load_requests_total",
+            "Requests completed by the load generator",
+        ),
+        "failures": registry.counter(
+            "repro_server_load_failures_total",
+            "Load-generator requests that raised",
+        ),
+        "latency": registry.gauge(
+            "repro_server_load_latency_seconds",
+            "Client-observed request latency percentiles",
+            labels=("quantile",),
+        ),
+        "throughput": registry.gauge(
+            "repro_server_load_throughput_rps",
+            "Completed requests per wall-clock second",
+        ),
+    }
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+async def run_load(clients, requests_per_client=REQUESTS_PER_CLIENT,
+                   subscribers=SUBSCRIBERS):
+    """Drive ``clients`` concurrent sessions; returns the report dict."""
+    server = ReproServer(max_outbox=512)
+    families = declare_load_families(server.db.metrics)
+
+    seed = await AsyncSession.over_loopback(server)
+    await seed.execute("CREATE TABLE Readings (sensor, value)")
+    for sensor in range(50):
+        await seed.execute(
+            f"INSERT INTO Readings VALUES ({sensor}, {sensor % 9}) "
+            f"EXPIRES AT 1000000"
+        )
+    await seed.execute(
+        "CREATE MATERIALIZED VIEW live AS SELECT sensor FROM Readings"
+    )
+
+    # -- connect the fleet (batched handshakes) -----------------------------
+    fleet = []
+    for start in range(0, clients, CONNECT_BATCH):
+        batch = await asyncio.gather(*(
+            AsyncSession.over_loopback(server)
+            for _ in range(min(CONNECT_BATCH, clients - start))
+        ))
+        fleet.extend(batch)
+    subs = []
+    for session in fleet[:subscribers]:
+        subs.append((session, await session.subscribe("live")))
+
+    latencies = []
+    failures = [0]
+    writer_cutoff = max(1, int(clients * WRITER_SHARE))
+
+    async def client_loop(index, session):
+        is_writer = index < writer_cutoff
+        for round_number in range(requests_per_client):
+            if is_writer:
+                sensor = 50 + index
+                text = (
+                    f"INSERT INTO Readings VALUES ({sensor}, {round_number}) "
+                    f"EXPIRES AT {100 + round_number * 50}"
+                )
+            else:
+                text = f"SELECT value FROM Readings WHERE sensor = {index % 50}"
+            started = time.perf_counter()
+            try:
+                if is_writer:
+                    await session.execute(text)
+                else:
+                    await session.query(text)
+            except Exception:
+                failures[0] += 1
+            else:
+                latencies.append(time.perf_counter() - started)
+
+    async def clock_driver():
+        # Advance logical time mid-run: short-lived writer tuples expire
+        # and the subscribers' maintenance happens silently.
+        for target in (40, 90):
+            await asyncio.sleep(0.05)
+            await seed.execute(f"ADVANCE TO {target}")
+
+    wall_started = time.perf_counter()
+    await asyncio.gather(
+        clock_driver(), *(client_loop(i, s) for i, s in enumerate(fleet))
+    )
+    wall = time.perf_counter() - wall_started
+
+    # Let subscribers absorb the tail of the patch stream, then check one
+    # against the server: the differential in the loaded system.
+    for session, sub in subs:
+        await session.poll(0.02)
+        if sub.degraded:
+            await session.refetch(sub)
+    differential_ok = True
+    for session, sub in subs:
+        await session.query("SELECT sensor FROM Readings WHERE sensor = 0")
+        server_rows = sorted(
+            server.db.view("live").read(server.db.clock.now).rows()
+        )
+        if sub.read() != server_rows:
+            differential_ok = False
+
+    latencies.sort()
+    done = len(latencies)
+    report = {
+        "clients": clients,
+        "requests": done,
+        "failures": failures[0],
+        "wall_seconds": wall,
+        "throughput_rps": done / wall if wall else 0.0,
+        "p50": percentile(latencies, 0.50),
+        "p95": percentile(latencies, 0.95),
+        "p99": percentile(latencies, 0.99),
+        "max": latencies[-1] if latencies else 0.0,
+        "patches_sent": server.families["patches"].value,
+        "invalidates": server.families["invalidates"].value,
+        "frames_out": server.families["frames_out"].value,
+        "differential_ok": differential_ok,
+    }
+
+    families["clients"].set(clients)
+    families["requests"].inc(done)
+    if failures[0]:
+        families["failures"].inc(failures[0])
+    for quantile in ("p50", "p95", "p99", "max"):
+        families["latency"].labels(quantile).set(report[quantile])
+    families["throughput"].set(report["throughput_rps"])
+    report["prom"] = server.db.metrics.to_prom_text()
+
+    for session, _ in subs:
+        await session.close()
+    await seed.close()
+    await server.stop()
+    return report
+
+
+def gate(clients=SMOKE_CLIENTS, budget=SMOKE_P99_BUDGET):
+    """The CI smoke gate; returns (report, passed)."""
+    report = asyncio.run(run_load(clients))
+    passed = (
+        report["failures"] == 0
+        and report["requests"] == _expected_requests(clients)
+        and report["p99"] < budget
+        and report["patches_sent"] > 0
+        and report["differential_ok"]
+    )
+    return report, passed
+
+
+def _expected_requests(clients):
+    return clients * REQUESTS_PER_CLIENT
+
+
+def show(report):
+    """Print the X12 table."""
+    emit(
+        "X12: served-engine load (in-process loopback transport)",
+        ["metric", "value"],
+        [
+            ("concurrent clients", f"{report['clients']:,}"),
+            ("requests completed", f"{report['requests']:,}"),
+            ("failures", report["failures"]),
+            ("wall time", f"{report['wall_seconds']:.2f} s"),
+            ("throughput", f"{report['throughput_rps']:,.0f} req/s"),
+            ("latency p50", f"{report['p50'] * 1e3:.1f} ms"),
+            ("latency p95", f"{report['p95'] * 1e3:.1f} ms"),
+            ("latency p99", f"{report['p99'] * 1e3:.1f} ms"),
+            ("latency max", f"{report['max'] * 1e3:.1f} ms"),
+            ("patch envelopes sent", f"{report['patches_sent']:,}"),
+            ("invalidate notices", f"{report['invalidates']:,}"),
+            ("frames sent", f"{report['frames_out']:,}"),
+            ("subscriber differential", "ok" if report["differential_ok"] else "MISMATCH"),
+        ],
+    )
+
+
+def test_smoke_load_gate():
+    """Pytest entry: a reduced fleet must clear every smoke criterion."""
+    report, passed = gate(clients=200, budget=SMOKE_P99_BUDGET)
+    assert report["failures"] == 0
+    assert report["requests"] == _expected_requests(200)
+    assert report["patches_sent"] > 0
+    assert report["differential_ok"]
+    assert passed
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    clients = SMOKE_CLIENTS if smoke else FULL_CLIENTS
+    for arg in sys.argv[1:]:
+        if arg.startswith("--clients="):
+            clients = int(arg.split("=", 1)[1])
+    if smoke:
+        report, passed = gate(clients=clients)
+        show(report)
+        print(
+            f"smoke gate at {clients:,} clients: p99 "
+            f"{report['p99'] * 1e3:.1f} ms (budget "
+            f"{SMOKE_P99_BUDGET * 1e3:.0f} ms), failures "
+            f"{report['failures']}, differential "
+            f"{'ok' if report['differential_ok'] else 'MISMATCH'}"
+        )
+        if not passed:
+            print("FAIL: served-engine smoke gate")
+            raise SystemExit(1)
+        print("OK: served-engine smoke gate")
+    else:
+        report = asyncio.run(run_load(clients))
+        show(report)

@@ -40,10 +40,13 @@ def main() -> None:
     interests = db.evaluate(db.table_expr("Pol").project(2))
     print("\npi_deg(Pol) at time 0:", sorted(interests.relation.rows()))
 
-    joined = db.sql(
+    # SQL goes through a session (the same surface works over a socket
+    # via repro.connect("repro://host:port")).
+    session = db.session()
+    joined = session.query(
         "SELECT P.uid, P.deg, E.deg FROM Pol AS P JOIN El AS E ON P.uid = E.uid"
     )
-    print("Pol JOIN El via SQL:   ", sorted(joined.relation.rows()))
+    print("Pol JOIN El via SQL:   ", sorted(joined.rows))
 
     # -- 3. a monotonic materialised view: maintenance-free forever --------
     view = db.materialise("interests", db.table_expr("Pol").project(2))

@@ -6,29 +6,30 @@ expiration-time surface, everything else is plain SQL with expiration
 handled behind the scenes -- including logical-time control statements for
 scripting demonstrations.
 
+Statements run through the session surface (``repro.connect``); the same
+code works unchanged against a networked engine by connecting to
+``repro://host:port`` instead.
+
 Run:  python examples/sql_tour.py
 """
 
-from repro import Database
-from repro.sql import execute_script
+import repro
+from repro.server.client import Session
 
 
-SCRIPT = """
-CREATE TABLE Pol (uid, deg);
-CREATE TABLE El (uid, deg);
-
-INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10;
-INSERT INTO Pol VALUES (2, 25) EXPIRES AT 15;
-INSERT INTO Pol VALUES (3, 35) EXPIRES AT 10;
-
-INSERT INTO El VALUES (1, 75) EXPIRES AT 5;
-INSERT INTO El VALUES (2, 85) EXPIRES AT 3;
-INSERT INTO El VALUES (4, 90) EXPIRES AT 2;
-
-CREATE MATERIALIZED VIEW watchlist AS
+SCRIPT = [
+    "CREATE TABLE Pol (uid, deg)",
+    "CREATE TABLE El (uid, deg)",
+    "INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10",
+    "INSERT INTO Pol VALUES (2, 25) EXPIRES AT 15",
+    "INSERT INTO Pol VALUES (3, 35) EXPIRES AT 10",
+    "INSERT INTO El VALUES (1, 75) EXPIRES AT 5",
+    "INSERT INTO El VALUES (2, 85) EXPIRES AT 3",
+    "INSERT INTO El VALUES (4, 90) EXPIRES AT 2",
+    """CREATE MATERIALIZED VIEW watchlist AS
     SELECT uid FROM Pol EXCEPT SELECT uid FROM El
-    WITH POLICY PATCH;
-"""
+    WITH POLICY PATCH""",
+]
 
 QUERIES = [
     ("Figure 2(c): interests at t=0",
@@ -44,46 +45,53 @@ QUERIES = [
 ]
 
 
-def show(db: Database, label: str, sql: str) -> None:
-    result = db.sql(sql)
+def show(session: Session, label: str, sql: str) -> None:
+    result = session.query(sql)
     print(f"-- {label}")
     print(f"   {sql.strip()}")
-    print(f"   -> {sorted(result.relation.rows())}\n")
+    print(f"   -> {sorted(result.rows)}\n")
 
 
 def main() -> None:
-    db = Database()
-    execute_script(db, SCRIPT)
+    with repro.connect() as session:
+        for statement in SCRIPT:
+            session.execute(statement)
 
-    print(f"tables: {db.sql('SHOW TABLES').names}, views: {db.sql('SHOW VIEWS').names}\n")
+        tables = session.execute("SHOW TABLES").names
+        views = session.execute("SHOW VIEWS").names
+        print(f"tables: {tables}, views: {views}\n")
 
-    for label, sql in QUERIES:
-        show(db, label, sql)
+        for label, sql in QUERIES:
+            show(session, label, sql)
 
-    print("-- advancing time with SQL statements")
-    for target in (3, 5, 10):
-        db.sql(f"ADVANCE TO {target}")
-        rows = sorted(db.sql("SELECT uid FROM Pol EXCEPT SELECT uid FROM El").relation.rows())
-        print(f"   t={target:>2}: difference = {rows}")
+        print("-- advancing time with SQL statements")
+        for target in (3, 5, 10):
+            session.execute(f"ADVANCE TO {target}")
+            rows = sorted(
+                session.query(
+                    "SELECT uid FROM Pol EXCEPT SELECT uid FROM El"
+                ).rows
+            )
+            print(f"   t={target:>2}: difference = {rows}")
 
-    print("-- EXPLAIN shows the plan, its class, and when it expires")
-    explanation = db.sql(
-        "EXPLAIN SELECT uid FROM Pol EXCEPT SELECT uid FROM El"
-    ).message
-    for line in explanation.splitlines():
-        print(f"   {line}")
+        print("-- EXPLAIN shows the plan, its class, and when it expires")
+        explanation = session.execute(
+            "EXPLAIN SELECT uid FROM Pol EXCEPT SELECT uid FROM El"
+        ).message
+        for line in explanation.splitlines():
+            print(f"   {line}")
 
     print("\n-- multiple aggregates in one GROUP BY")
-    db2 = Database()
-    execute_script(db2, """
-        CREATE TABLE Readings (zone, temp);
-        INSERT INTO Readings VALUES (1, 18), (1, 21), (2, 30) EXPIRES IN 50;
-    """)
-    result = db2.sql(
-        "SELECT zone, COUNT(*), MIN(temp), MAX(temp) FROM Readings GROUP BY zone"
-    )
-    for row in sorted(result.relation.rows()):
-        print(f"   zone={row[0]}: count={row[1]}, min={row[2]}, max={row[3]}")
+    with repro.connect() as session:
+        session.execute("CREATE TABLE Readings (zone, temp)")
+        session.execute(
+            "INSERT INTO Readings VALUES (1, 18), (1, 21), (2, 30) EXPIRES IN 50"
+        )
+        result = session.query(
+            "SELECT zone, COUNT(*), MIN(temp), MAX(temp) FROM Readings GROUP BY zone"
+        )
+        for row in sorted(result.rows):
+            print(f"   zone={row[0]}: count={row[1]}, min={row[2]}, max={row[3]}")
 
 
 if __name__ == "__main__":

@@ -69,10 +69,12 @@ from repro.engine import (
     save_database,
 )
 from repro.check import run_fuzz, run_invariants
+from repro.engine.config import DatabaseConfig
 from repro.obs import MetricsRegistry, Span, Tracer
+from repro.server import ReproServer, Result, Session, Subscription, connect
 from repro.sql import execute_sql, parse_sql
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "FOREVER",
@@ -110,9 +112,15 @@ __all__ = [
     "evaluate",
     "val",
     "Database",
+    "DatabaseConfig",
     "IncrementalView",
     "MaintenancePolicy",
+    "ReproServer",
+    "Result",
+    "Session",
+    "Subscription",
     "Table",
+    "connect",
     "load_database",
     "save_database",
     "run_fuzz",

@@ -85,6 +85,7 @@ from repro.engine.expiration_index import RemovalPolicy
 from repro.engine.recovery import recover_database
 from repro.engine.views import MaintenancePolicy
 from repro.errors import RelationError
+from repro.sql.executor import execute_sql
 
 __all__ = [
     "FuzzFailure",
@@ -370,7 +371,7 @@ class _Harness:
                 expected = {
                     row for row in self._visible(table) if row[0] == key
                 }
-            got = set(self.db.sql(text).rows)
+            got = set(execute_sql(self.db, text).rows)
             if got != expected:
                 raise CheckFailed(
                     f"{text!r} returned {sorted(got)} != "

@@ -7,6 +7,7 @@ Usage::
     echo "SHOW TABLES;" | python -m repro
     python -m repro obs [script.sql]     # run, then dump every metric
     python -m repro obs --json [script]  # ... as JSON instead of prom text
+    python -m repro serve --port 7437    # serve the engine over TCP
 
 Statements end with ``;``; the shell keeps one in-memory
 :class:`~repro.engine.database.Database` for the session.  ``ADVANCE`` /
@@ -150,6 +151,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         if args[0] == "obs":
             return run_obs(db, args[1:], sys.stdout)
+        if args[0] == "serve":
+            from repro.server.run import main as serve_main
+
+            return serve_main(args[1:])
         try:
             with open(args[0]) as script:
                 return 1 if run_stream(db, script, sys.stdout) else 0

@@ -569,10 +569,22 @@ class Evaluator:
         return EvalResult(result, expression_bound, validity, self.tau)
 
 
-def evaluate(expression: Expression, catalog: Catalog, tau: TimeLike = 0) -> EvalResult:
+def evaluate(
+    expression: Expression,
+    catalog: Catalog,
+    tau: TimeLike = 0,
+    engine: str = "interpreted",
+) -> EvalResult:
     """Materialise ``expression`` against ``catalog`` at time ``tau``.
 
-    Convenience wrapper creating a fresh :class:`Evaluator`.
+    The standalone spelling of the canonical evaluation surface
+    (:meth:`repro.engine.database.Database.evaluate`): ``engine``
+    (default ``"interpreted"`` here -- the reference evaluator; a
+    :class:`~repro.engine.database.Database` defaults to ``"compiled"``)
+    selects the row-at-a-time reference evaluator or the one-shot
+    compiled evaluator.  Both produce identical results; there is no
+    plan/result caching at this level (use a database or a
+    :class:`~repro.core.algebra.plan_cache.PlanCache` for that).
 
     >>> from repro.core.relation import relation_from_rows
     >>> from repro.core.algebra.expressions import BaseRef
@@ -584,4 +596,12 @@ def evaluate(expression: Expression, catalog: Catalog, tau: TimeLike = 0) -> Eva
     >>> result.relation.expiration_of((25,))
     Timestamp(15)
     """
+    if engine == "compiled":
+        from repro.core.algebra.compiler import CompiledEvaluator
+
+        return CompiledEvaluator(catalog, tau).evaluate(expression)
+    if engine != "interpreted":
+        raise EvaluationError(
+            f"engine must be 'compiled' or 'interpreted', got {engine!r}"
+        )
     return Evaluator(catalog, tau).evaluate(expression)

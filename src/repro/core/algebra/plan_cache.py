@@ -171,11 +171,21 @@ class PlanCache:
         stats: Optional[EvalStats] = None,
         resolver: Optional[SchemaResolver] = None,
         trace: Optional[Span] = None,
-        bypass_results: bool = False,
+        cached: bool = True,
         partitioning=(),
         executor=None,
+        bypass_results: Optional[bool] = None,
     ) -> EvalResult:
         """Evaluate ``expression`` at ``tau``, serving from cache when sound.
+
+        The keywords mirror :meth:`repro.engine.database.Database.evaluate`
+        (the canonical evaluation surface): ``cached`` (default ``True``)
+        permits serving a prior result when it is provably still valid;
+        ``cached=False`` (``EXPLAIN ANALYZE``, differential testing)
+        forces a real execution -- reusing the compiled plan but never a
+        cached result, and without touching the hit/miss counters.
+        ``bypass_results=True`` is the deprecated spelling of
+        ``cached=False`` and keeps working as a shim.
 
         ``version`` is the engine's catalog (data) version; ``schema_version``
         gates reuse of the compiled plan itself.  ``floor`` (typically the
@@ -185,9 +195,7 @@ class PlanCache:
         at or after the time the engine has physically advanced to.
 
         ``trace`` hangs per-operator spans off the given span during plan
-        execution; ``bypass_results`` (``EXPLAIN ANALYZE``) forces a real
-        execution -- reusing the compiled plan but never a cached result,
-        and without touching the hit/miss counters.
+        execution.
 
         ``partitioning`` is part of the plan key: a fingerprint of the
         catalog's partitioned-table schemes, so a plan (and result) cached
@@ -195,6 +203,9 @@ class PlanCache:
         ``executor``, when given, fans compiled per-shard pipelines out over
         the pool during execution.
         """
+        if bypass_results is not None:  # pre-1.6 shim for cached=False
+            cached = not bypass_results
+        bypass_results = not cached
         tau = ts(tau)
         eval_stats = stats if stats is not None else EvalStats()
         entry = self._entries.get(expression)

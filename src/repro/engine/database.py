@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -32,6 +33,7 @@ from repro.core.schema import Schema
 from repro.core.timestamps import TimeLike, Timestamp, ts
 from repro.distributed.metrics import declare_replication_families
 from repro.engine.clock import LogicalClock
+from repro.engine.config import DatabaseConfig
 from repro.engine.expiration_index import RemovalPolicy
 from repro.engine.partitioning import PartitionedTable, declare_partition_families
 from repro.engine.statistics import EngineStatistics
@@ -63,7 +65,15 @@ EVAL_COUNTERS: Dict[str, tuple] = {
         "repro_columnar_rows_total", "Rows processed by columnar kernels."),
 }
 
-__all__ = ["Database"]
+__all__ = ["Database", "DatabaseConfig"]
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value, so
+#: the legacy keywords can override ``config`` fields only when given.
+_UNSET: Any = object()
+
+# The Session surface (repro.connect) is the blessed client entry point;
+# direct ad-hoc Database.sql() keeps working but nudges once per process.
+_sql_deprecation_warned = False
 
 
 class Database:
@@ -83,16 +93,48 @@ class Database:
 
     def __init__(
         self,
-        start_time: TimeLike = 0,
-        default_removal_policy: RemovalPolicy = RemovalPolicy.EAGER,
-        engine: str = "compiled",
-        plan_cache_capacity: int = 128,
+        start_time: TimeLike = _UNSET,
+        default_removal_policy: RemovalPolicy = _UNSET,
+        engine: str = _UNSET,
+        plan_cache_capacity: int = _UNSET,
         metrics: Optional[MetricsRegistry] = None,
-        check_invariants: bool = False,
-        wal_dir: Optional[Union[str, Path]] = None,
-        wal_fsync: str = "commit",
-        columnar_backend: Optional[str] = None,
+        check_invariants: bool = _UNSET,
+        wal_dir: Optional[Union[str, Path]] = _UNSET,
+        wal_fsync: str = _UNSET,
+        columnar_backend: Optional[str] = _UNSET,
+        config: Optional[DatabaseConfig] = None,
     ) -> None:
+        # One canonical configuration surface (DatabaseConfig); the
+        # individual keywords remain as shims and, when explicitly passed,
+        # override the corresponding config field.
+        if config is None:
+            config = DatabaseConfig()
+        overrides = {
+            name: value
+            for name, value in (
+                ("start_time", start_time),
+                ("default_removal_policy", default_removal_policy),
+                ("engine", engine),
+                ("plan_cache_capacity", plan_cache_capacity),
+                ("check_invariants", check_invariants),
+                ("wal_dir", wal_dir),
+                ("wal_fsync", wal_fsync),
+                ("columnar_backend", columnar_backend),
+            )
+            if value is not _UNSET
+        }
+        if overrides:
+            config = config.replace(**overrides)
+        #: The resolved construction-time configuration.
+        self.config = config
+        start_time = config.start_time
+        default_removal_policy = config.default_removal_policy
+        engine = config.engine
+        plan_cache_capacity = config.plan_cache_capacity
+        check_invariants = config.check_invariants
+        wal_dir = config.wal_dir
+        wal_fsync = config.wal_fsync
+        columnar_backend = config.columnar_backend
         if engine not in ("compiled", "interpreted"):
             raise ValueError(
                 f"engine must be 'compiled' or 'interpreted', got {engine!r}"
@@ -138,6 +180,7 @@ class Database:
         # Shared worker pool for partition-parallel sweeps/scans; created
         # lazily on first use so unpartitioned databases never pay for it.
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
         # Fingerprint of every partitioned table's scheme; part of the plan
         # cache key so plans compiled against one layout are never reused
         # against another.
@@ -315,16 +358,35 @@ class Database:
                 max_workers=min(8, os.cpu_count() or 1),
                 thread_name_prefix="repro-partition",
             )
+            self._closed = False
         return self._executor
 
     def close(self) -> None:
-        """Shut the worker pool and WAL down (idempotent; pool recreates)."""
+        """Release the worker pool and the WAL.
+
+        Idempotent and safe to call from teardown paths that may race a
+        prior close (e.g. the server closing a database once per
+        connection-owner *and* once at shutdown): a second call is a
+        no-op, and the WAL handle is only synced/closed while it is still
+        live.  Using the database again after ``close()`` recreates the
+        worker pool on demand; WAL appends stay rejected (the log is
+        closed for good).
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        if self.wal is not None:
-            self.wal.sync()
-            self.wal.close()
+        wal = self.wal
+        if wal is not None and not wal.closed:
+            wal.sync()
+            wal.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (resets on renewed use of the pool)."""
+        return self._closed
 
     def table(self, name: str) -> Table:
         """Look up a table by name; raises CatalogError if unknown."""
@@ -417,21 +479,35 @@ class Database:
         at: TimeLike = None,
         engine: Optional[str] = None,
         trace: bool = False,
+        cached: bool = True,
     ) -> EvalResult:
         """Materialise an expression at ``at`` (default: now).
 
-        ``engine`` overrides the database default for this call:
-        ``"compiled"`` uses the fused-pipeline evaluator through the
-        validity-aware plan cache, ``"interpreted"`` the row-at-a-time
-        reference evaluator.  Both produce identical rows, expiration
-        times, and validity intervals; per-query counters land in
-        :attr:`last_eval_stats` and are flushed into :attr:`metrics`.
+        This is the canonical evaluation surface; the module-level
+        :func:`repro.core.algebra.evaluate` and
+        :meth:`~repro.core.algebra.plan_cache.PlanCache.evaluate` accept
+        the same keywords with the same defaults.
 
-        ``trace=True`` (or an enabled :attr:`tracer`) records a span tree
-        for this evaluation -- per-operator wall time and tuple counts --
-        retrievable via :meth:`trace_last_query`.  Tracing forces a real
-        execution (no cached-result serving) so the spans describe actual
-        operator work, without polluting the hit/miss counters.
+        ``engine`` (default: the database's configured engine,
+        ``"compiled"`` unless overridden) selects the evaluator for this
+        call: ``"compiled"`` uses the fused-pipeline evaluator through
+        the validity-aware plan cache, ``"interpreted"`` the
+        row-at-a-time reference evaluator.  Both produce identical rows,
+        expiration times, and validity intervals; per-query counters land
+        in :attr:`last_eval_stats` and are flushed into :attr:`metrics`.
+
+        ``cached`` (default ``True``) allows the compiled engine to serve
+        a previously cached result when it is provably still valid
+        (``τ' ∈ I(e)`` and the catalog unchanged); ``cached=False``
+        forces a real execution while still reusing the compiled plan.
+        The interpreted engine never caches.
+
+        ``trace`` (default ``False``; or an enabled :attr:`tracer`)
+        records a span tree for this evaluation -- per-operator wall time
+        and tuple counts -- retrievable via :meth:`trace_last_query`.
+        Tracing forces a real execution (no cached-result serving) so the
+        spans describe actual operator work, without polluting the
+        hit/miss counters.
         """
         stamp = self.clock.now if at is None else ts(at)
         which = engine if engine is not None else self.engine
@@ -455,7 +531,7 @@ class Database:
                     stats=stats,
                     resolver=self.schema_resolver,
                     trace=span,
-                    bypass_results=tracing,
+                    cached=cached and not tracing,
                     partitioning=self._partition_scheme,
                     executor=self.executor if self._has_partitioned else None,
                 )
@@ -613,10 +689,42 @@ class Database:
     # -- SQL ---------------------------------------------------------------------------
 
     def sql(self, text: str):
-        """Execute a SQL statement (see :mod:`repro.sql` for the dialect)."""
+        """Execute a SQL statement (see :mod:`repro.sql` for the dialect).
+
+        .. deprecated:: 1.6
+           Ad-hoc ``Database.sql(...)`` remains supported, but the blessed
+           client surface is a session -- ``repro.connect(...)`` (or
+           :meth:`session`), whose ``execute()`` / ``query()`` /
+           ``subscribe()`` behave identically in-process and over a
+           socket.  A :class:`DeprecationWarning` is emitted once per
+           process.
+        """
+        global _sql_deprecation_warned
+        if not _sql_deprecation_warned:
+            _sql_deprecation_warned = True
+            warnings.warn(
+                "ad-hoc Database.sql(...) is deprecated in favour of the "
+                "session surface: repro.connect(...) / Database.session() "
+                "-> Session.execute()/query()/subscribe()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         from repro.sql import execute_sql
 
         return execute_sql(self, text)
+
+    def session(self):
+        """A :class:`~repro.server.client.LocalSession` over this database.
+
+        The in-process twin of connecting to a served database: the same
+        ``execute()/query()/subscribe()`` surface, the same session
+        semantics (monotone clock floor, data-version snapshots), no
+        sockets.  The database stays owned by the caller -- closing the
+        session does not close the database.
+        """
+        from repro.server.client import LocalSession
+
+        return LocalSession(self, own_database=False)
 
     # -- maintenance -------------------------------------------------------------------
 

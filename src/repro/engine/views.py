@@ -80,6 +80,10 @@ class MaterialisedView:
         #: Set by base-table listeners on inserts / explicit deletes; the
         #: next read refreshes instead of serving the stale materialisation.
         self._stale = False
+        #: Callables ``(view)`` notified after every (re-)materialisation;
+        #: the server's subscription layer hangs off this to learn that
+        #: shipped state may have drifted without polling every view.
+        self.refresh_listeners: list = []
         self._subscribed_tables: list = []
         if policy is MaintenancePolicy.PATCH and not self._patchable():
             raise ViewError(
@@ -167,6 +171,8 @@ class MaterialisedView:
             span.note(rows=len(self._result.relation))
         self._stale = False
         self._last_read = stamp
+        for listener in self.refresh_listeners:
+            listener(self)
 
     @property
     def expiration(self) -> Timestamp:

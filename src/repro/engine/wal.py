@@ -326,6 +326,11 @@ class WriteAheadLog:
             self._families["bytes"].inc(len(frame))
             self._families["records"].labels(kind).inc()
 
+    @property
+    def closed(self) -> bool:
+        """Whether the log's file handle has been closed."""
+        return self._file.closed
+
     def sync(self) -> None:
         """Flush and (policy permitting) fsync the log."""
         if self._file.closed:

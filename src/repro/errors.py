@@ -132,3 +132,33 @@ class ProtocolError(SimulationError):
 
 class FaultInjectionError(SimulationError):
     """An invalid fault schedule or an inapplicable injected fault."""
+
+
+class ServerError(ReproError):
+    """Base class for the network server and the session/client layer."""
+
+
+class WireProtocolError(ServerError):
+    """A malformed, corrupt, or oversized frame on a server connection.
+
+    Unlike the WAL's torn tails (truncate-and-warn), a corrupt frame on a
+    live TCP stream means the two ends have lost framing sync; the only
+    safe reaction is to drop the connection, so this error is
+    connection-fatal.
+    """
+
+
+class SessionError(ServerError):
+    """Session misuse: closed sessions, unknown subscriptions, bad resume."""
+
+
+class RemoteError(ServerError):
+    """A server-side error reported back over the wire.
+
+    Carries the server-side exception class name in :attr:`remote_type` so
+    clients can branch without parsing messages.
+    """
+
+    def __init__(self, message: str, remote_type: str = "ReproError") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type

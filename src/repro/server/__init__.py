@@ -1,0 +1,57 @@
+"""Serving the expiration-time engine over the network.
+
+The paper's setting is *loosely-coupled* clients that materialise query
+results precisely because they cannot cheaply re-contact the server; this
+package is the served path that makes that setting real:
+
+* :mod:`repro.server.protocol` -- length-prefixed, CRC-checksummed JSON
+  frames (the WAL's framing discipline, pointed at a socket) and the
+  message vocabulary;
+* :mod:`repro.server.session` -- per-connection server sessions: a
+  monotone clock floor, data-version snapshots, subscriptions with
+  seq/ack patch streaming, expiration-aware retransmission, and the
+  backpressure ladder (patch streaming degrades to
+  invalidate-and-refetch);
+* :mod:`repro.server.server` -- the asyncio TCP server (plus an
+  in-process loopback transport for tests and the 10k-client load
+  generator);
+* :mod:`repro.server.client` -- the one client-facing entry point:
+  ``repro.connect(...) -> Session`` with ``execute()/query()/subscribe()``
+  behaving identically in-process and over a socket.
+
+Start a server from the shell with ``python -m repro serve --port 7437``
+(or ``python -m repro.server``), then::
+
+    import repro
+
+    with repro.connect("repro://127.0.0.1:7437") as session:
+        session.execute("CREATE TABLE Pol (uid, deg)")
+        session.execute("INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10")
+        session.query("SELECT deg FROM Pol").rows    # [(25,)]
+"""
+
+from repro.server.client import (
+    AsyncSession,
+    LocalSession,
+    NetworkSession,
+    Result,
+    Session,
+    Subscription,
+    connect,
+)
+from repro.server.protocol import FrameDecoder, PROTOCOL_VERSION, encode_frame
+from repro.server.server import ReproServer
+
+__all__ = [
+    "AsyncSession",
+    "FrameDecoder",
+    "LocalSession",
+    "NetworkSession",
+    "PROTOCOL_VERSION",
+    "ReproServer",
+    "Result",
+    "Session",
+    "Subscription",
+    "connect",
+    "encode_frame",
+]

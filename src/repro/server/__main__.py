@@ -1,0 +1,9 @@
+"""``python -m repro.server`` -- run a standalone server.
+
+Equivalent to ``python -m repro serve``; see :func:`main` for flags.
+"""
+
+from repro.server.run import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,875 @@
+"""``repro.connect(...)`` -- the one client-facing session surface.
+
+The same three verbs everywhere -- ``execute()``, ``query()``,
+``subscribe()`` -- whether the engine lives in this process or behind a
+socket:
+
+* :func:`connect` with no target (or ``":memory:"``) owns a fresh
+  in-memory :class:`~repro.engine.database.Database`;
+* with an existing ``Database`` it wraps it without taking ownership;
+* with a filesystem path it opens (or crash-recovers) a durable database
+  rooted there;
+* with a ``repro://host:port`` URL it speaks the wire protocol
+  (:mod:`repro.server.protocol`) to a :class:`~repro.server.server.ReproServer`.
+
+Sessions carry the paper's loosely-coupled client state: a monotone
+**clock floor** (reads never travel backwards past a time the client has
+observed) and the **data version** its last result reflected.
+Subscriptions materialise a view client-side and keep it current the way
+the paper prescribes: expiration does most of the maintenance locally
+(expired tuples drop out with *no* message), and only genuine drift
+arrives as patches -- or, past the backpressure ladder, as an
+``invalidate`` that defers the refetch until the view is actually read
+again.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import socket
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.timestamps import Timestamp, ts
+from repro.engine.config import DatabaseConfig
+from repro.engine.database import Database
+from repro.engine.wal import WriteAheadLog
+from repro.errors import RemoteError, SessionError, WireProtocolError
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    decode_exp,
+    decode_items,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.sql.ast import SelectQuery, SetOperation
+from repro.sql.executor import SqlResult, execute_sql
+from repro.sql.parser import parse_statements
+
+__all__ = [
+    "AsyncSession",
+    "LocalSession",
+    "NetworkSession",
+    "Result",
+    "Session",
+    "Subscription",
+    "connect",
+]
+
+#: Reply kinds (they echo ``re``); everything else on the wire is a push.
+_REPLY_KINDS = frozenset(
+    {"result", "error", "sub-ok", "snapshot", "pong", "bye-ok", "hello-ok"}
+)
+
+
+@dataclass
+class Result:
+    """One statement's outcome, transport-independent.
+
+    ``rows`` is the presentation (ordered per ORDER BY, truncated per
+    LIMIT); ``items`` is the full set-semantics result *with expiration
+    times*, so clients keep the paper's semantics rather than a dead row
+    list.  ``now``/``data_version`` snapshot the engine state the result
+    reflects.
+    """
+
+    kind: str
+    message: str = ""
+    columns: Tuple[str, ...] = ()
+    rows: Optional[List[tuple]] = None
+    items: Optional[List[Tuple[tuple, Timestamp]]] = None
+    rowcount: int = 0
+    names: Tuple[str, ...] = ()
+    now: Timestamp = field(default_factory=lambda: ts(0))
+    data_version: int = 0
+
+    def __iter__(self):
+        return iter(self.rows or [])
+
+    def __len__(self) -> int:
+        return len(self.rows or [])
+
+
+def _result_from_sql(result: SqlResult, db: Database) -> Result:
+    columns: Tuple[str, ...] = ()
+    rows = None
+    items = None
+    if result.relation is not None:
+        columns = tuple(result.relation.schema.names)
+        rows = [tuple(row) for row in (result.rows or [])]
+        items = list(result.relation.items())
+    return Result(
+        kind=result.kind,
+        message=result.message,
+        columns=columns,
+        rows=rows,
+        items=items,
+        rowcount=result.rowcount,
+        names=tuple(result.names),
+        now=db.clock.now,
+        data_version=db.catalog_version,
+    )
+
+
+def _result_from_payload(payload: dict) -> Result:
+    rows = None
+    items = None
+    if "rows" in payload:
+        rows = [tuple(row) for row in payload["rows"]]
+    if "items" in payload:
+        items = decode_items(payload["items"])
+    return Result(
+        kind=payload.get("result_kind", ""),
+        message=payload.get("message", ""),
+        columns=tuple(payload.get("columns", ())),
+        rows=rows,
+        items=items,
+        rowcount=payload.get("rowcount", 0),
+        names=tuple(payload.get("names", ())),
+        now=decode_exp(payload.get("now")) if payload.get("now") is not None else ts(0),
+        data_version=payload.get("data_version", 0),
+    )
+
+
+def _require_single_query(text: str) -> None:
+    """``query()`` refuses non-row-producing statements *before* executing
+    them (catching it afterwards would leave the side effects applied)."""
+    statements = parse_statements(text)
+    if len(statements) != 1 or not isinstance(
+        statements[0], (SelectQuery, SetOperation)
+    ):
+        raise SessionError(
+            "query expects exactly one row-producing statement; "
+            "use execute() for DDL and DML"
+        )
+
+
+class Subscription(abc.ABC):
+    """A client-side materialisation of one server-side view."""
+
+    def __init__(self, sub_id: int, view: str, columns: Tuple[str, ...]) -> None:
+        self.sub_id = sub_id
+        self.view = view
+        self.columns = columns
+        self.closed = False
+
+    @abc.abstractmethod
+    def items(self) -> List[Tuple[tuple, Timestamp]]:
+        """Current ``(row, texp)`` pairs, unexpired at the session's now."""
+
+    def read(self) -> List[tuple]:
+        """The view's rows as of the session's observed time, sorted."""
+        return sorted(row for row, _ in self.items())
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Drop the subscription."""
+
+
+class Session(abc.ABC):
+    """The transport-independent session surface.
+
+    ``execute`` runs any single statement; ``query`` runs one
+    row-producing statement (and refuses anything else before executing
+    it); ``subscribe`` opens a client-side materialisation of a view.
+    Sessions are context managers.
+    """
+
+    closed: bool = False
+
+    @abc.abstractmethod
+    def execute(self, text: str) -> Result:
+        """Run one SQL statement (any kind) and return its result."""
+
+    @abc.abstractmethod
+    def query(self, text: str) -> Result:
+        """Run one row-producing statement; refuses DDL/DML up front."""
+
+    @abc.abstractmethod
+    def subscribe(self, view: str) -> Subscription:
+        """Open a client-side materialisation of the named view."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """End the session (idempotent)."""
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionError("session is closed")
+
+
+# ---------------------------------------------------------------------------
+# In-process
+# ---------------------------------------------------------------------------
+
+
+class LocalSubscription(Subscription):
+    """A subscription served straight off the engine's view object."""
+
+    def __init__(self, session: "LocalSession", sub_id: int, view) -> None:
+        relation = view.read(session.db.clock.now)
+        super().__init__(sub_id, view.name, tuple(relation.schema.names))
+        self._session = session
+        self._view = view
+
+    def items(self) -> List[Tuple[tuple, Timestamp]]:
+        if self.closed:
+            raise SessionError(f"subscription to {self.view!r} is closed")
+        return list(self._view.read(self._session.db.clock.now).items())
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._session._subscriptions.pop(self.sub_id, None)
+
+
+class LocalSession(Session):
+    """The in-process session: same verbs, no serialisation.
+
+    Wraps a :class:`~repro.engine.database.Database` -- owned (created by
+    :func:`connect`) or borrowed (``Database.session()``).  Carries the
+    same floor/data-version snapshot state as a server-side session, so
+    code written against it behaves identically over a socket.
+    """
+
+    def __init__(self, db: Database, own_database: bool = False) -> None:
+        self.db = db
+        self._own = own_database
+        self.floor: Timestamp = db.clock.now
+        self.data_version: int = db.catalog_version
+        self._subscriptions: Dict[int, LocalSubscription] = {}
+        self._sub_ids = itertools.count(1)
+        self.closed = False
+
+    @property
+    def now(self) -> Timestamp:
+        """The engine's current logical time."""
+        return self.db.clock.now
+
+    def _observe(self) -> None:
+        now = self.db.clock.now
+        if now > self.floor:
+            self.floor = now
+        self.data_version = self.db.catalog_version
+
+    def _check_floor(self) -> None:
+        if self.floor > self.db.clock.now:
+            raise SessionError(
+                f"session has observed τ={self.floor} but the engine is at "
+                f"τ={self.db.clock.now}; refusing to travel back in time"
+            )
+
+    def execute(self, text: str) -> Result:
+        self._check_open()
+        self._check_floor()
+        result = execute_sql(self.db, text)
+        self._observe()
+        return _result_from_sql(result, self.db)
+
+    def query(self, text: str) -> Result:
+        self._check_open()
+        _require_single_query(text)
+        return self.execute(text)
+
+    def subscribe(self, view: str) -> LocalSubscription:
+        self._check_open()
+        sub = LocalSubscription(self, next(self._sub_ids), self.db.view(view))
+        self._subscriptions[sub.sub_id] = sub
+        return sub
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for sub in list(self._subscriptions.values()):
+            sub.close()
+        if self._own:
+            self.db.close()
+
+
+# ---------------------------------------------------------------------------
+# Shared wire-side subscription state
+# ---------------------------------------------------------------------------
+
+
+class _WireSubscription(Subscription):
+    """Client-side replica of a server patch stream.
+
+    Applies snapshots and in-order patches to a ``row -> texp`` map;
+    everything the server deliberately never sends -- pure expiration --
+    happens locally in :meth:`items` by filtering against the session's
+    observed time.  An ``invalidate`` flips :attr:`degraded`; the owning
+    session refetches on the next read (invalidate-and-refetch, reached
+    lazily).
+    """
+
+    def __init__(
+        self, session, sub_id: int, view: str, columns: Tuple[str, ...]
+    ) -> None:
+        super().__init__(sub_id, view, columns)
+        self._session = session
+        self.state: Dict[tuple, Timestamp] = {}
+        self.epoch = 0
+        self.applied = 0  # cumulative: highest seq applied this epoch
+        self.degraded = False
+        self.patches_applied = 0
+        self.duplicates_dropped = 0
+
+    def apply_snapshot(self, frame: dict) -> None:
+        self.state = dict(decode_items(frame.get("rows", ())))
+        self.epoch = int(frame.get("epoch", 0))
+        self.applied = 0
+        self.degraded = False
+
+    def apply_patch(self, frame: dict) -> bool:
+        """Apply one patch envelope; False for stale/duplicate traffic."""
+        if int(frame.get("epoch", -1)) != self.epoch:
+            return False  # a stream that no longer exists
+        seq = int(frame.get("seq", -1))
+        if seq <= self.applied:
+            self.duplicates_dropped += 1
+            return False  # retransmission of something already applied
+        for row, texp in decode_items(frame.get("upserts", ())):
+            self.state[row] = texp
+        for row in frame.get("removes", ()):
+            self.state.pop(tuple(row), None)
+        self.applied = seq
+        self.patches_applied += 1
+        return True
+
+    def apply_invalidate(self, frame: dict) -> None:
+        self.epoch = int(frame.get("epoch", self.epoch + 1))
+        self.applied = 0
+        self.degraded = True
+
+    def ack_payload(self) -> dict:
+        return {
+            "kind": "ack",
+            "sub": self.sub_id,
+            "epoch": self.epoch,
+            "cum": self.applied,
+        }
+
+    def items(self) -> List[Tuple[tuple, Timestamp]]:
+        if self.closed:
+            raise SessionError(f"subscription to {self.view!r} is closed")
+        if self.degraded:
+            self._session._refetch(self)
+        now = self._session.now
+        return [
+            (row, texp) for row, texp in self.state.items() if texp > now
+        ]
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._session._unsubscribe(self)
+
+
+class _WireSessionState:
+    """Push handling shared by the sync and async wire sessions."""
+
+    def __init__(self) -> None:
+        self.token: Optional[str] = None
+        self.now: Timestamp = ts(0)
+        self.floor: Timestamp = ts(0)
+        self.data_version = 0
+        self.subscriptions: Dict[int, _WireSubscription] = {}
+        self._ids = itertools.count(1)
+
+    def _note_time(self, frame: dict) -> None:
+        raw = frame.get("now")
+        if raw is not None or "now" in frame:
+            stamp = decode_exp(raw)
+            if not stamp.is_infinite and stamp > self.now:
+                self.now = stamp
+                if stamp > self.floor:
+                    self.floor = stamp
+
+    def _handle_push(self, frame: dict) -> List[dict]:
+        """Apply one push frame; returns ack payloads to transmit."""
+        self._note_time(frame)
+        kind = frame.get("kind")
+        sub = self.subscriptions.get(int(frame.get("sub", -1)))
+        if sub is None or sub.closed:
+            return []
+        if kind == "patch":
+            sub.apply_patch(frame)
+            return [sub.ack_payload()]  # cumulative: re-acks duplicates too
+        if kind == "snapshot":
+            sub.apply_snapshot(frame)
+            return [sub.ack_payload()]
+        if kind == "invalidate":
+            sub.apply_invalidate(frame)
+            return []
+        return []
+
+    def _ack_state(self) -> dict:
+        """The per-subscription delivery state sent with a resume hello."""
+        return {
+            str(sub.sub_id): {"epoch": sub.epoch, "cum": sub.applied}
+            for sub in self.subscriptions.values()
+            if not sub.closed
+        }
+
+
+# ---------------------------------------------------------------------------
+# Synchronous socket client
+# ---------------------------------------------------------------------------
+
+
+class NetworkSession(Session, _WireSessionState):
+    """A blocking-socket session speaking the frame protocol.
+
+    One in-flight request at a time (requests are serialised on the
+    server's event loop anyway); subscription pushes are absorbed while
+    waiting for replies and on explicit :meth:`poll`.  Reconnect with
+    :meth:`reconnect` -- the server resumes the session by token and
+    retransmits exactly the unexpired remainder.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        _WireSessionState.__init__(self)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        self._inbox: List[dict] = []
+        self.closed = False
+        self.resumed = False
+        self._connect(resume=None)
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self, resume: Optional[str]) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._decoder = FrameDecoder()
+        hello: dict = {
+            "kind": "hello",
+            "id": next(self._ids),
+            "version": PROTOCOL_VERSION,
+        }
+        if resume is not None:
+            hello["resume"] = resume
+            hello["acks"] = self._ack_state()
+        self._send(hello)
+        reply = self._await_reply(hello["id"])
+        if reply.get("kind") == "error":
+            self.closed = True
+            raise RemoteError(
+                reply.get("message", "hello rejected"),
+                reply.get("error", "ServerError"),
+            )
+        self.token = reply["session"]
+        self.resumed = bool(reply.get("resumed"))
+        self._note_time(reply)
+        self.data_version = reply.get("data_version", self.data_version)
+
+    def _send(self, payload: dict) -> None:
+        assert self._sock is not None
+        self._sock.sendall(encode_frame(payload))
+
+    def _read_some(self) -> List[dict]:
+        """Block (up to the timeout) for at least one frame."""
+        assert self._sock is not None
+        while True:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._decoder.buffered:
+                    raise WireProtocolError("server closed mid-frame")
+                raise ConnectionError("server closed the connection")
+            frames = self._decoder.feed(chunk)
+            if frames:
+                return frames
+
+    def _await_reply(self, rid: int) -> dict:
+        while True:
+            for i, frame in enumerate(self._inbox):
+                if frame.get("re") == rid:
+                    del self._inbox[i]
+                    return frame
+            pushes = [f for f in self._inbox if f.get("re") is None]
+            self._inbox = [f for f in self._inbox if f.get("re") is not None]
+            for frame in pushes:
+                for ack in self._handle_push(frame):
+                    self._send(ack)
+            self._inbox.extend(self._read_some())
+
+    def _rpc(self, payload: dict) -> dict:
+        self._check_open()
+        rid = next(self._ids)
+        payload["id"] = rid
+        self._send(payload)
+        reply = self._await_reply(rid)
+        if reply.get("kind") == "error":
+            raise RemoteError(
+                reply.get("message", ""), reply.get("error", "ReproError")
+            )
+        self._note_time(reply)
+        return reply
+
+    def poll(self, timeout: float = 0.0) -> int:
+        """Absorb queued pushes without issuing a request.
+
+        Returns the number of push frames handled; ``timeout`` bounds the
+        wait for the *first* byte (0 = only what is already queued).
+        """
+        self._check_open()
+        assert self._sock is not None
+        handled = 0
+        self._sock.settimeout(timeout if timeout > 0 else 0.000001)
+        try:
+            while True:
+                try:
+                    chunk = self._sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                for frame in self._decoder.feed(chunk):
+                    if frame.get("re") is not None:
+                        self._inbox.append(frame)
+                        continue
+                    for ack in self._handle_push(frame):
+                        self._send(ack)
+                    handled += 1
+                self._sock.settimeout(0.000001)  # drain what is left
+        finally:
+            self._sock.settimeout(self.timeout)
+        return handled
+
+    # -- the session surface -------------------------------------------------
+
+    def execute(self, text: str) -> Result:
+        reply = self._rpc({"kind": "sql", "text": text})
+        result = _result_from_payload(reply)
+        self.data_version = reply.get("data_version", self.data_version)
+        return result
+
+    def query(self, text: str) -> Result:
+        reply = self._rpc({"kind": "query", "text": text})
+        result = _result_from_payload(reply)
+        self.data_version = reply.get("data_version", self.data_version)
+        return result
+
+    def subscribe(self, view: str) -> _WireSubscription:
+        reply = self._rpc({"kind": "subscribe", "view": view})
+        sub = _WireSubscription(
+            self,
+            int(reply["sub"]),
+            reply.get("view", view),
+            tuple(reply.get("columns", ())),
+        )
+        sub.apply_snapshot(reply)
+        self.subscriptions[sub.sub_id] = sub
+        self._send(sub.ack_payload())
+        return sub
+
+    def _refetch(self, sub: _WireSubscription) -> None:
+        reply = self._rpc({"kind": "refetch", "sub": sub.sub_id})
+        sub.apply_snapshot(reply)
+        self._send(sub.ack_payload())
+
+    def _unsubscribe(self, sub: _WireSubscription) -> None:
+        self.subscriptions.pop(sub.sub_id, None)
+        if not self.closed:
+            try:
+                self._rpc({"kind": "unsubscribe", "sub": sub.sub_id})
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def disconnect(self) -> None:
+        """Drop the socket *without* closing the server-side session."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def reconnect(self) -> None:
+        """Re-dial and resume: the server replays the unexpired remainder."""
+        self._check_open()
+        self.disconnect()
+        self._inbox = []
+        self._connect(resume=self.token)
+        # Whatever the server owed us was queued right behind hello-ok.
+        self.poll(timeout=0.05)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            if self._sock is not None:
+                self._rpc({"kind": "bye"})
+        except (ConnectionError, OSError, WireProtocolError, RemoteError):
+            pass
+        finally:
+            self.closed = True
+            self.disconnect()
+
+
+# ---------------------------------------------------------------------------
+# Asyncio client (used by the load generator and the server's own tests)
+# ---------------------------------------------------------------------------
+
+
+class AsyncSession(_WireSessionState):
+    """The asyncio twin of :class:`NetworkSession`.
+
+    Works over any ``(StreamReader, writer)`` pair -- a real TCP
+    connection (:meth:`open`) or a server's in-process loopback transport
+    (:meth:`over_loopback`), which is how one process hosts 10k+
+    concurrent clients with zero sockets.
+    """
+
+    def __init__(self, reader, writer) -> None:
+        super().__init__()
+        self._reader = reader
+        self._writer = writer
+        self.closed = False
+        self.resumed = False
+
+    @classmethod
+    async def open(cls, host: str, port: int, resume: Optional[str] = None,
+                   acks: Optional[dict] = None) -> "AsyncSession":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        return await cls._handshake(reader, writer, resume, acks)
+
+    @classmethod
+    async def over_loopback(cls, server, resume: Optional[str] = None,
+                            acks: Optional[dict] = None) -> "AsyncSession":
+        reader, writer = server.open_loopback()
+        return await cls._handshake(reader, writer, resume, acks)
+
+    @classmethod
+    async def _handshake(cls, reader, writer, resume, acks) -> "AsyncSession":
+        session = cls(reader, writer)
+        hello: dict = {
+            "kind": "hello",
+            "id": next(session._ids),
+            "version": PROTOCOL_VERSION,
+        }
+        if resume is not None:
+            hello["resume"] = resume
+            hello["acks"] = acks or {}
+        write_frame(writer, hello)
+        await writer.drain()
+        reply = await session._await_reply(hello["id"])
+        if reply.get("kind") == "error":
+            session.closed = True
+            raise RemoteError(
+                reply.get("message", "hello rejected"),
+                reply.get("error", "ServerError"),
+            )
+        session.token = reply["session"]
+        session.resumed = bool(reply.get("resumed"))
+        session._note_time(reply)
+        session.data_version = reply.get("data_version", 0)
+        return session
+
+    async def _await_reply(self, rid: int) -> dict:
+        while True:
+            frame = await read_frame(self._reader)
+            if frame is None:
+                raise ConnectionError("server closed the connection")
+            if frame.get("re") == rid:
+                return frame
+            await self._absorb(frame)
+
+    async def _absorb(self, frame: dict) -> None:
+        for ack in self._handle_push(frame):
+            write_frame(self._writer, ack)
+        await self._writer.drain()
+
+    async def _rpc(self, payload: dict) -> dict:
+        if self.closed:
+            raise SessionError("session is closed")
+        rid = next(self._ids)
+        payload["id"] = rid
+        write_frame(self._writer, payload)
+        await self._writer.drain()
+        reply = await self._await_reply(rid)
+        if reply.get("kind") == "error":
+            raise RemoteError(
+                reply.get("message", ""), reply.get("error", "ReproError")
+            )
+        self._note_time(reply)
+        return reply
+
+    async def execute(self, text: str) -> Result:
+        """Run one SQL statement (any kind) and return its result."""
+        reply = await self._rpc({"kind": "sql", "text": text})
+        self.data_version = reply.get("data_version", self.data_version)
+        return _result_from_payload(reply)
+
+    async def query(self, text: str) -> Result:
+        """Run one row-producing statement; the server refuses DDL/DML."""
+        reply = await self._rpc({"kind": "query", "text": text})
+        self.data_version = reply.get("data_version", self.data_version)
+        return _result_from_payload(reply)
+
+    async def subscribe(self, view: str) -> _WireSubscription:
+        """Open a client-side materialisation of the named view."""
+        reply = await self._rpc({"kind": "subscribe", "view": view})
+        sub = _AsyncWireSubscription(
+            self,
+            int(reply["sub"]),
+            reply.get("view", view),
+            tuple(reply.get("columns", ())),
+        )
+        sub.apply_snapshot(reply)
+        self.subscriptions[sub.sub_id] = sub
+        write_frame(self._writer, sub.ack_payload())
+        await self._writer.drain()
+        return sub
+
+    async def refetch(self, sub: "_WireSubscription") -> None:
+        """Restore a degraded subscription with a full snapshot."""
+        reply = await self._rpc({"kind": "refetch", "sub": sub.sub_id})
+        sub.apply_snapshot(reply)
+        write_frame(self._writer, sub.ack_payload())
+        await self._writer.drain()
+
+    async def poll(self, timeout: float = 0.0) -> int:
+        """Absorb pushes already in flight; returns how many."""
+        import asyncio
+
+        handled = 0
+        while True:
+            try:
+                frame = await asyncio.wait_for(
+                    read_frame(self._reader), timeout=max(timeout, 0.001)
+                )
+            except asyncio.TimeoutError:
+                break
+            if frame is None:
+                break
+            if frame.get("re") is not None:
+                continue  # stray reply with nobody waiting: drop it
+            await self._absorb(frame)
+            handled += 1
+            timeout = 0.0  # only drain what is queued after the first
+        return handled
+
+    async def ping(self) -> Timestamp:
+        """Round-trip liveness probe; returns the server's logical now."""
+        reply = await self._rpc({"kind": "ping"})
+        return decode_exp(reply.get("now"))
+
+    async def close(self) -> None:
+        """Orderly ``bye`` and transport teardown (idempotent)."""
+        if self.closed:
+            return
+        try:
+            await self._rpc({"kind": "bye"})
+        except (ConnectionError, WireProtocolError, RemoteError, OSError):
+            pass
+        finally:
+            self.closed = True
+            try:
+                self._writer.close()
+            except (ConnectionError, RuntimeError, OSError):
+                pass
+
+    def _unsubscribe(self, sub: "_WireSubscription") -> None:
+        # Fire-and-forget: async unsubscribe happens via the RPC surface;
+        # dropping local state is enough for bookkeeping.
+        self.subscriptions.pop(sub.sub_id, None)
+
+    def _refetch(self, sub: "_WireSubscription") -> None:
+        raise SessionError(
+            "this subscription degraded to invalidate-and-refetch; "
+            "await session.refetch(subscription) to restore it"
+        )
+
+
+class _AsyncWireSubscription(_WireSubscription):
+    """Wire subscription whose lazy refetch must be awaited explicitly."""
+
+
+# ---------------------------------------------------------------------------
+# connect()
+# ---------------------------------------------------------------------------
+
+
+def _open_durable(path: Path, config: Optional[DatabaseConfig]) -> Database:
+    """Open (or crash-recover) the durable database rooted at ``path``."""
+    snapshot = path / WriteAheadLog.SNAPSHOT_NAME
+    log = path / WriteAheadLog.LOG_NAME
+    if snapshot.exists() or (log.exists() and log.stat().st_size > 0):
+        from repro.engine.recovery import recover_database
+
+        kwargs: dict = {}
+        if config is not None:
+            kwargs.update(
+                engine=config.engine,
+                check_invariants=config.check_invariants,
+                default_removal_policy=config.default_removal_policy,
+                plan_cache_capacity=config.plan_cache_capacity,
+            )
+            fsync = config.wal_fsync
+        else:
+            fsync = "commit"
+        return recover_database(path, fsync=fsync, **kwargs)
+    if config is not None:
+        config = config.replace(wal_dir=path)
+        return Database(config=config)
+    return Database(wal_dir=path)
+
+
+def connect(
+    target: Union[None, str, Path, Database] = None,
+    *,
+    config: Optional[DatabaseConfig] = None,
+    timeout: float = 10.0,
+) -> Session:
+    """Open a session on an engine, wherever it lives.
+
+    ========================  =============================================
+    ``target``                behaviour
+    ========================  =============================================
+    ``None`` / ``":memory:"`` a fresh in-memory database, owned by the
+                              session (closed with it)
+    a ``Database``            wrap it; the caller keeps ownership
+    ``"repro://host:port"``   speak the wire protocol to a running server
+    a filesystem path         open -- or crash-recover -- a durable
+                              database rooted there (owned)
+    ========================  =============================================
+
+    ``config`` supplies a :class:`~repro.engine.config.DatabaseConfig` for
+    the paths that create a database; ``timeout`` applies to the socket
+    path.
+    """
+    if isinstance(target, Database):
+        return LocalSession(target, own_database=False)
+    if target is None or target == ":memory:":
+        return LocalSession(Database(config=config), own_database=True)
+    if isinstance(target, str) and target.startswith("repro://"):
+        rest = target[len("repro://"):].rstrip("/")
+        host, _, port = rest.rpartition(":")
+        if not host or not port.isdigit():
+            raise SessionError(
+                f"malformed server URL {target!r}; expected repro://host:port"
+            )
+        return NetworkSession(host, int(port), timeout=timeout)
+    return LocalSession(
+        _open_durable(Path(target), config), own_database=True
+    )

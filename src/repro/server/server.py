@@ -1,0 +1,769 @@
+"""The asyncio server: one engine, many sessions, patch streams on sockets.
+
+One :class:`ReproServer` wraps one :class:`~repro.engine.database.Database`
+and serves it over two interchangeable transports:
+
+* real TCP via :meth:`ReproServer.start` / ``asyncio.start_server``;
+* an **in-process loopback** via :meth:`ReproServer.open_loopback`, which
+  cross-wires two :class:`asyncio.StreamReader` ends with no file
+  descriptors at all -- the load generator drives 10k+ concurrent clients
+  through it in a single process without touching ``ulimit``.
+
+Everything above the transport is identical: each connection runs one
+handler task (reads frames, dispatches) and one writer task (drains the
+session's outbox), with the session itself outliving the connection for
+resume (:mod:`repro.server.session`).
+
+The engine is single-threaded and so is the server: all statements execute
+on the event loop, serialised by construction, which is exactly the
+engine's existing concurrency contract.  After every statement that may
+have changed anything, :meth:`ReproServer._pump` diffs the subscribed
+views against their last shipped state -- cheaply skipped when the
+``(catalog_version, now)`` fingerprint is unchanged and no view refreshed
+-- and queues patches, applying the backpressure ladder per session.
+
+Metrics land in the database's registry under the ``repro_server_*``
+families declared by :func:`declare_server_families`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.engine.config import DatabaseConfig
+from repro.engine.database import Database
+from repro.errors import (
+    RemoteError,
+    ReproError,
+    SessionError,
+    WireProtocolError,
+)
+from repro.distributed.reliability import RetryPolicy
+from repro.obs.registry import MetricsRegistry
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    encode_exp,
+    encode_items,
+    read_frame,
+    write_frame,
+)
+from repro.server.session import ServerSession, diff_states
+from repro.sql.ast import SelectQuery, SetOperation
+from repro.sql.executor import SqlResult, execute_sql, execute_statement
+from repro.sql.parser import parse_statements
+
+__all__ = ["ReproServer", "declare_server_families"]
+
+
+def declare_server_families(registry: MetricsRegistry) -> Dict[str, object]:
+    """Register (idempotently) every ``repro_server_*`` metric family."""
+    return {
+        "connections": registry.counter(
+            "repro_server_connections_total",
+            "Connections accepted (TCP and loopback)",
+        ),
+        "active": registry.gauge(
+            "repro_server_connections_active",
+            "Connections currently attached",
+        ),
+        "sessions": registry.gauge(
+            "repro_server_sessions_active",
+            "Server-side sessions alive (attached or resumable)",
+        ),
+        "resumed": registry.counter(
+            "repro_server_sessions_resumed_total",
+            "Sessions re-attached via hello/resume",
+        ),
+        "requests": registry.counter(
+            "repro_server_requests_total",
+            "Request frames dispatched, by kind",
+            labels=("kind",),
+        ),
+        "request_seconds": registry.histogram(
+            "repro_server_request_seconds",
+            "Server-side dispatch latency per request frame",
+        ),
+        "frames_in": registry.counter(
+            "repro_server_frames_received_total",
+            "Frames read off connections (after the hello)",
+        ),
+        "frames_out": registry.counter(
+            "repro_server_frames_sent_total",
+            "Frames written to connections",
+        ),
+        "bytes_out": registry.counter(
+            "repro_server_bytes_sent_total",
+            "Payload bytes written to connections (incl. frame headers)",
+        ),
+        "patches": registry.counter(
+            "repro_server_patches_sent_total",
+            "Incremental subscription patch envelopes queued",
+        ),
+        "patch_rows": registry.counter(
+            "repro_server_patch_rows_total",
+            "Rows carried by patch envelopes, by operation",
+            labels=("op",),
+        ),
+        "snapshots": registry.counter(
+            "repro_server_snapshots_sent_total",
+            "Full view snapshots shipped (subscribe and refetch)",
+        ),
+        "retransmissions": registry.counter(
+            "repro_server_retransmissions_total",
+            "Patch envelopes retransmitted (resume and timer sweeps)",
+        ),
+        "avoided": registry.counter(
+            "repro_server_retransmissions_avoided_total",
+            "Retransmissions cancelled because every tuple had expired",
+        ),
+        "degrades": registry.counter(
+            "repro_server_backpressure_degrades_total",
+            "Subscriptions degraded to invalidate-and-refetch",
+        ),
+        "invalidates": registry.counter(
+            "repro_server_invalidates_sent_total",
+            "Invalidate notices queued",
+        ),
+        "errors": registry.counter(
+            "repro_server_errors_total",
+            "Error frames sent back to clients",
+        ),
+        "subs": registry.gauge(
+            "repro_server_subscriptions_active",
+            "Open subscriptions across all sessions",
+        ),
+    }
+
+
+class LoopbackWriter:
+    """Duck-typed ``StreamWriter`` that feeds a peer's ``StreamReader``.
+
+    The in-process transport: ``write`` becomes ``peer.feed_data``,
+    ``close`` becomes ``peer.feed_eof``.  No sockets, no file descriptors
+    -- which is what lets one process hold 10k+ concurrent "connections".
+    """
+
+    def __init__(self, peer: asyncio.StreamReader) -> None:
+        self._peer = peer
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if not self._closed:
+            self._peer.feed_data(bytes(data))
+
+    async def drain(self) -> None:
+        # No kernel buffer to await; yield so a busy writer task cannot
+        # starve the loop.
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._peer.feed_eof()
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+    def get_extra_info(self, name: str, default=None):
+        if name == "peername":
+            return "loopback"
+        return default
+
+
+class ReproServer:
+    """Serve one expiration-time database over frames.
+
+    ``db=None`` creates (and owns) a fresh in-memory database, optionally
+    from ``config``; passing an existing database serves it without taking
+    ownership (``stop`` will not close it).
+    """
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        config: Optional[DatabaseConfig] = None,
+        max_outbox: int = 256,
+        retry: Optional[RetryPolicy] = None,
+        session_ttl: float = 60.0,
+        retransmit_interval: Optional[float] = None,
+    ) -> None:
+        if db is None:
+            db = Database(config=config)
+            self._owns_db = True
+        else:
+            self._owns_db = False
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_outbox = max_outbox
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: How long a detached session stays resumable before GC.
+        self.session_ttl = session_ttl
+        #: Period of the timer-driven retransmission sweep; ``None``
+        #: disables the background task (sweeps can still be forced with
+        #: :meth:`retransmit_now` -- tests do, for determinism).
+        self.retransmit_interval = retransmit_interval
+        self.sessions: Dict[str, ServerSession] = {}
+        #: Sessions holding at least one subscription -- the only ones the
+        #: pump and the retransmission sweep ever need to visit.  Keeping
+        #: this index makes per-statement pump cost O(subscribers), not
+        #: O(connected clients).
+        self._streaming: Dict[str, ServerSession] = {}
+        self._sub_count = 0
+        self._last_gc = 0.0
+        self.families = declare_server_families(db.metrics)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sweep_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._pump_fingerprint: Optional[Tuple[int, object]] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the TCP listener; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._on_tcp_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        if self.retransmit_interval is not None and self._sweep_task is None:
+            self._sweep_task = asyncio.ensure_future(self._sweep_loop())
+        return self.host, self.port
+
+    @property
+    def address(self) -> str:
+        """The server's URL, suitable for :func:`repro.connect`."""
+        return f"repro://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        """Block serving the TCP listener until cancelled."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop listening, drop connections, close sessions (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            self._sweep_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        for session in list(self.sessions.values()):
+            session.close()
+        self.sessions.clear()
+        self._streaming.clear()
+        self._sub_count = 0
+        self.families["sessions"].set(0)
+        self.families["subs"].set(0)
+        if self._owns_db:
+            self.db.close()
+
+    # -- transports ----------------------------------------------------------
+
+    def _on_tcp_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    def open_loopback(self) -> Tuple[asyncio.StreamReader, LoopbackWriter]:
+        """Open an in-process connection; returns the *client* end.
+
+        Works without :meth:`start` -- no listener, no socket: the server
+        side runs as a task on the current loop, reading what the returned
+        writer feeds it and feeding what the returned reader yields.
+        """
+        client_reader = asyncio.StreamReader()
+        server_reader = asyncio.StreamReader()
+        client_writer = LoopbackWriter(server_reader)
+        server_writer = LoopbackWriter(client_reader)
+        task = asyncio.ensure_future(
+            self._handle_connection(server_reader, server_writer)
+        )
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        return client_reader, client_writer
+
+    # -- the connection ------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        fam = self.families
+        fam["connections"].inc()
+        fam["active"].inc()
+        session: Optional[ServerSession] = None
+        writer_task: Optional[asyncio.Task] = None
+        wake = asyncio.Event()
+        farewell = False
+        try:
+            hello = await read_frame(reader)
+            if hello is None:
+                return
+            if hello.get("kind") != "hello":
+                self._write_now(
+                    writer,
+                    _error_payload(
+                        hello.get("id"),
+                        WireProtocolError(
+                            f"expected hello, got {hello.get('kind')!r}"
+                        ),
+                    ),
+                )
+                return
+            if hello.get("version") != PROTOCOL_VERSION:
+                self._write_now(
+                    writer,
+                    _error_payload(
+                        hello.get("id"),
+                        WireProtocolError(
+                            f"protocol version mismatch: client "
+                            f"{hello.get('version')!r}, server "
+                            f"{PROTOCOL_VERSION}"
+                        ),
+                    ),
+                )
+                return
+            session, resumed = self._open_session(hello.get("resume"))
+            try:
+                session.check_floor()
+            except SessionError as error:
+                self._write_now(writer, _error_payload(hello.get("id"), error))
+                return
+            session.attached = True
+            session.detached_at = None
+            session.on_enqueue = wake.set
+            self._write_now(
+                writer,
+                {
+                    "kind": "hello-ok",
+                    "re": hello.get("id"),
+                    "session": session.token,
+                    "resumed": resumed,
+                    "now": encode_exp(self.db.clock.now),
+                    "floor": encode_exp(session.floor),
+                    "data_version": session.data_version,
+                    "version": PROTOCOL_VERSION,
+                },
+            )
+            if resumed:
+                fam["resumed"].inc()
+                before = (
+                    session.stats.retransmissions,
+                    session.stats.retransmissions_avoided,
+                )
+                for frame in session.resume_frames(
+                    hello.get("acks"), time.monotonic()
+                ):
+                    session.enqueue(frame)
+                self._publish_retrans(session, before)
+            writer_task = asyncio.ensure_future(
+                self._writer_loop(session, writer, wake)
+            )
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                fam["frames_in"].inc()
+                if self._dispatch(session, frame):
+                    farewell = True
+                    # Let the writer flush the bye-ok before teardown.
+                    while session.outbox:
+                        await asyncio.sleep(0)
+                    break
+        except WireProtocolError:
+            pass  # framing sync lost: the connection is already dead to us
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            fam["active"].dec()
+            if session is not None:
+                session.on_enqueue = None
+                session.detach(time.monotonic())
+                if farewell or self._closed:
+                    self._drop_session(session)
+            wake.set()  # unblock the writer so it can observe detachment
+            if writer_task is not None:
+                writer_task.cancel()
+                try:
+                    await writer_task
+                except asyncio.CancelledError:
+                    pass
+            try:
+                writer.close()
+                if hasattr(writer, "wait_closed"):
+                    await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+            self._gc_sessions()
+
+    async def _writer_loop(self, session: ServerSession, writer, wake) -> None:
+        fam = self.families
+        try:
+            while session.attached or session.outbox:
+                if not session.outbox:
+                    wake.clear()
+                    if not session.attached:
+                        break
+                    await wake.wait()
+                    continue
+                payload = session.outbox.popleft()
+                size = write_frame(writer, payload)
+                fam["frames_out"].inc()
+                fam["bytes_out"].inc(size)
+                if not session.outbox:
+                    await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # the handler notices EOF and tears the connection down
+
+    # -- sessions ------------------------------------------------------------
+
+    def _open_session(
+        self, resume: Optional[str]
+    ) -> Tuple[ServerSession, bool]:
+        if resume is not None:
+            candidate = self.sessions.get(resume)
+            if (
+                candidate is not None
+                and not candidate.closed
+                and not candidate.attached
+            ):
+                return candidate, True
+        session = ServerSession(
+            self.db, max_outbox=self.max_outbox, retry=self.retry
+        )
+        self.sessions[session.token] = session
+        self.families["sessions"].set(len(self.sessions))
+        return session, False
+
+    def _drop_session(self, session: ServerSession) -> None:
+        if session.subscriptions:
+            self._adjust_subs(-len(session.subscriptions))
+        session.close()
+        self.sessions.pop(session.token, None)
+        self._streaming.pop(session.token, None)
+        self.families["sessions"].set(len(self.sessions))
+
+    def _gc_sessions(self) -> None:
+        """Expire detached sessions older than ``session_ttl``.
+
+        Throttled to at most one full scan per second: it runs on every
+        connection teardown, and an unthrottled O(sessions) scan would
+        make a mass disconnect quadratic.
+        """
+        monotonic_now = time.monotonic()
+        if monotonic_now - self._last_gc < 1.0:
+            return
+        self._last_gc = monotonic_now
+        cutoff = monotonic_now - self.session_ttl
+        for session in list(self.sessions.values()):
+            if (
+                not session.attached
+                and session.detached_at is not None
+                and session.detached_at < cutoff
+            ):
+                self._drop_session(session)
+
+    def _adjust_subs(self, delta: int) -> None:
+        self._sub_count = max(0, self._sub_count + delta)
+        self.families["subs"].set(self._sub_count)
+
+    def _note_unsubscribed(self, session: ServerSession) -> None:
+        """Bookkeeping after one subscription left ``session``."""
+        self._adjust_subs(-1)
+        if not session.subscriptions:
+            self._streaming.pop(session.token, None)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, session: ServerSession, frame: dict) -> bool:
+        """Handle one request frame; returns True on orderly ``bye``."""
+        kind = frame.get("kind")
+        rid = frame.get("id")
+        fam = self.families
+        fam["requests"].labels(str(kind)).inc()
+        started = time.perf_counter()
+        try:
+            if kind in ("sql", "query"):
+                self._dispatch_sql(session, frame, rid, require_rows=(kind == "query"))
+            elif kind == "subscribe":
+                self._dispatch_subscribe(session, frame, rid)
+            elif kind == "unsubscribe":
+                session.unsubscribe(int(frame.get("sub", -1)))
+                self._note_unsubscribed(session)
+                session.enqueue({"kind": "result", "re": rid,
+                                 "result_kind": "unsubscribe", "message": "ok"})
+            elif kind == "refetch":
+                self._dispatch_refetch(session, frame, rid)
+            elif kind == "ack":
+                sub = session.subscriptions.get(int(frame.get("sub", -1)))
+                if sub is not None:
+                    sub.on_ack(
+                        int(frame.get("epoch", -1)),
+                        int(frame.get("cum", -1)),
+                        session.stats,
+                    )
+            elif kind == "ping":
+                session.enqueue(
+                    {"kind": "pong", "re": rid,
+                     "now": encode_exp(self.db.clock.now)}
+                )
+            elif kind == "bye":
+                session.enqueue({"kind": "bye-ok", "re": rid})
+                return True
+            else:
+                raise WireProtocolError(f"unknown request kind {kind!r}")
+        except ReproError as error:
+            fam["errors"].inc()
+            session.enqueue(_error_payload(rid, error))
+        finally:
+            fam["request_seconds"].observe(time.perf_counter() - started)
+        return False
+
+    def _dispatch_sql(
+        self, session: ServerSession, frame: dict, rid, require_rows: bool
+    ) -> None:
+        text = frame.get("text", "")
+        statements = parse_statements(text)
+        if require_rows and (
+            len(statements) != 1
+            or not isinstance(statements[0], (SelectQuery, SetOperation))
+        ):
+            raise SessionError(
+                "query expects exactly one row-producing statement; "
+                "use sql/execute for DDL and DML"
+            )
+        session.check_floor()
+        if len(statements) == 1:
+            # Already parsed for classification; don't parse again.
+            result = execute_statement(self.db, statements[0])
+        else:
+            result = execute_sql(self.db, text)  # canonical one-stmt error
+        session.observe()
+        session.enqueue(self._result_payload(session, result, rid))
+        self.pump()
+
+    def _dispatch_subscribe(
+        self, session: ServerSession, frame: dict, rid
+    ) -> None:
+        name = frame.get("view")
+        view = self.db.view(str(name))  # CatalogError for unknown names
+        sub = session.subscribe(view)
+        self._streaming[session.token] = session
+        self._adjust_subs(1)
+        now = self.db.clock.now
+        payload = sub.snapshot_payload(now)
+        payload["kind"] = "sub-ok"
+        payload["re"] = rid
+        payload["view"] = view.name
+        payload["columns"] = list(view.read(now).schema.names)
+        self.families["snapshots"].inc()
+        session.enqueue(payload)
+
+    def _dispatch_refetch(
+        self, session: ServerSession, frame: dict, rid
+    ) -> None:
+        sub_id = int(frame.get("sub", -1))
+        sub = session.subscriptions.get(sub_id)
+        if sub is None:
+            raise SessionError(
+                f"session {session.token}: unknown subscription {sub_id}"
+            )
+        payload = sub.snapshot_payload(self.db.clock.now)
+        payload["re"] = rid
+        self.families["snapshots"].inc()
+        session.enqueue(payload)
+
+    def _result_payload(
+        self, session: ServerSession, result: SqlResult, rid
+    ) -> dict:
+        payload = {
+            "kind": "result",
+            "re": rid,
+            "result_kind": result.kind,
+            "message": result.message,
+            "rowcount": result.rowcount,
+            "now": encode_exp(self.db.clock.now),
+            "floor": encode_exp(session.floor),
+            "data_version": session.data_version,
+        }
+        if result.names:
+            payload["names"] = list(result.names)
+        if result.relation is not None:
+            payload["columns"] = list(result.relation.schema.names)
+            # Both the presentation rows (ordered/limited) and the full
+            # item set with expirations: clients keep the paper's
+            # semantics, not a dead row list.
+            payload["rows"] = [list(row) for row in (result.rows or [])]
+            payload["items"] = encode_items(result.relation.items())
+        return payload
+
+    # -- subscription pump ---------------------------------------------------
+
+    def pump(self) -> int:
+        """Diff every live subscription against its last shipped state.
+
+        Called after each potentially-mutating statement.  Only sessions
+        holding subscriptions are visited (the ``_streaming`` index), and
+        within one pump each distinct view is read once and its state
+        shared by every subscriber diffing against it.  Skipped outright
+        when the ``(catalog_version, now)`` fingerprint is unchanged and no
+        view refreshed behind our back (their listeners set ``sub.dirty``).
+        Returns the number of envelopes queued (patches plus invalidates).
+        """
+        db = self.db
+        now = db.clock.now
+        fingerprint = (db.catalog_version, now.value, now.is_infinite)
+        changed = fingerprint != self._pump_fingerprint
+        self._pump_fingerprint = fingerprint
+        fam = self.families
+        queued = 0
+        # Per-pump shared state: each distinct view is read once, and the
+        # (upserts, removes) diff is memoised per baseline *object* -- all
+        # subscribers that previously adopted the same shared ``current``
+        # hit the memo.  Values pin the baseline dicts so CPython cannot
+        # recycle an id mid-pump.
+        view_state: Dict[int, Tuple[dict, dict]] = {}
+        for session in list(self._streaming.values()):
+            if session.closed:
+                continue
+            for sub in list(session.subscriptions.values()):
+                if not db.has_view(sub.view.name) or (
+                    db.view(sub.view.name) is not sub.view
+                ):
+                    # The view was dropped (or dropped and recreated) out
+                    # from under the stream; the client must resubscribe.
+                    # Checked before the fingerprint short-circuit: DROP
+                    # VIEW moves neither the clock nor the data version.
+                    notice = sub.degrade(now, "view-dropped")
+                    session.unsubscribe(sub.sub_id)
+                    session.enqueue(notice)
+                    fam["invalidates"].inc()
+                    self._note_unsubscribed(session)
+                    queued += 1
+                    continue
+                if sub.degraded:
+                    continue
+                if not changed and not sub.dirty:
+                    continue
+                key = id(sub.view)
+                entry = view_state.get(key)
+                if entry is None:
+                    entry = (dict(sub.view.read(now).items()), {})
+                    view_state[key] = entry
+                current, memo = entry
+                cached = memo.get(id(sub.shipped))
+                if cached is None:
+                    cached = (
+                        sub.shipped,
+                        diff_states(sub.shipped, current, now),
+                    )
+                    memo[id(sub.shipped)] = cached
+                payload = sub.diff_payload(
+                    now, current=current, precomputed=cached[1]
+                )
+                if payload is None:
+                    continue
+                notice = session.enqueue_patch(
+                    sub, payload, time.monotonic()
+                )
+                queued += 1
+                if notice is not None:
+                    fam["degrades"].inc()
+                    fam["invalidates"].inc()
+                else:
+                    fam["patches"].inc()
+                    fam["patch_rows"].labels("upsert").inc(
+                        len(payload["upserts"])
+                    )
+                    fam["patch_rows"].labels("remove").inc(
+                        len(payload["removes"])
+                    )
+        return queued
+
+    # -- retransmission ------------------------------------------------------
+
+    def retransmit_now(self, monotonic_now: Optional[float] = None) -> int:
+        """Run one retransmission sweep over every attached session.
+
+        Returns the number of envelopes resent.  Normally driven by the
+        background task (``retransmit_interval``); callable directly for
+        deterministic tests.
+        """
+        if monotonic_now is None:
+            monotonic_now = time.monotonic()
+        fam = self.families
+        resent = 0
+        # Only streaming sessions can owe patch envelopes.
+        for session in list(self._streaming.values()):
+            if session.closed or not session.attached:
+                continue
+            before = (
+                session.stats.retransmissions,
+                session.stats.retransmissions_avoided,
+            )
+            frames, degraded = session.retransmit_due(monotonic_now)
+            for frame in frames:
+                session.enqueue(frame)
+            resent += len(frames)
+            if degraded:
+                fam["degrades"].inc(degraded)
+                fam["invalidates"].inc(degraded)
+            self._publish_retrans(session, before)
+        return resent
+
+    async def _sweep_loop(self) -> None:
+        assert self.retransmit_interval is not None
+        try:
+            while True:
+                await asyncio.sleep(self.retransmit_interval)
+                self.retransmit_now()
+        except asyncio.CancelledError:
+            pass
+
+    def _publish_retrans(
+        self, session: ServerSession, before: Tuple[int, int]
+    ) -> None:
+        delta_sent = session.stats.retransmissions - before[0]
+        delta_avoided = session.stats.retransmissions_avoided - before[1]
+        if delta_sent:
+            self.families["retransmissions"].inc(delta_sent)
+        if delta_avoided:
+            self.families["avoided"].inc(delta_avoided)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _write_now(self, writer, payload: dict) -> None:
+        """Write one frame outside the writer task (pre-session replies)."""
+        size = write_frame(writer, payload)
+        self.families["frames_out"].inc()
+        self.families["bytes_out"].inc(size)
+
+
+def _error_payload(rid, error: Exception) -> dict:
+    remote_type = type(error).__name__
+    if isinstance(error, RemoteError):  # don't re-wrap on proxy chains
+        remote_type = error.remote_type
+    return {
+        "kind": "error",
+        "re": rid,
+        "error": remote_type,
+        "message": str(error),
+    }

@@ -1,0 +1,464 @@
+"""Server-side sessions: clock floors, subscriptions, seq/ack streaming.
+
+A :class:`ServerSession` is the unit of client state the server keeps per
+connection -- and *across* connections, because the paper's loosely-coupled
+clients disconnect and come back:
+
+* a **clock floor**: the highest logical time the session has observed.
+  Reads never travel backwards past it -- a reconnecting client can never
+  see a database "younger" than one it already read, and every statement
+  executes against a single stamp ``τ``, so a reader at floor ``τ`` never
+  sees a tuple expiring at or before ``τ`` mid-query (the engine applies
+  ``exp_τ`` uniformly, even over lazily-retained physical tuples);
+* a **data-version snapshot**: the catalog version its last result
+  reflected, echoed in every reply.  Together with the floor this is the
+  plan cache's validity machinery worn as session state: a result the
+  client holds is exactly as reusable as a cached plan result at ``τ' ≥ τ``
+  with an unchanged version;
+* **subscriptions**: per-view patch streams maintained with the
+  reliability layer's discipline (:mod:`repro.distributed.reliability`)
+  ported from simulated links to sockets -- sequence-numbered envelopes,
+  cumulative acks, and **expiration-aware retransmission**: a pending
+  patch whose every tuple has expired is dropped instead of retransmitted
+  (the client would discard it anyway), counted in
+  ``repro_server_retransmissions_avoided_total``.
+
+Backpressure is a two-rung ladder.  While a session keeps up, view changes
+stream as incremental patches.  When its outstanding traffic (queued
+frames plus unacknowledged envelopes) crosses ``max_outbox`` -- a slow
+consumer, or a long disconnect -- the subscription *degrades*: pending
+patches are discarded wholesale, the epoch is bumped, and one small
+``invalidate`` notice replaces them.  The client then refetches a full
+snapshot when (and only when) it actually needs the view again, which is
+the explicit-request maintenance mode of the paper's Section 4, reached
+lazily instead of eagerly.
+
+Patch deltas are computed against the last *shipped* state, under the
+expiration-replaces-deletion asymmetry: a tuple that merely expired needs
+no message at all (the client expires it locally -- the headline saving),
+so removals are shipped only for tuples explicitly deleted while still
+unexpired, and a dropped envelope can always be skipped once its tuples
+are dead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.core.timestamps import INFINITY, Timestamp, ts_max
+from repro.distributed.reliability import RetryPolicy, SessionStats
+from repro.engine.views import MaterialisedView
+from repro.errors import SessionError
+from repro.server.protocol import encode_exp, encode_items
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.engine.database import Database
+
+__all__ = [
+    "PendingPatch",
+    "ServerSubscription",
+    "ServerSession",
+    "diff_states",
+]
+
+_session_tokens = itertools.count(1)
+
+
+def diff_states(
+    shipped: Dict[tuple, Timestamp],
+    current: Dict[tuple, Timestamp],
+    now: Timestamp,
+) -> Tuple[list, list]:
+    """``(upserts, removes)`` taking a client from ``shipped`` to ``current``.
+
+    Pure expiration ships nothing: a tuple gone from ``current`` whose
+    expiration is ``<= now`` is pruned silently (the client expired it
+    locally), so removals cover only explicit deletions of unexpired
+    tuples.  Identical baselines short-circuit -- the server's pump memoises
+    this per ``(view, baseline object)``, so twenty subscribers sharing one
+    adopted baseline cost one scan, not twenty.
+    """
+    if shipped is current:
+        return [], []
+    upserts = [
+        (row, texp)
+        for row, texp in current.items()
+        if shipped.get(row) != texp
+    ]
+    removes = [
+        (row, texp)
+        for row, texp in shipped.items()
+        if row not in current and texp > now
+    ]
+    return upserts, removes
+
+
+class PendingPatch:
+    """One unacknowledged subscription envelope awaiting ack or expiry."""
+
+    __slots__ = ("seq", "payload", "expires_at", "attempts", "sent_at")
+
+    def __init__(
+        self, seq: int, payload: dict, expires_at: Timestamp, sent_at: float
+    ) -> None:
+        self.seq = seq
+        self.payload = payload
+        #: When the last tuple this envelope carries stops mattering; a
+        #: retransmission due after this (logical) time is cancelled.
+        self.expires_at = expires_at
+        self.attempts = 0
+        self.sent_at = sent_at
+
+
+class ServerSubscription:
+    """One client's patch stream over one materialised view."""
+
+    def __init__(self, sub_id: int, view: MaterialisedView) -> None:
+        self.sub_id = sub_id
+        self.view = view
+        #: Bumped on every degrade/snapshot reset; acks from older epochs
+        #: are ignored (they describe a stream that no longer exists).
+        self.epoch = 0
+        self.next_seq = 1  # seq 0 is the epoch's snapshot
+        self.pending: "OrderedDict[int, PendingPatch]" = OrderedDict()
+        #: Last state shipped to the client: row -> expiration time.
+        self.shipped: Dict[tuple, Timestamp] = {}
+        self.degraded = False
+        #: Set by the view's refresh listener and by the server's pump
+        #: when the catalog fingerprint moves; cleared after each diff.
+        self.dirty = True
+
+    # -- state shipping -----------------------------------------------------
+
+    def snapshot_payload(self, now: Timestamp) -> dict:
+        """A full-state ``snapshot`` payload; resets the shipped baseline.
+
+        Starts (or restarts, post-degrade) the epoch: seq 0 carries the
+        whole view, subsequent patches count up from 1.
+        """
+        relation = self.view.read(now)
+        self.shipped = dict(relation.items())
+        self.next_seq = 1
+        self.degraded = False
+        self.dirty = False
+        return {
+            "kind": "snapshot",
+            "sub": self.sub_id,
+            "epoch": self.epoch,
+            "seq": 0,
+            "rows": encode_items(self.shipped.items()),
+            "now": encode_exp(now),
+        }
+
+    def diff_payload(
+        self,
+        now: Timestamp,
+        current: Optional[Dict[tuple, Timestamp]] = None,
+        precomputed: Optional[Tuple[list, list]] = None,
+    ) -> Optional[dict]:
+        """The incremental ``patch`` payload since the last shipment.
+
+        Returns ``None`` when the client's copy is already right, which
+        includes every change that is *pure expiration*: a shipped tuple
+        past its expiration time needs no removal message (the client
+        expired it locally), so it is simply pruned from the baseline.
+
+        ``current`` lets the caller share one view read across every
+        subscriber of the same view (the server's pump does); it must be
+        the ``row -> texp`` map of ``view.read(now)`` and is adopted as
+        the new baseline without being mutated.  ``precomputed`` goes one
+        step further: subscribers whose baseline is the *same object* (the
+        common case once they have adopted a shared ``current``) can reuse
+        one :func:`diff_states` result instead of re-scanning the view.
+        """
+        if current is None:
+            current = dict(self.view.read(now).items())
+        if precomputed is None:
+            precomputed = diff_states(self.shipped, current, now)
+        upserts, removes = precomputed
+        self.shipped = current
+        self.dirty = False
+        if not upserts and not removes:
+            return None
+        seq = self.next_seq
+        self.next_seq += 1
+        return {
+            "kind": "patch",
+            "sub": self.sub_id,
+            "epoch": self.epoch,
+            "seq": seq,
+            "upserts": encode_items(upserts),
+            "removes": [list(row) for row, _ in removes],
+            "now": encode_exp(now),
+            # Envelope-level expiry: the latest time at which any carried
+            # change still matters (a remove stops mattering when the
+            # removed tuple would have expired anyway).
+            "_expires": encode_exp(
+                ts_max(texp for _, texp in upserts + removes)
+            ),
+        }
+
+    def degrade(self, now: Timestamp, reason: str) -> dict:
+        """Fall down the backpressure ladder: drop patches, invalidate.
+
+        Every pending envelope is discarded (the snapshot that follows the
+        client's refetch supersedes them all), the epoch is bumped so
+        stragglers' acks are ignored, and the returned ``invalidate``
+        notice is the only thing left to deliver.
+        """
+        self.pending.clear()
+        self.epoch += 1
+        self.next_seq = 1
+        self.degraded = True
+        self.shipped = {}
+        return {
+            "kind": "invalidate",
+            "sub": self.sub_id,
+            "epoch": self.epoch,
+            "reason": reason,
+            "now": encode_exp(now),
+        }
+
+    def on_ack(self, epoch: int, cumulative: int, stats: SessionStats) -> None:
+        """Retire every pending envelope the (current-epoch) ack covers."""
+        if epoch != self.epoch:
+            return  # a stream that no longer exists
+        for seq in [s for s in self.pending if s <= cumulative]:
+            del self.pending[seq]
+            stats.acked += 1
+
+
+class ServerSession:
+    """One client's server-side state, surviving reconnects.
+
+    Created by the server on ``hello``; looked up again on ``hello`` with
+    ``resume: token``.  While detached (the socket died, the session has
+    not yet expired) subscriptions keep accumulating pending envelopes --
+    bounded by the backpressure ladder -- so a resuming client receives
+    exactly the unexpired remainder.
+    """
+
+    def __init__(self, db: "Database", max_outbox: int = 256,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self.db = db
+        self.token = f"s{next(_session_tokens)}"
+        #: Monotone: the highest logical time this session has observed.
+        self.floor: Timestamp = db.clock.now
+        #: The catalog version the session's last result reflected.
+        self.data_version: int = db.catalog_version
+        self.max_outbox = max_outbox
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.subscriptions: Dict[int, ServerSubscription] = {}
+        self._next_sub_id = itertools.count(1)
+        #: Frames queued for the attached connection's writer.
+        self.outbox: Deque[dict] = deque()
+        self.attached = False
+        self.detached_at: Optional[float] = None
+        #: Set by the server on attach: wakes the connection's writer task.
+        self.on_enqueue = None
+        self.stats = SessionStats()
+        self.closed = False
+
+    # -- snapshot state ------------------------------------------------------
+
+    def observe(self) -> None:
+        """Advance the session's floor/version to what it just read.
+
+        Called after every statement: the floor ratchets forward (never
+        back), so a later read -- same connection or a resumed one -- can
+        never be served below a time the client has already seen.
+        """
+        now = self.db.clock.now
+        if now > self.floor:
+            self.floor = now
+        self.data_version = self.db.catalog_version
+
+    def check_floor(self) -> None:
+        """Refuse to serve a session whose floor is ahead of the engine.
+
+        Only possible when a session token is resumed against a *different*
+        (e.g. freshly recovered but behind) database; serving would show
+        the client a past it has already read beyond.
+        """
+        if self.floor > self.db.clock.now:
+            raise SessionError(
+                f"session {self.token} has observed τ={self.floor} but the "
+                f"engine is at τ={self.db.clock.now}; refusing to travel "
+                f"back in time"
+            )
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(self, view: MaterialisedView) -> ServerSubscription:
+        """Open a patch stream over ``view``."""
+        sub = ServerSubscription(next(self._next_sub_id), view)
+        self.subscriptions[sub.sub_id] = sub
+        view.refresh_listeners.append(self._make_refresh_listener(sub))
+        return sub
+
+    def _make_refresh_listener(self, sub: ServerSubscription):
+        def on_refresh(view: MaterialisedView, _sub=sub) -> None:
+            _sub.dirty = True
+
+        on_refresh.repro_sub = sub  # tag for unsubscribe
+        return on_refresh
+
+    def unsubscribe(self, sub_id: int) -> ServerSubscription:
+        """Drop a subscription (and its view refresh listener)."""
+        try:
+            sub = self.subscriptions.pop(sub_id)
+        except KeyError:
+            raise SessionError(
+                f"session {self.token}: unknown subscription {sub_id}"
+            ) from None
+        sub.view.refresh_listeners[:] = [
+            listener
+            for listener in sub.view.refresh_listeners
+            if getattr(listener, "repro_sub", None) is not sub
+        ]
+        return sub
+
+    # -- outbound traffic ----------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Frames owed to this client: queued plus unacknowledged."""
+        return len(self.outbox) + sum(
+            len(sub.pending) for sub in self.subscriptions.values()
+        )
+
+    def enqueue(self, payload: dict) -> None:
+        """Queue one frame for the attached writer (dropped if detached --
+        durable state lives in the subscriptions' pending envelopes)."""
+        if self.attached:
+            self.outbox.append(payload)
+            if self.on_enqueue is not None:
+                self.on_enqueue()
+
+    def enqueue_patch(
+        self, sub: ServerSubscription, payload: dict, sent_at: float
+    ) -> Optional[dict]:
+        """Queue one patch envelope, applying the backpressure ladder.
+
+        Returns the ``invalidate`` payload when the ladder degraded the
+        subscription instead of queueing (the caller counts it), else
+        ``None``.
+        """
+        if self.outstanding() >= self.max_outbox:
+            notice = sub.degrade(self.db.clock.now, "backpressure")
+            self.enqueue(notice)
+            return notice
+        entry = PendingPatch(
+            payload["seq"], payload, decode_expiry(payload), sent_at
+        )
+        sub.pending[entry.seq] = entry
+        self.stats.sent += 1
+        self.enqueue(payload)
+        return None
+
+    def resume_frames(self, acks: Optional[dict], sent_at: float) -> List[dict]:
+        """Everything a resuming client is owed, expiration-pruned.
+
+        ``acks`` is the client's per-subscription delivery state
+        (``{sub_id: {"epoch": e, "cum": n}}``); covered envelopes retire
+        first.  What remains is retransmitted *only if still alive*: an
+        envelope whose every tuple has expired is dropped and counted as
+        avoided traffic -- the loosely-coupled saving, on real sockets.
+        """
+        now = self.db.clock.now
+        frames: List[dict] = []
+        for sub in self.subscriptions.values():
+            state = (acks or {}).get(str(sub.sub_id))
+            if state:
+                sub.on_ack(
+                    int(state.get("epoch", -1)),
+                    int(state.get("cum", -1)),
+                    self.stats,
+                )
+            if sub.degraded:
+                frames.append(
+                    {
+                        "kind": "invalidate",
+                        "sub": sub.sub_id,
+                        "epoch": sub.epoch,
+                        "reason": "resume",
+                        "now": encode_exp(now),
+                    }
+                )
+                continue
+            for seq in list(sub.pending):
+                entry = sub.pending[seq]
+                if entry.expires_at <= now:
+                    del sub.pending[seq]
+                    self.stats.retransmissions_avoided += 1
+                    self.stats.cells_avoided += len(
+                        entry.payload.get("upserts", ())
+                    ) + len(entry.payload.get("removes", ()))
+                    continue
+                entry.attempts += 1
+                entry.sent_at = sent_at
+                self.stats.retransmissions += 1
+                frames.append(entry.payload)
+        return frames
+
+    def retransmit_due(self, monotonic_now: float) -> Tuple[List[dict], int]:
+        """Timer-driven retransmission sweep for the attached connection.
+
+        Returns ``(frames, degraded)``: envelopes to resend now, and how
+        many subscriptions fell off the ladder (exhausted attempts).
+        Expired envelopes are dropped, not resent, exactly as on resume.
+        """
+        now = self.db.clock.now
+        frames: List[dict] = []
+        degraded = 0
+        for sub in list(self.subscriptions.values()):
+            for seq in list(sub.pending):
+                entry = sub.pending[seq]
+                timeout = self.retry.base_delay * (
+                    self.retry.multiplier ** entry.attempts
+                )
+                timeout = min(timeout, self.retry.max_delay)
+                if monotonic_now - entry.sent_at < timeout:
+                    continue
+                if entry.expires_at <= now:
+                    del sub.pending[seq]
+                    self.stats.retransmissions_avoided += 1
+                    continue
+                if entry.attempts + 1 > self.retry.max_attempts:
+                    notice = sub.degrade(now, "retry-exhausted")
+                    self.enqueue(notice)
+                    self.stats.abandoned += 1
+                    degraded += 1
+                    break
+                entry.attempts += 1
+                entry.sent_at = monotonic_now
+                self.stats.retransmissions += 1
+                frames.append(entry.payload)
+        return frames, degraded
+
+    # -- teardown ------------------------------------------------------------
+
+    def detach(self, at: float) -> None:
+        """The socket died; keep the session for a possible resume."""
+        self.attached = False
+        self.detached_at = at
+        self.outbox.clear()  # pending envelopes carry the durable state
+
+    def close(self) -> None:
+        """Tear the session down for good (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.attached = False
+        for sub_id in list(self.subscriptions):
+            self.unsubscribe(sub_id)
+        self.outbox.clear()
+
+
+def decode_expiry(payload: dict) -> Timestamp:
+    """The envelope-level expiry a patch payload carries (``∞`` if none)."""
+    raw = payload.get("_expires")
+    if raw is None:
+        return INFINITY
+    return Timestamp(raw)

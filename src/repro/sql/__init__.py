@@ -7,13 +7,16 @@ joins, WHERE, GROUP BY aggregates (with selectable expiration strategies),
 set operations (UNION / EXCEPT / INTERSECT), materialised views with
 maintenance policies, and logical-time control statements.
 
->>> from repro.engine import Database
->>> db = Database()
->>> _ = db.sql("CREATE TABLE Pol (uid, deg)")
->>> _ = db.sql("INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10")
->>> _ = db.sql("INSERT INTO Pol VALUES (2, 25) EXPIRES AT 15")
->>> sorted(db.sql("SELECT deg FROM Pol").relation.rows())
+>>> import repro
+>>> session = repro.connect()
+>>> _ = session.execute("CREATE TABLE Pol (uid, deg)")
+>>> _ = session.execute("INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10")
+>>> _ = session.execute("INSERT INTO Pol VALUES (2, 25) EXPIRES AT 15")
+>>> session.query("SELECT deg FROM Pol").rows
 [(25,)]
+
+(Ad-hoc ``Database.sql(...)`` still works but is deprecated in favour of
+the session surface, which behaves identically over a socket.)
 """
 
 from repro.sql.ast import Statement

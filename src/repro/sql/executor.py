@@ -392,6 +392,16 @@ def execute_sql(db: Database, text: str) -> SqlResult:
     return _execute_statement(db, statements[0])
 
 
+def execute_statement(db: Database, statement: Statement) -> SqlResult:
+    """Execute one already-parsed statement.
+
+    The server's dispatch path parses once to classify the request and
+    then executes the same AST here, instead of paying a second parse
+    inside :func:`execute_sql`.
+    """
+    return _execute_statement(db, statement)
+
+
 def execute_script(db: Database, text: str) -> List[SqlResult]:
     """Parse and execute a ``;``-separated script, returning all results."""
     return [_execute_statement(db, s) for s in parse_statements(text)]

@@ -1,0 +1,1 @@
+"""Tests for the network server, sessions, and the client surface."""

@@ -1,0 +1,160 @@
+"""Wire framing: round-trips, torn frames, and the stream failure contract.
+
+The framing is the WAL's (length + CRC32 + compact JSON), but the failure
+contract differs: a WAL reader truncates a torn tail; a stream reader that
+loses framing sync must drop the connection, so every corruption here is a
+:class:`~repro.errors.WireProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import zlib
+
+import pytest
+
+from repro.core.timestamps import INFINITY, ts
+from repro.errors import WireProtocolError
+from repro.server.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    decode_exp,
+    decode_items,
+    encode_exp,
+    encode_frame,
+    encode_items,
+    read_frame,
+    write_frame,
+)
+
+_HEADER = struct.Struct(">II")
+
+
+class TestEncoding:
+    def test_frame_round_trip(self):
+        payload = {"kind": "sql", "id": 7, "text": "SELECT 1"}
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(payload)) == [payload]
+
+    def test_many_frames_in_one_chunk(self):
+        frames = [{"kind": "ping", "id": i} for i in range(10)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        assert FrameDecoder().feed(blob) == frames
+
+    def test_exp_encoding_none_is_infinity(self):
+        assert encode_exp(INFINITY) is None
+        assert decode_exp(None) == INFINITY
+        assert decode_exp(encode_exp(ts(5))) == ts(5)
+
+    def test_items_round_trip(self):
+        items = [((1, "a"), ts(10)), ((2, "b"), INFINITY)]
+        assert decode_items(encode_items(items)) == items
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(WireProtocolError):
+            encode_frame({"kind": "x", "blob": "a" * (MAX_FRAME + 1)})
+
+
+class TestTornFrames:
+    def test_torn_frame_buffers_until_complete(self):
+        payload = {"kind": "result", "re": 3, "rows": [[1, 2]]}
+        frame = encode_frame(payload)
+        decoder = FrameDecoder()
+        # Drip-feed byte by byte: nothing decodes until the last byte.
+        for byte in frame[:-1]:
+            assert decoder.feed(bytes([byte])) == []
+        assert decoder.buffered == len(frame) - 1
+        assert decoder.feed(frame[-1:]) == [payload]
+        assert decoder.buffered == 0
+
+    def test_split_across_frame_boundary(self):
+        a = encode_frame({"kind": "ping", "id": 1})
+        b = encode_frame({"kind": "ping", "id": 2})
+        blob = a + b
+        decoder = FrameDecoder()
+        first = decoder.feed(blob[: len(a) + 3])
+        assert first == [{"kind": "ping", "id": 1}]
+        assert decoder.feed(blob[len(a) + 3:]) == [{"kind": "ping", "id": 2}]
+
+
+class TestCorruption:
+    def test_crc_mismatch_is_connection_fatal(self):
+        frame = bytearray(encode_frame({"kind": "ping", "id": 1}))
+        frame[-1] ^= 0xFF  # flip a payload bit; the CRC no longer matches
+        with pytest.raises(WireProtocolError, match="CRC"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_absurd_length_is_connection_fatal(self):
+        header = _HEADER.pack(MAX_FRAME + 1, 0)
+        with pytest.raises(WireProtocolError, match="MAX_FRAME"):
+            FrameDecoder().feed(header)
+
+    def test_non_json_payload_is_connection_fatal(self):
+        body = b"\xff\xfenot json"
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        with pytest.raises(WireProtocolError, match="JSON"):
+            FrameDecoder().feed(frame)
+
+    def test_non_object_payload_is_connection_fatal(self):
+        body = b"[1,2,3]"
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        with pytest.raises(WireProtocolError, match="message object"):
+            FrameDecoder().feed(frame)
+
+    def test_object_without_kind_is_connection_fatal(self):
+        body = b'{"id":1}'
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        with pytest.raises(WireProtocolError, match="message object"):
+            FrameDecoder().feed(frame)
+
+
+class TestAsyncHelpers:
+    def _reader_with(self, data: bytes, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_read_frame_round_trip(self):
+        async def scenario():
+            payload = {"kind": "sql", "id": 1, "text": "SELECT 1"}
+            reader = self._reader_with(encode_frame(payload))
+            assert await read_frame(reader) == payload
+            assert await read_frame(reader) is None  # clean EOF
+
+        asyncio.run(scenario())
+
+    def test_eof_mid_header_raises(self):
+        async def scenario():
+            reader = self._reader_with(encode_frame({"kind": "ping"})[:3])
+            with pytest.raises(WireProtocolError, match="mid-header"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_eof_mid_body_raises(self):
+        async def scenario():
+            frame = encode_frame({"kind": "ping", "id": 9})
+            reader = self._reader_with(frame[:-2])
+            with pytest.raises(WireProtocolError, match="mid-frame"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_write_frame_reports_size(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+
+            class Sink:
+                def write(self, data):
+                    reader.feed_data(data)
+
+            payload = {"kind": "pong", "re": 4}
+            size = write_frame(Sink(), payload)
+            assert size == len(encode_frame(payload))
+            reader.feed_eof()
+            assert await read_frame(reader) == payload
+
+        asyncio.run(scenario())

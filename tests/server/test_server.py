@@ -1,0 +1,569 @@
+"""The served engine end to end: TCP, loopback, patches, resume, ladders.
+
+The differential harness is the core obligation: at every step of a
+scripted workload, a subscribed client's locally-patched view must equal
+the server-side view read -- with expiration doing its share of the
+maintenance silently on both ends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket as socket_module
+import time
+
+import pytest
+
+from repro.core.timestamps import ts
+from repro.engine.config import DatabaseConfig
+from repro.engine.expiration_index import RemovalPolicy
+from repro.errors import RemoteError, SessionError
+from repro.server.client import AsyncSession, NetworkSession, connect
+from repro.server.protocol import encode_frame
+from repro.server.server import ReproServer
+
+
+def run(coro):
+    """Each test gets a fresh event loop."""
+    return asyncio.run(coro)
+
+
+async def _drain(session: AsyncSession, rounds: int = 3) -> None:
+    for _ in range(rounds):
+        await session.poll(0.02)
+
+
+class TestTcpRoundTrip:
+    def test_execute_query_and_ping_over_tcp(self):
+        async def scenario():
+            server = ReproServer()
+            host, port = await server.start()
+            try:
+                session = await AsyncSession.open(host, port)
+                await session.execute("CREATE TABLE Pol (uid, deg)")
+                await session.execute(
+                    "INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10"
+                )
+                result = await session.query("SELECT deg FROM Pol")
+                assert result.rows == [(25,)]
+                assert result.columns == ("deg",)
+                assert result.items == [((25,), ts(10))]
+                assert await session.ping() == ts(0)
+                await session.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_sync_client_over_tcp(self):
+        async def scenario():
+            server = ReproServer()
+            host, port = await server.start()
+
+            def sync_part():
+                session = NetworkSession(host, port)
+                session.execute("CREATE TABLE T (k)")
+                session.execute("INSERT INTO T VALUES (1) EXPIRES AT 5")
+                assert session.query("SELECT k FROM T").rows == [(1,)]
+                with pytest.raises(RemoteError) as err:
+                    session.query("SELECT k FROM Missing")
+                assert err.value.remote_type == "SqlPlanError"
+                session.close()
+
+            try:
+                await asyncio.to_thread(sync_part)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_connect_url_speaks_to_server(self):
+        async def scenario():
+            server = ReproServer()
+            host, port = await server.start()
+
+            def sync_part():
+                with connect(f"repro://{host}:{port}") as session:
+                    session.execute("CREATE TABLE T (k)")
+                    session.execute("INSERT INTO T VALUES (3) EXPIRES AT 7")
+                    assert session.query("SELECT k FROM T").rows == [(3,)]
+
+            try:
+                await asyncio.to_thread(sync_part)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_remote_errors_carry_type_and_leave_session_usable(self):
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            with pytest.raises(RemoteError) as err:
+                await session.query("CREATE TABLE T (k)")  # not a query
+            assert err.value.remote_type == "SessionError"
+            # The refusal happened before execution: no side effects.
+            assert not server.db.has_table("T")
+            await session.execute("CREATE TABLE T (k)")  # still usable
+            assert server.db.has_table("T")
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_corrupt_frame_drops_the_connection(self):
+        async def scenario():
+            server = ReproServer()
+            host, port = await server.start()
+
+            def sync_part():
+                raw = socket_module.create_connection((host, port), timeout=5)
+                frame = bytearray(
+                    encode_frame({"kind": "hello", "id": 1, "version": 1})
+                )
+                frame[-1] ^= 0xFF  # corrupt the payload: CRC mismatch
+                raw.sendall(bytes(frame))
+                raw.settimeout(5)
+                assert raw.recv(1024) == b""  # server hung up, no reply
+                raw.close()
+
+            try:
+                await asyncio.to_thread(sync_part)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_version_mismatch_rejected(self):
+        async def scenario():
+            server = ReproServer()
+            reader, writer = server.open_loopback()
+            from repro.server.protocol import read_frame, write_frame
+
+            write_frame(writer, {"kind": "hello", "id": 1, "version": 999})
+            await writer.drain()
+            reply = await read_frame(reader)
+            assert reply["kind"] == "error"
+            assert "version" in reply["message"]
+            await server.stop()
+
+        run(scenario())
+
+
+class TestSubscribeDifferential:
+    SCRIPT = [
+        "INSERT INTO Pol VALUES (1, 25) EXPIRES AT 10",
+        "INSERT INTO Pol VALUES (2, 25) EXPIRES AT 15",
+        "INSERT INTO Pol VALUES (3, 35) EXPIRES AT 10",
+        "INSERT INTO El VALUES (1, 75) EXPIRES AT 5",
+        "ADVANCE TO 3",
+        "INSERT INTO Pol VALUES (4, 45) EXPIRES AT 20",
+        "DELETE FROM Pol WHERE uid = 2",
+        "ADVANCE TO 5",
+        "INSERT INTO El VALUES (4, 90) EXPIRES AT 18",
+        "ADVANCE TO 10",
+        "INSERT INTO Pol VALUES (5, 55) EXPIRES AT 30",
+        "ADVANCE TO 18",
+        "DELETE FROM Pol WHERE uid = 5",
+        "ADVANCE TO 30",
+    ]
+
+    def test_patched_views_equal_server_reads_at_every_step(self):
+        """The headline differential: monotonic and non-monotonic views,
+        inserts, explicit deletes, and expiration -- client == server after
+        every single statement."""
+
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE Pol (uid, deg)")
+            await session.execute("CREATE TABLE El (uid, deg)")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW degs AS SELECT deg FROM Pol"
+            )
+            await session.execute(
+                "CREATE MATERIALIZED VIEW diff AS "
+                "SELECT uid FROM Pol EXCEPT SELECT uid FROM El"
+            )
+            subs = {
+                "degs": await session.subscribe("degs"),
+                "diff": await session.subscribe("diff"),
+            }
+            for statement in self.SCRIPT:
+                await session.execute(statement)
+                await _drain(session)
+                for name, sub in subs.items():
+                    server_rows = sorted(
+                        server.db.view(name).read(server.db.clock.now).rows()
+                    )
+                    assert sub.read() == server_rows, (
+                        f"after {statement!r}: {name} client={sub.read()} "
+                        f"server={server_rows}"
+                    )
+                await _drain(session)  # absorb patches from server reads
+            assert subs["degs"].patches_applied > 0
+            assert server.families["patches"].value > 0
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_pure_expiration_ships_no_patch(self):
+        """The paper's headline saving: a tuple that merely expires needs
+        no message at all -- both ends drop it locally."""
+
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute("INSERT INTO T VALUES (1) EXPIRES AT 5")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+            )
+            sub = await session.subscribe("v")
+            assert sub.read() == [(1,)]
+            patches_before = server.families["patches"].value
+            await session.execute("ADVANCE TO 5")
+            await _drain(session)
+            assert sub.read() == []  # expired client-side, silently
+            assert server.families["patches"].value == patches_before
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_explicit_delete_of_unexpired_tuple_ships_a_remove(self):
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute("INSERT INTO T VALUES (1) EXPIRES AT 50")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+            )
+            sub = await session.subscribe("v")
+            await session.execute("DELETE FROM T WHERE k = 1")
+            await _drain(session)
+            assert sub.read() == []
+            assert server.families["patch_rows"].labels("remove").value >= 1
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_unknown_view_subscription_is_a_remote_error(self):
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            with pytest.raises(RemoteError) as err:
+                await session.subscribe("nope")
+            assert err.value.remote_type == "CatalogError"
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+
+class TestReconnectResume:
+    def test_resume_replays_the_unexpired_remainder(self):
+        async def scenario():
+            server = ReproServer(session_ttl=60.0)
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+            )
+            sub = await session.subscribe("v")
+            token = session.token
+            acks = session._ack_state()
+            # Kill the transport without bye: the session must survive.
+            session._writer.close()
+            await asyncio.sleep(0.05)
+            assert token in server.sessions
+            assert not server.sessions[token].attached
+
+            # Mutate while detached: patches accumulate as pending.
+            driver = await AsyncSession.over_loopback(server)
+            await driver.execute("INSERT INTO T VALUES (1) EXPIRES AT 50")
+            await driver.execute("INSERT INTO T VALUES (2) EXPIRES AT 60")
+            await driver.close()
+
+            resumed = await AsyncSession.over_loopback(
+                server, resume=token, acks=acks
+            )
+            assert resumed.resumed
+            assert resumed.token == token
+            resumed.subscriptions[sub.sub_id] = sub
+            sub._session = resumed
+            await _drain(resumed)
+            await resumed.query("SELECT k FROM T")  # sync the clock
+            assert sub.read() == [(1,), (2,)]
+            assert server.families["retransmissions"].value >= 1
+            await resumed.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_expired_pending_patches_are_not_retransmitted(self):
+        """Expiration-aware retransmission on real transports: a pending
+        envelope whose every tuple has expired is dropped at resume and
+        counted as avoided traffic."""
+
+        async def scenario():
+            server = ReproServer(session_ttl=60.0)
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+            )
+            sub = await session.subscribe("v")
+            token = session.token
+            acks = session._ack_state()
+            session._writer.close()
+            await asyncio.sleep(0.05)
+
+            driver = await AsyncSession.over_loopback(server)
+            # This patch's only tuple expires at 5 ...
+            await driver.execute("INSERT INTO T VALUES (9) EXPIRES AT 5")
+            # ... and by resume time the clock is past it.
+            await driver.execute("ADVANCE TO 10")
+            await driver.close()
+            assert len(server.sessions[token].subscriptions[sub.sub_id].pending) == 1
+
+            avoided_before = server.families["avoided"].value
+            resumed = await AsyncSession.over_loopback(
+                server, resume=token, acks=acks
+            )
+            resumed.subscriptions[sub.sub_id] = sub
+            sub._session = resumed
+            await _drain(resumed)
+            await resumed.query("SELECT k FROM T")
+            assert sub.read() == []  # never told; never needed to be
+            assert server.families["avoided"].value == avoided_before + 1
+            assert not server.sessions[token].subscriptions[sub.sub_id].pending
+            await resumed.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_resume_of_unknown_token_starts_fresh(self):
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(
+                server, resume="s999999", acks={}
+            )
+            assert not session.resumed
+            assert session.token != "s999999"
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_bye_closes_the_session_for_good(self):
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            token = session.token
+            await session.close()
+            await asyncio.sleep(0.05)
+            assert token not in server.sessions
+            await server.stop()
+
+        run(scenario())
+
+
+class TestRetransmitSweep:
+    def test_unacked_patch_is_retransmitted_and_deduplicated(self):
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+            )
+            sub = await session.subscribe("v")
+            await session.execute("INSERT INTO T VALUES (1) EXPIRES AT 50")
+            await _drain(session)  # patch applied and acked...
+            server_sub = server.sessions[session.token].subscriptions[sub.sub_id]
+            # ...but pretend the ack never made it: re-arm the envelope.
+            payload = dict(
+                kind="patch", sub=sub.sub_id, epoch=server_sub.epoch, seq=1,
+                upserts=[[[1], 50]], removes=[], now=0, _expires=50,
+            )
+            from repro.server.session import PendingPatch
+
+            server_sub.pending[1] = PendingPatch(1, payload, ts(50), 0.0)
+            resent = server.retransmit_now(time.monotonic() + 1000.0)
+            assert resent == 1
+            await _drain(session)
+            assert sub.duplicates_dropped >= 1  # seq 1 was already applied
+            assert sub.read() == [(1,)]  # state unchanged by the duplicate
+            assert not server_sub.pending  # the re-ack retired it
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_slow_consumer_degrades_to_invalidate_and_refetch(self):
+        async def scenario():
+            # Tiny ladder: 3 outstanding envelopes is already too many.
+            server = ReproServer(max_outbox=3)
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+            )
+            sub = await session.subscribe("v")
+            # The subscriber goes completely silent (no reads, so no acks)
+            # while a *different* connection keeps mutating: pending
+            # envelopes pile up until the ladder trips.
+            driver = await AsyncSession.over_loopback(server)
+            for i in range(8):
+                await driver.execute(
+                    f"INSERT INTO T VALUES ({i}) EXPIRES AT 100"
+                )
+            await driver.close()
+            assert server.families["degrades"].value >= 1
+            await _drain(session)
+            assert sub.degraded
+            # An async wire subscription will not refetch implicitly:
+            with pytest.raises(SessionError, match="refetch"):
+                sub.read()
+            await session.refetch(sub)
+            assert not sub.degraded
+            await session.query("SELECT k FROM T")
+            assert sub.read() == sorted(
+                server.db.view("v").read(server.db.clock.now).rows()
+            )
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_sync_client_refetches_transparently(self):
+        async def scenario():
+            server = ReproServer(max_outbox=3)
+            host, port = await server.start()
+
+            def sync_part():
+                session = NetworkSession(host, port)
+                session.execute("CREATE TABLE T (k)")
+                session.execute(
+                    "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+                )
+                sub = session.subscribe("v")
+                driver = NetworkSession(host, port)
+                for i in range(8):  # silent subscriber: the ladder trips
+                    driver.execute(
+                        f"INSERT INTO T VALUES ({i}) EXPIRES AT 100"
+                    )
+                driver.close()
+                session.poll(0.1)
+                assert sub.degraded
+                rows = sub.read()  # transparent refetch on the sync path
+                assert rows == [(i,) for i in range(8)]
+                assert not sub.degraded
+                session.close()
+
+            try:
+                await asyncio.to_thread(sync_part)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestServedSnapshotIsolation:
+    def test_lazy_retained_tuples_never_served_over_the_wire(self):
+        """Session floor semantics over the wire: LAZY removal keeps dead
+        tuples physically present server-side; no framed result may carry
+        one at or below the session's floor."""
+
+        async def scenario():
+            server = ReproServer(
+                config=DatabaseConfig(
+                    default_removal_policy=RemovalPolicy.LAZY
+                )
+            )
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute("INSERT INTO T VALUES (1) EXPIRES AT 5")
+            await session.execute("INSERT INTO T VALUES (2) EXPIRES AT 50")
+            await session.execute("ADVANCE TO 5")
+            assert len(server.db.table("T").relation) == 2  # physically kept
+            result = await session.query("SELECT k FROM T")
+            assert result.rows == [(2,)]
+            for row, texp in result.items:
+                assert texp > session.floor
+            assert session.floor == ts(5)
+            await session.close()
+            await server.stop()
+
+        run(scenario())
+
+    def test_floor_is_monotone_across_resume(self):
+        async def scenario():
+            server = ReproServer(session_ttl=60.0)
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute("ADVANCE TO 7")
+            token = session.token
+            session._writer.close()
+            await asyncio.sleep(0.05)
+            resumed = await AsyncSession.over_loopback(
+                server, resume=token, acks={}
+            )
+            assert resumed.resumed
+            assert server.sessions[token].floor == ts(7)
+            await resumed.close()
+            await server.stop()
+
+        run(scenario())
+
+
+class TestServerLifecycle:
+    def test_stop_is_idempotent_and_closes_owned_db(self):
+        async def scenario():
+            server = ReproServer()
+            await server.start()
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await server.stop()
+            await server.stop()
+            assert server.db.closed  # owned database closed with it
+
+        run(scenario())
+
+    def test_borrowed_db_survives_stop(self):
+        async def scenario():
+            from repro.engine.database import Database
+
+            db = Database()
+            server = ReproServer(db)
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await server.stop()
+            assert not db.closed
+            assert db.has_table("T")
+            db.close()
+
+        run(scenario())
+
+    def test_view_dropped_under_subscription_invalidates(self):
+        async def scenario():
+            server = ReproServer()
+            session = await AsyncSession.over_loopback(server)
+            await session.execute("CREATE TABLE T (k)")
+            await session.execute(
+                "CREATE MATERIALIZED VIEW v AS SELECT k FROM T"
+            )
+            sub = await session.subscribe("v")
+            await session.execute("DROP VIEW v")
+            await _drain(session)
+            assert sub.degraded
+            await session.close()
+            await server.stop()
+
+        run(scenario())

@@ -60,6 +60,12 @@ MODULES = [
     "repro.baselines.explicit_delete",
     "repro.baselines.periodic_recompute",
     "repro.cli",
+    "repro.engine.config",
+    "repro.server.protocol",
+    "repro.server.session",
+    "repro.server.server",
+    "repro.server.client",
+    "repro.server.run",
 ]
 
 _DUNDER_EXEMPT = True
