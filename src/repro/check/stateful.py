@@ -30,6 +30,11 @@ Ops and semantics
 ``("insert", t, (k, v), ttl)``  insert expiring at ``now + ttl`` (max-merge);
 ``("immortal", t, (k, v))``     insert with no expiration;
 ``("renew", t, (k, v), ttl)``   re-insert (the paper's renewal idiom);
+``("override", t, (k, v), ttl)`` set the expiration to ``now + ttl``
+                                *unconditionally* (the revocation path;
+                                ``ttl=0`` revokes immediately) -- the one
+                                op whose oracle is last-write, not
+                                max-merge;
 ``("delete", t, (k, v))``       explicit delete;
 ``("advance", d)``              advance the clock ``d`` ticks;
 ``("vacuum", t)``               batch-reclaim expired tuples;
@@ -208,8 +213,10 @@ def generate_ops(
             ops.append(("insert", table, row, rng.randint(1, _MAX_TTL)))
         elif roll < 0.35:
             ops.append(("immortal", table, row))
-        elif roll < 0.45:
+        elif roll < 0.42:
             ops.append(("renew", table, row, rng.randint(1, _MAX_TTL)))
+        elif roll < 0.48:
+            ops.append(("override", table, row, rng.randint(0, _MAX_TTL)))
         elif roll < 0.55:
             ops.append(("delete", table, row))
         elif roll < 0.70:
@@ -330,6 +337,12 @@ class _Harness:
             _, table, row, ttl = op
             self.db.table(table).renew(row, ttl)
             self._model_insert(table, row, self.now + ttl)
+        elif kind == "override":
+            _, table, row, ttl = op
+            self.db.table(table).override(row, ttl=ttl)
+            # Last-write, not max-merge: the override sets the stored
+            # expiration exactly (ttl=0 -> expired as of now, invisible).
+            self.model[table][row] = self.now + ttl
         elif kind == "delete":
             _, table, row = op
             self.db.table(table).delete(row)

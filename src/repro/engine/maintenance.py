@@ -43,7 +43,7 @@ from repro.core.algebra.expressions import (
 from repro.core.patching import DifferencePatcher, Patch
 from repro.core.relation import Relation
 from repro.core.timestamps import TimeLike, Timestamp, ts
-from repro.core.tuples import ExpiringTuple, Row
+from repro.core.tuples import ExpiringTuple, Row, make_row
 from repro.engine.database import Database
 from repro.errors import ViewError
 
@@ -288,6 +288,28 @@ class IncrementalView:
         if self._kind == "aggregate":
             return self._read_aggregate(stamp)
         return self._state.exp_at(stamp)
+
+    def contains(self, values, at: TimeLike = None) -> bool:
+        """Point-membership probe: is ``values`` in the view at ``at``?
+
+        Semantically ``values in read(at).rows()`` but without cloning the
+        state relation: after the same staleness handling as :meth:`read`,
+        membership is one stored-expiration lookup.  The hot path of a
+        served ``check()``.
+        """
+        stamp = self.database.clock.now if at is None else ts(at)
+        if stamp < self._last_read:
+            raise ViewError(f"incremental reads cannot go back in time ({stamp})")
+        self._last_read = stamp
+        row = make_row(values)
+        if self._stale:
+            self._rebuild()
+        if self._kind == "difference":
+            self._apply_due_patches(stamp)
+        elif self._kind == "aggregate":
+            return self._read_aggregate(stamp).contains(row)
+        texp = self._state.expiration_or_none(row)
+        return texp is not None and stamp < texp
 
     def _apply_due_patches(self, stamp: Timestamp) -> None:
         assert self._right_state is not None

@@ -417,7 +417,12 @@ class PartitionedTable(Table):
         if not jobs:
             self._maybe_verify()
             return 0
-        collect_triggers = len(self.triggers) > 0
+        # Like the flat path: sweep removals must reach the WAL, or a
+        # lazy-policy snapshot taken before this sweep would resurrect
+        # the rows at recovery and their ON-EXPIRE triggers would fire a
+        # second time.
+        logging = self.database is not None and self.database.wal is not None
+        collect_triggers = logging or len(self.triggers) > 0
 
         def sweep(job: Tuple[int, List[Tuple[Row, int]]]):
             shard_id, shard_due = job
@@ -445,9 +450,13 @@ class PartitionedTable(Table):
             if processed:
                 self._shard_tuples_expired.labels(name, shard_label).inc(processed)
             total += processed
-            # Triggers run here, in the calling thread, never in workers.
+            # Triggers and WAL appends run here, in the calling thread,
+            # never in workers.
             for row, value in expired:
                 fired += self.triggers.fire(ExpiringTuple(row, ts(value)), stamp)
+            if logging:
+                for row, value in expired:
+                    self._wal_physical("remove", row, None, ts(value))
         # Statistics are written once per sweep, not once per tuple.
         if total:
             self.statistics.expirations_processed += total

@@ -36,6 +36,10 @@ ENGINE_COUNTERS: Dict[str, tuple] = {
     "explicit_deletes": (
         "repro_engine_explicit_deletes_total",
         "Explicit DELETEs issued (the traffic expiration times replace)."),
+    "overrides": (
+        "repro_engine_overrides_total",
+        "Rows whose expiration was overridden (revocations, lockouts, "
+        "admin corrections) -- last-write, not max-merge."),
     "expirations_processed": (
         "repro_expiration_processed_total",
         "Tuples whose expiration was processed (eager drain or vacuum)."),

@@ -194,8 +194,83 @@ class Table:
         return removed
 
     def renew(self, values: Iterable[Any], ttl: int) -> ExpiringTuple:
-        """Extend a row's lifetime by ``ttl`` ticks from now (re-insertion)."""
+        """Extend a row's lifetime by ``ttl`` ticks from now (re-insertion).
+
+        Renewal is max-merge (the model's duplicate rule): a ``ttl`` that
+        lands *before* the stored expiration silently keeps the longer
+        lifetime.  That is the paper's semantics -- renewing can only ever
+        lengthen -- and it is what makes monotonic views maintenance-free.
+        To *shorten* a lifetime (revoke a grant, log a session out, clear
+        a lockout early), use :meth:`override`, which is last-write.
+        """
         return self.insert(values, ttl=ttl)
+
+    def override(
+        self,
+        values: Iterable[Any],
+        expires_at: TimeLike = None,
+        ttl: Optional[int] = None,
+    ) -> ExpiringTuple:
+        """Set a row's expiration *unconditionally* (the revocation path).
+
+        Unlike :meth:`insert`/:meth:`renew`, no max-merge happens: the
+        stored expiration becomes exactly ``expires_at`` (or ``now + ttl``;
+        omitting both means ``∞``), whether that shortens or lengthens the
+        lifetime, and the row is created if absent.  ``expires_at == now``
+        is immediate revocation -- the row is invisible to every read at
+        once (``exp_τ`` needs ``texp > τ``) and is reclaimed by the next
+        sweep, where its ON-EXPIRE triggers fire normally.
+
+        Overriding into the past is rejected: it would express nothing
+        more than ``now`` does, and it would break the due-buffer
+        invariant (buffered due entries may precede a stored expiration,
+        never follow it).
+
+        The mutation takes the same full path as the forward operations
+        (mirroring :meth:`undo_insert`): expiration index rescheduled, WAL
+        ``upsert`` with the pre-image, data version bumped, delete
+        listeners fired.  Delete listeners -- not insert listeners --
+        because a shortened lifetime can *remove* tuples from downstream
+        results, which only the conservative mark-stale path models;
+        views therefore observe a revocation without any manual refresh.
+        """
+        if ttl is not None:
+            if expires_at is not None:
+                raise EngineError("pass expires_at or ttl, not both")
+            if ttl < 0:
+                raise EngineError(f"ttl must be non-negative, got {ttl}")
+            stamp = self.clock.now + ttl
+        else:
+            stamp = ts(expires_at)
+        if stamp.is_finite and stamp < self.clock.now:
+            raise RelationError(
+                f"cannot override into the past: {stamp} < now "
+                f"{self.clock.now} (use expires_at=now to revoke immediately)"
+            )
+        row = make_row(values)
+        for constraint in self.constraints:
+            self.statistics.constraint_checks += 1
+            try:
+                constraint.check(self, row, stamp)
+            except Exception:
+                self.statistics.constraint_violations += 1
+                raise
+        logging = self.database is not None and self.database.wal is not None
+        previous = self.relation.expiration_or_none(row) if logging else None
+        stored = self.relation.override(row, stamp)
+        self._index.schedule(row, stamp)
+        if logging:
+            # Logged as a plain upsert: replay applies records last-write
+            # (bulk_restore), so the shortened expiration survives recovery
+            # with no special record kind.
+            self._wal_physical("upsert", row, stamp, previous)
+        self.statistics.overrides += 1
+        if self.database is not None:
+            self.database.note_data_change()
+        for listener in self.delete_listeners:
+            listener(self, row)
+        self._maybe_verify()
+        return stored
 
     # -- transaction rollback ---------------------------------------------------
 

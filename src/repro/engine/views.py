@@ -31,6 +31,7 @@ from repro.core.intervals import IntervalSet
 from repro.core.patching import DifferencePatcher, compute_difference_with_patches
 from repro.core.relation import Relation
 from repro.core.timestamps import INFINITY, TimeLike, Timestamp, ts
+from repro.core.tuples import make_row
 from repro.errors import StaleViewError, ViewError
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
@@ -245,6 +246,42 @@ class MaterialisedView:
             span.note(decision="recompute")
             self.refresh(stamp)
             return self._serve(self._result.relation, stamp, fresh=True)
+
+    def contains(self, values, at: TimeLike = None) -> bool:
+        """Point-membership probe: is ``values`` in the view at ``at``?
+
+        Semantically ``values in read(at).rows()``, but without cloning
+        the whole materialisation: after the same staleness/validity
+        decisions as :meth:`read`, membership is one stored-expiration
+        lookup (``texp > τ``).  This is what lets a served ``check()``
+        fast path answer point queries in O(1) against views that stay
+        correct purely by expiration.
+        """
+        stamp = self.database.clock.now if at is None else ts(at)
+        row = make_row(values)
+        self.reads += 1
+        self.database.statistics.view_reads += 1
+        assert self._result is not None
+        fresh = False
+        if self._stale:
+            self.refresh(stamp)
+            fresh = True
+        elif self.policy is MaintenancePolicy.PATCH and not self.is_monotonic:
+            # Patches can re-introduce rows; apply the due ones first.
+            return self._read_patched(stamp).contains(row)
+        elif not self.is_monotonic:
+            if self.policy is MaintenancePolicy.RECOMPUTE:
+                if not stamp < self._result.expiration:
+                    self.refresh(stamp)
+                    fresh = True
+            elif not self._result.validity.contains(stamp):
+                self.refresh(stamp)
+                fresh = True
+        if not fresh:
+            self.reads_from_materialisation += 1
+            self.database.statistics.view_reads_from_materialisation += 1
+        texp = self._result.relation.expiration_or_none(row)
+        return texp is not None and stamp < texp
 
     def _serve(self, relation: Relation, stamp: Timestamp, fresh: bool = False) -> Relation:
         if not fresh:

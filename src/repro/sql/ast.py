@@ -9,6 +9,7 @@ dialect surfaces expiration times, matching the paper's design)::
         [EXPIRES AT <time> | EXPIRES IN <ticks>] ;
     DELETE FROM name [WHERE predicate] ;
     RENEW name EXPIRES {AT <time> | IN <ticks>} [WHERE predicate] ;
+    UPDATE name EXPIRES {AT <time> | IN <ticks>} [WHERE predicate] ;
     SELECT items FROM source [JOIN source ON eq [AND eq]*]*
         [WHERE predicate]          -- incl. col [NOT] IN (SELECT ...)
         [GROUP BY cols] [HAVING condition]
@@ -57,6 +58,7 @@ __all__ = [
     "VacuumStatement",
     "OrderItem",
     "RenewStatement",
+    "OverrideStatement",
     "DescribeStatement",
     "ExplainStatement",
 ]
@@ -300,6 +302,22 @@ class RenewStatement(Statement):
     Re-inserts the matching unexpired rows with the new expiration -- the
     model's lifetime-extension idiom surfaced in SQL (the max-merge rule
     means a RENEW can only lengthen lifetimes, never shorten them).
+    """
+
+    table: str
+    expires_at: Optional[int] = None
+    ttl: Optional[int] = None
+    where: Optional[Condition] = None
+
+
+@dataclass(frozen=True)
+class OverrideStatement(Statement):
+    """``UPDATE table EXPIRES AT t | EXPIRES IN n [WHERE condition]``.
+
+    Sets the matching rows' expirations *unconditionally* (last-write,
+    not max-merge) -- the revocation path: unlike RENEW, an UPDATE can
+    shorten a lifetime, down to ``AT now`` / ``IN 0`` for an immediate
+    revoke.
     """
 
     table: str

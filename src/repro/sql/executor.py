@@ -31,6 +31,7 @@ from repro.sql.ast import (
     DropView,
     ExplainStatement,
     InsertStatement,
+    OverrideStatement,
     QueryNode,
     RenewStatement,
     SelectQuery,
@@ -287,6 +288,24 @@ def _dispatch_statement(db: Database, statement: Statement) -> SqlResult:
         return SqlResult(
             kind="renew",
             message=f"{len(victims)} row(s) renewed in {statement.table}",
+            rowcount=len(victims),
+        )
+
+    if isinstance(statement, OverrideStatement):
+        table = db.table(statement.table)
+        if statement.where is None:
+            victims = list(table.read().rows())
+        else:
+            probe = SelectQuery(
+                items=(), source=_probe_source(statement.table), where=statement.where
+            )
+            predicate = _plan_delete_predicate(db, probe)
+            victims = [row for row in table.read().rows() if predicate.matches(row)]
+        for row in victims:
+            table.override(row, expires_at=statement.expires_at, ttl=statement.ttl)
+        return SqlResult(
+            kind="override",
+            message=f"{len(victims)} row(s) overridden in {statement.table}",
             rowcount=len(victims),
         )
 

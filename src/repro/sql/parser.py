@@ -31,6 +31,7 @@ from repro.sql.ast import (
     NotCondition,
     OrCondition,
     OrderItem,
+    OverrideStatement,
     QueryNode,
     RenewStatement,
     SelectItem,
@@ -148,6 +149,8 @@ class _Parser:
             return VacuumStatement(table=name)
         if token.is_keyword("RENEW"):
             return self._parse_renew()
+        if token.is_keyword("UPDATE"):
+            return self._parse_override()
         if token.is_keyword("DESCRIBE"):
             self._advance()
             return DescribeStatement(name=self._expect_ident())
@@ -176,6 +179,27 @@ class _Parser:
         if self._accept_keyword("WHERE"):
             where = self._parse_condition()
         return RenewStatement(table=table, expires_at=expires_at, ttl=ttl, where=where)
+
+    def _parse_override(self) -> "OverrideStatement":
+        # The dialect's UPDATE touches only expirations (the one mutable
+        # "column" the model adds); value updates stay delete+insert.
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("EXPIRES")
+        expires_at = None
+        ttl = None
+        if self._accept_keyword("AT"):
+            expires_at = self._expect_int()
+        elif self._accept_keyword("IN"):
+            ttl = self._expect_int()
+        else:
+            raise self._error("expected AT or IN after EXPIRES")
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_condition()
+        return OverrideStatement(
+            table=table, expires_at=expires_at, ttl=ttl, where=where
+        )
 
     # -- DDL ------------------------------------------------------------------------
 

@@ -78,6 +78,7 @@ KEYWORDS = frozenset(
         "TICK",
         "TO",
         "UNION",
+        "UPDATE",
         "VACUUM",
         "VALUES",
         "VIEW",

@@ -2,9 +2,18 @@
 
 ``news`` carries the paper's exact Figure 1 fixture; the other modules
 implement the application domains the paper motivates (sessions, sensor
-monitoring, web caching) plus generic seeded generators.
+monitoring, web caching, expiring authorization) plus generic seeded
+generators.
 """
 
+from repro.workloads.authz import (
+    AUDIT_SCHEMA,
+    GRANT_SCHEMA,
+    LOCKOUT_SCHEMA,
+    TOKEN_SCHEMA,
+    AuthzStore,
+    declare_authz_families,
+)
 from repro.workloads.cache import CACHE_SCHEMA, CacheStats, WebCache
 from repro.workloads.generators import (
     ConstantLifetime,
@@ -32,6 +41,12 @@ from repro.workloads.sessions import (
 )
 
 __all__ = [
+    "AUDIT_SCHEMA",
+    "GRANT_SCHEMA",
+    "LOCKOUT_SCHEMA",
+    "TOKEN_SCHEMA",
+    "AuthzStore",
+    "declare_authz_families",
     "CACHE_SCHEMA",
     "CacheStats",
     "WebCache",

@@ -1,0 +1,408 @@
+"""Expiring-authorization workload: grants, tokens, and lockouts at scale.
+
+The flagship "millions of users" scenario (ROADMAP item 2).  A production
+authz/authn system is built almost entirely out of rows that expire --
+grants with TTLs, refresh tokens, API keys, lockouts, audit logs with a
+retention window -- and conventionally sweeps them with cron-style
+maintenance jobs.  The expiration-time model is the principled version of
+exactly that: every one of those behaviours here is *just a texp*.
+
+Layout
+------
+
+Relationship tuples ``(subject, relation, object)`` live on a
+hash-partitioned columnar table; the role/group hierarchy is resolved
+through join and semijoin chains over expiring membership tables:
+
+* ``Grants``        direct ``(subject, relation, object)`` tuples,
+                    partitioned on ``subject``;
+* ``Members``       ``(member, role)`` -- direct role membership;
+* ``GroupMembers``  ``(member, grp)`` and
+* ``GroupRoles``    ``(team, role_name)`` -- the two-hop group chain;
+* ``RoleGrants``    ``(holder, relation, object)`` -- what a role can do;
+* ``Tokens``        ``(token, subject)`` refresh tokens, renewal-heavy;
+* ``Lockouts``      ``(subject,)`` -- clearing a lockout is just a TTL;
+* ``Audit``         ``(seq, subject, action)`` under *lazy* removal --
+                    the retention policy is only an expiration time.
+
+``check(subject, relation, object)`` is the hot path.  Direct grants,
+tokens, and lockouts are answered by O(1) stored-expiration probes on the
+base tables -- correct purely by expiration, no sweep needed, and a
+revocation (a :meth:`~repro.engine.table.Table.override` to ``now``) is
+never served after it commits.  The hierarchy paths are served from
+materialised views probed point-wise (``contains``):
+
+* two :class:`~repro.engine.maintenance.IncrementalView`\\ s (role chain,
+  group chain) -- monotonic join trees, so Theorem 1 makes them
+  maintenance-free under pure expiration, and membership *inserts*
+  propagate in O(delta); only an explicit revocation marks them stale;
+* one registered :class:`~repro.engine.views.MaterialisedView` over a
+  *semijoin chain* (``RoleGrants ⋉ GroupRoles ⋉ GroupMembers``) listing
+  the role grants currently backed by at least one live member -- the
+  admin's "what is in force" view, audited by ``verify(deep=True)``.
+
+Renewal versus revocation is the asymmetry this workload foregrounds:
+``refresh_token`` is the paper's max-merge re-insert (it can only ever
+lengthen a lifetime), while ``revoke``/``revoke_token``/``clear_lockout``
+go through the engine's ``override`` path (last-write), which is what
+makes logout and lockout semantics expressible at all (DESIGN §5i).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.algebra.expressions import BaseRef
+from repro.core.schema import Schema
+from repro.engine.database import Database
+from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.maintenance import IncrementalView
+
+__all__ = [
+    "GRANT_SCHEMA",
+    "MEMBER_SCHEMA",
+    "GROUP_MEMBER_SCHEMA",
+    "GROUP_ROLE_SCHEMA",
+    "ROLE_GRANT_SCHEMA",
+    "TOKEN_SCHEMA",
+    "LOCKOUT_SCHEMA",
+    "AUDIT_SCHEMA",
+    "AuthzStore",
+    "declare_authz_families",
+]
+
+GRANT_SCHEMA = Schema(["subject", "relation", "object"])
+MEMBER_SCHEMA = Schema(["member", "role"])
+GROUP_MEMBER_SCHEMA = Schema(["member", "grp"])
+GROUP_ROLE_SCHEMA = Schema(["team", "role_name"])
+ROLE_GRANT_SCHEMA = Schema(["holder", "relation", "object"])
+TOKEN_SCHEMA = Schema(["token", "subject"])
+LOCKOUT_SCHEMA = Schema(["subject"])
+AUDIT_SCHEMA = Schema(["seq", "subject", "action"])
+
+
+def declare_authz_families(registry):
+    """Idempotently register the ``repro_authz_*`` metric families.
+
+    Returns ``(checks, check_seconds, writes)``; check latency lands in a
+    histogram with sub-millisecond buckets so p50/p99 are recoverable from
+    the exposition.
+    """
+    checks = registry.counter(
+        "repro_authz_checks_total",
+        "Authorization checks, by decision and the path that decided "
+        "(lockout / direct / role / group / deny).",
+        labels=("decision", "path"),
+    )
+    seconds = registry.histogram(
+        "repro_authz_check_seconds",
+        "Wall time of authorization checks (the served fast path).",
+        buckets=(
+            0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+            0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+        ),
+    )
+    writes = registry.counter(
+        "repro_authz_writes_total",
+        "Authorization-state mutations, by kind (grant / renew / revoke / "
+        "token / lockout / audit / hierarchy).",
+        labels=("kind",),
+    )
+    return checks, seconds, writes
+
+
+class AuthzStore:
+    """Expiring authorization on top of the expiration-enabled engine.
+
+    >>> store = AuthzStore(partitions=2)
+    >>> store.grant("alice", "read", "doc1", ttl=100)
+    >>> store.check("alice", "read", "doc1")
+    True
+    >>> store.assign_role("bob", "editor", ttl=100)
+    >>> store.grant_role("editor", "write", "doc1", ttl=100)
+    >>> store.check("bob", "write", "doc1")
+    True
+    >>> store.revoke("alice", "read", "doc1")   # override, not max-merge
+    >>> store.check("alice", "read", "doc1")
+    False
+    >>> store.lock_out("bob", ttl=10)
+    >>> store.check("bob", "write", "doc1")
+    False
+    >>> _ = store.database.tick(10)             # the lockout just expires
+    >>> store.check("bob", "write", "doc1")
+    True
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        *,
+        partitions: int = 8,
+        layout: str = "columnar",
+        grant_ttl: int = 1000,
+        token_ttl: int = 50,
+        lockout_ttl: int = 25,
+        audit_retention: int = 500,
+    ) -> None:
+        self.database = database if database is not None else Database()
+        self.grant_ttl = grant_ttl
+        self.token_ttl = token_ttl
+        self.lockout_ttl = lockout_ttl
+        self.audit_retention = audit_retention
+        db = self.database
+
+        def table(name, schema, **kwargs):
+            # Attach to a recovered database's tables instead of failing:
+            # the store over a post-crash engine is the same store.
+            if name in db.table_names():
+                return db.table(name)
+            return db.create_table(name, schema, **kwargs)
+
+        self.grants = table(
+            "Grants", GRANT_SCHEMA, partitions=partitions,
+            partition_key="subject", layout=layout,
+        )
+        # Hierarchy tables stay row-layout: their rows feed per-insert
+        # view deltas, where dict iteration beats columnar decode.
+        self.members = table("Members", MEMBER_SCHEMA)
+        self.group_members = table("GroupMembers", GROUP_MEMBER_SCHEMA)
+        self.group_roles = table("GroupRoles", GROUP_ROLE_SCHEMA)
+        self.role_grants = table("RoleGrants", ROLE_GRANT_SCHEMA)
+        self.tokens = table(
+            "Tokens", TOKEN_SCHEMA, partitions=partitions,
+            partition_key="token", layout=layout,
+        )
+        self.lockouts = table("Lockouts", LOCKOUT_SCHEMA)
+        # Retention is only an expiration time; lazy removal batches the
+        # physical reclamation (the cron job the model replaces).
+        self.audit_log = table(
+            "Audit", AUDIT_SCHEMA, partitions=partitions, partition_key="seq",
+            layout=layout, removal_policy=RemovalPolicy.LAZY,
+            lazy_batch_size=4096,
+        )
+        # Hierarchy resolution is lazy: the incremental views are built on
+        # the first probe that needs them, so bulk seeding pays one full
+        # evaluation instead of a per-insert delta each (each delta scans
+        # the *other* join inputs -- O(n^2) across a seeding loop).  Once
+        # built, membership inserts propagate in O(delta); revocations
+        # mark them stale and the next probe rebuilds (renew-cheap,
+        # revoke-rare).
+        self._role_view: Optional[IncrementalView] = None
+        self._group_view: Optional[IncrementalView] = None
+        # The admin's "in force" listing: role grants whose role is backed
+        # by at least one live member via the group chain -- a semijoin
+        # chain, registered so ``verify(deep=True)`` audits it.
+        if "authz_live_group_grants" not in db.view_names():
+            db.materialise(
+                "authz_live_group_grants",
+                BaseRef("RoleGrants").semijoin(
+                    BaseRef("GroupRoles").semijoin(
+                        BaseRef("GroupMembers"), on=[("team", "grp")]
+                    ),
+                    on=[("holder", "role_name")],
+                ),
+            )
+        self._audit_seq = 0
+        self._checks, self._check_seconds, self._writes = (
+            declare_authz_families(db.metrics)
+        )
+
+    # -- the hot path -------------------------------------------------------
+
+    @property
+    def role_view(self) -> IncrementalView:
+        """The member->grant join view, built on first use."""
+        if self._role_view is None:
+            self._role_view = IncrementalView(
+                self.database,
+                "authz_role_grants",
+                BaseRef("Members")
+                .join(BaseRef("RoleGrants"), on=[("role", "holder")])
+                .project("member", "relation", "object"),
+            )
+        return self._role_view
+
+    @property
+    def group_view(self) -> IncrementalView:
+        """The member->group->role->grant chain view, built on first use."""
+        if self._group_view is None:
+            self._group_view = IncrementalView(
+                self.database,
+                "authz_group_grants",
+                BaseRef("GroupMembers")
+                .join(BaseRef("GroupRoles"), on=[("grp", "team")])
+                .join(BaseRef("RoleGrants"), on=[("role_name", "holder")])
+                .project("member", "relation", "object"),
+            )
+        return self._group_view
+
+    def warm_views(self) -> None:
+        """Force-build the hierarchy views (call after bulk seeding)."""
+        self.role_view
+        self.group_view
+
+    def _alive(self, table, row: tuple) -> bool:
+        """One stored-expiration probe: is ``row`` unexpired right now?"""
+        texp = table.relation.expiration_or_none(row)
+        return texp is not None and self.database.clock.now < texp
+
+    def check(self, subject, relation, obj) -> bool:
+        """Is ``subject`` allowed ``relation`` on ``obj`` right now?
+
+        Lockout first (a live lockout row denies everything), then the
+        direct grant, then the role chain, then the group chain.  Every
+        probe is a point lookup against storage that is correct purely by
+        expiration -- no sweep has to run for a revoked or expired grant
+        to stop being served.
+        """
+        started = time.perf_counter()
+        if self._alive(self.lockouts, (subject,)):
+            decision, path = "deny", "lockout"
+        elif self._alive(self.grants, (subject, relation, obj)):
+            decision, path = "allow", "direct"
+        elif self.role_view.contains((subject, relation, obj)):
+            decision, path = "allow", "role"
+        elif self.group_view.contains((subject, relation, obj)):
+            decision, path = "allow", "group"
+        else:
+            decision, path = "deny", "none"
+        self._check_seconds.observe(time.perf_counter() - started)
+        self._checks.labels(decision, path).inc()
+        return decision == "allow"
+
+    # -- direct grants ------------------------------------------------------
+
+    def grant(self, subject, relation, obj, ttl: Optional[int] = None) -> None:
+        """Grant ``relation`` on ``obj`` for ``ttl`` ticks (max-merge)."""
+        self.grants.insert(
+            (subject, relation, obj), ttl=ttl if ttl is not None else self.grant_ttl
+        )
+        self._writes.labels("grant").inc()
+
+    def renew_grant(self, subject, relation, obj, ttl: Optional[int] = None) -> None:
+        """Re-insert: lengthens the grant's lifetime, never shortens it."""
+        self.grants.renew(
+            (subject, relation, obj), ttl if ttl is not None else self.grant_ttl
+        )
+        self._writes.labels("renew").inc()
+
+    def revoke(self, subject, relation, obj) -> None:
+        """Revoke *now*: an override to the current time, not a delete.
+
+        The row becomes invisible to every read immediately (``exp_τ``)
+        and is reclaimed by the next sweep; recovery replays the shortened
+        expiration.
+        """
+        self.grants.override((subject, relation, obj), expires_at=self.database.clock.now)
+        self._writes.labels("revoke").inc()
+
+    # -- hierarchy ----------------------------------------------------------
+
+    def assign_role(self, member, role, ttl: Optional[int] = None) -> None:
+        self.members.insert(
+            (member, role), ttl=ttl if ttl is not None else self.grant_ttl
+        )
+        self._writes.labels("hierarchy").inc()
+
+    def revoke_role(self, member, role) -> None:
+        self.members.override((member, role), expires_at=self.database.clock.now)
+        self._writes.labels("revoke").inc()
+
+    def join_group(self, member, grp, ttl: Optional[int] = None) -> None:
+        self.group_members.insert(
+            (member, grp), ttl=ttl if ttl is not None else self.grant_ttl
+        )
+        self._writes.labels("hierarchy").inc()
+
+    def leave_group(self, member, grp) -> None:
+        self.group_members.override((member, grp), expires_at=self.database.clock.now)
+        self._writes.labels("revoke").inc()
+
+    def map_group_role(self, grp, role, ttl: Optional[int] = None) -> None:
+        self.group_roles.insert(
+            (grp, role), ttl=ttl if ttl is not None else self.grant_ttl
+        )
+        self._writes.labels("hierarchy").inc()
+
+    def grant_role(self, role, relation, obj, ttl: Optional[int] = None) -> None:
+        self.role_grants.insert(
+            (role, relation, obj), ttl=ttl if ttl is not None else self.grant_ttl
+        )
+        self._writes.labels("hierarchy").inc()
+
+    def grants_in_force(self) -> List[tuple]:
+        """Role grants currently backed by a live group member (semijoin chain)."""
+        return sorted(self.database.view("authz_live_group_grants").read().rows())
+
+    # -- refresh tokens ------------------------------------------------------
+
+    def issue_token(self, token, subject, ttl: Optional[int] = None) -> None:
+        self.tokens.insert(
+            (token, subject), ttl=ttl if ttl is not None else self.token_ttl
+        )
+        self._writes.labels("token").inc()
+
+    def refresh_token(self, token, subject, ttl: Optional[int] = None) -> None:
+        """The renewal-heavy path: one max-merge re-insert per refresh."""
+        self.tokens.renew(
+            (token, subject), ttl if ttl is not None else self.token_ttl
+        )
+        self._writes.labels("token").inc()
+
+    def revoke_token(self, token, subject) -> None:
+        """Logout: override to now (renew could never express this)."""
+        self.tokens.override((token, subject), expires_at=self.database.clock.now)
+        self._writes.labels("revoke").inc()
+
+    def token_valid(self, token, subject) -> bool:
+        return self._alive(self.tokens, (token, subject))
+
+    # -- lockouts ------------------------------------------------------------
+
+    def lock_out(self, subject, ttl: Optional[int] = None) -> None:
+        """Lock the subject out; clearing is just the row expiring."""
+        self.lockouts.insert(
+            (subject,), ttl=ttl if ttl is not None else self.lockout_ttl
+        )
+        self._writes.labels("lockout").inc()
+
+    def clear_lockout(self, subject) -> None:
+        """Early manual unlock: shorten the lockout to now (override)."""
+        if self._alive(self.lockouts, (subject,)):
+            self.lockouts.override((subject,), expires_at=self.database.clock.now)
+            self._writes.labels("revoke").inc()
+
+    def is_locked_out(self, subject) -> bool:
+        return self._alive(self.lockouts, (subject,))
+
+    # -- audit ---------------------------------------------------------------
+
+    def audit(self, subject, action, retention: Optional[int] = None) -> int:
+        """Append an audit row; its retention policy is only a texp."""
+        self._audit_seq += 1
+        self.audit_log.insert(
+            (self._audit_seq, subject, action),
+            ttl=retention if retention is not None else self.audit_retention,
+        )
+        self._writes.labels("audit").inc()
+        return self._audit_seq
+
+    def audit_window(self) -> int:
+        """Audit rows still inside the retention window."""
+        return len(self.audit_log)
+
+    # -- bulk loading --------------------------------------------------------
+
+    def load_grants(self, rows: Iterator[Tuple[tuple, int]]) -> int:
+        """Bulk-load ``((subject, relation, object), ttl)`` pairs.
+
+        The benchmark's seeding fast path: straight into the sharded
+        relation and index (one bulk heapify per shard), bypassing
+        per-row WAL/listener work exactly like snapshot restore does.
+        """
+        pairs = [(row, self.database.clock.now + ttl) for row, ttl in rows]
+        count = self.grants.relation.bulk_load(pairs)
+        self.grants._index.bulk_schedule(pairs)
+        self.database.note_data_change()
+        return count

@@ -65,6 +65,26 @@ def forgetful_delete(self, values):
     return self.relation.delete(make_row(values))
 
 
+_real_override = Table.override
+
+
+def maxmerge_override(self, values, expires_at=None, ttl=None):
+    """The pre-fix revocation path: silently routed through max-merge.
+
+    A shortening override is dropped on the floor -- exactly the renewal
+    bug this op class exists to catch (revocations that never revoke).
+    """
+    from repro.core.timestamps import ts
+    from repro.core.tuples import ExpiringTuple, make_row
+
+    stamp = self.clock.now + ttl if ttl is not None else ts(expires_at)
+    row = make_row(values)
+    current = self.relation.expiration_or_none(row)
+    if current is not None and stamp < current:
+        return ExpiringTuple(row, current)  # max-merge: keep the longer
+    return _real_override(self, values, expires_at=stamp)
+
+
 class TestDetection:
     @pytest.mark.parametrize("policy", ["eager", "lazy"])
     def test_reverted_undo_fix_is_caught_and_shrunk(self, monkeypatch, policy):
@@ -99,6 +119,38 @@ class TestDetection:
         assert "repro_check_shrunk_ops" in text
         assert "FAIL" in report.summary()
         assert "shrunk to" in report.summary()
+
+
+class TestOverrideOp:
+    """The last-write op: its oracle is ``model[t][row] = now + ttl``."""
+
+    def test_override_ops_are_generated(self):
+        ops = generate_ops(random.Random(9), 600)
+        assert any(op[0] == "override" for op in ops)
+        # ttl=0 (immediate revocation) must be reachable.
+        assert any(op[0] == "override" and op[3] == 0
+                   for op in generate_ops(random.Random(9), 5_000))
+
+    @pytest.mark.parametrize("policy", ["eager", "lazy"])
+    def test_maxmerged_override_is_caught(self, monkeypatch, policy):
+        # Re-introduce the original bug: the revocation path silently
+        # routed through max-merge, so shortenings never stick.  The
+        # dict oracle (last-write) must diverge.
+        monkeypatch.setattr(Table, "override", maxmerge_override)
+        report = run_fuzz(5, ops=600, policy=policy)
+        assert not report.ok
+        assert any(op[0] == "override" for op in report.shrunk)
+
+    def test_override_survives_crash_replay(self):
+        # A revocation followed by a crash: recovery must not resurrect
+        # the longer pre-override expiration from earlier WAL records.
+        ops = [
+            ("insert", "flat", (1, 1), 900),
+            ("override", "flat", (1, 1), 1),
+            ("crash", "clean"),
+            ("advance", 2),
+        ]
+        assert _replay(ops, "eager", crash_points=True)[1] is None
 
 
 class TestCrashPoints:

@@ -148,6 +148,43 @@ class TestExpirationAwareReplay:
         assert recovered.table("T").physical_size == 0
         recovered.close()
 
+    def test_partitioned_sweep_removals_are_durable(self, tmp_path):
+        # Regression: the partitioned sweep path skipped the WAL remove
+        # records the flat path writes, so rows snapshotted before a
+        # sweep were resurrected at recovery and their ON-EXPIRE
+        # triggers fired a second time.
+        from repro.engine.expiration_index import RemovalPolicy
+
+        db = durable(tmp_path, default_removal_policy=RemovalPolicy.LAZY)
+        table = db.create_table(
+            "T", ["k", "v"], partitions=3, partition_key="k",
+            lazy_batch_size=1_000,
+        )
+        fired = []
+        table.triggers.register(
+            "audit", lambda event: fired.append(event.tuple.row)
+        )
+        for key in range(6):
+            table.insert((key, key), expires_at=4)
+        db.checkpoint()  # the snapshot retains all six rows
+        db.advance_to(5)
+        assert table.vacuum() == 6  # sweep fires + must log removes
+        assert len(fired) == 6
+        db.close()
+
+        recovered = recover_database(tmp_path)
+        t = recovered.table("T")
+        assert t.physical_size == 0  # nothing resurrected
+        refired = []
+        t.triggers.register(
+            "audit", lambda event: refired.append(event.tuple.row)
+        )
+        recovered.tick(1)
+        assert t.vacuum() == 0
+        assert refired == []  # each (row, texp) fired exactly once
+        assert recovered.verify(strict=True, deep=True) == []
+        recovered.close()
+
 
 class TestInFlightTransactions:
     def test_unbracketed_transaction_rolled_back(self, tmp_path):

@@ -1,0 +1,73 @@
+"""``UPDATE table EXPIRES {AT t | IN n} [WHERE ...]`` -- SQL revocation.
+
+The dialect's UPDATE touches only expirations (the one mutable "column"
+the expiration model adds); unlike ``RENEW`` it is last-write, so it can
+shorten a lifetime down to ``IN 0`` for an immediate revoke.
+"""
+
+import pytest
+
+from repro.core.timestamps import ts
+from repro.engine.database import Database
+from repro.errors import SqlError
+from repro.sql.ast import OverrideStatement
+from repro.sql.executor import execute_sql
+from repro.sql.parser import parse_sql, parse_statements
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    table = database.create_table("G", ["subject", "relation"])
+    table.insert(("alice", "read"), expires_at=100)
+    table.insert(("bob", "read"), expires_at=100)
+    return database
+
+
+class TestParsing:
+    def test_update_expires_at(self):
+        (stmt,) = parse_statements("UPDATE G EXPIRES AT 40;")
+        assert isinstance(stmt, OverrideStatement)
+        assert stmt.table == "G"
+        assert stmt.expires_at == 40
+        assert stmt.ttl is None and stmt.where is None
+
+    def test_update_expires_in_with_where(self):
+        stmt = parse_sql("UPDATE G EXPIRES IN 0 WHERE subject = 'alice';")
+        assert stmt.ttl == 0
+        assert stmt.where is not None
+
+    def test_malformed_updates_rejected(self):
+        for text in (
+            "UPDATE G;",
+            "UPDATE G EXPIRES;",
+            "UPDATE G EXPIRES AT;",
+            "UPDATE EXPIRES AT 4;",
+        ):
+            with pytest.raises(SqlError):
+                parse_sql(text)
+
+
+class TestExecution:
+    def test_where_scoped_revocation(self, db):
+        result = execute_sql(db, "UPDATE G EXPIRES IN 0 WHERE subject = 'alice';")
+        assert result.kind == "override"
+        assert result.rowcount == 1
+        rows = execute_sql(db, "SELECT * FROM G;").rows
+        assert rows == [("bob", "read")]
+
+    def test_update_can_shorten_unlike_renew(self, db):
+        execute_sql(db, "RENEW G EXPIRES IN 5;")  # max-merge: no-op vs 100
+        assert db.table("G").relation.expiration_of(("alice", "read")) == ts(100)
+        execute_sql(db, "UPDATE G EXPIRES AT 40;")  # last-write: shortens
+        assert db.table("G").relation.expiration_of(("alice", "read")) == ts(40)
+        assert db.table("G").relation.expiration_of(("bob", "read")) == ts(40)
+
+    def test_update_into_the_past_is_surfaced(self, db):
+        db.tick(10)
+        with pytest.raises(Exception, match="past"):
+            execute_sql(db, "UPDATE G EXPIRES AT 3;")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(Exception):
+            execute_sql(db, "UPDATE Nope EXPIRES IN 1;")

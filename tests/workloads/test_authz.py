@@ -1,0 +1,151 @@
+"""The expiring-authorization workload: every lifecycle is a texp.
+
+Grants, role/group hierarchy, refresh tokens, lockouts, and audit
+retention -- plus the revocation differential (an override is never
+served after it commits) and durability of revocations across a crash.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.recovery import recover_database
+from repro.workloads import AuthzStore
+
+
+@pytest.fixture
+def store():
+    return AuthzStore(partitions=2)
+
+
+class TestDirectGrants:
+    def test_grant_check_expire(self, store):
+        store.grant("alice", "read", "doc", ttl=10)
+        assert store.check("alice", "read", "doc")
+        store.database.tick(10)
+        assert not store.check("alice", "read", "doc")
+
+    def test_renew_is_max_merge(self, store):
+        store.grant("alice", "read", "doc", ttl=100)
+        store.renew_grant("alice", "read", "doc", ttl=5)  # shorter: kept
+        store.database.tick(50)
+        assert store.check("alice", "read", "doc")
+
+    def test_revoke_is_immediate(self, store):
+        store.grant("alice", "read", "doc", ttl=100)
+        store.revoke("alice", "read", "doc")
+        assert not store.check("alice", "read", "doc")  # same tick, no sweep
+
+
+class TestHierarchy:
+    def test_role_path(self, store):
+        store.assign_role("bob", "editor", ttl=50)
+        store.grant_role("editor", "write", "doc", ttl=50)
+        assert store.check("bob", "write", "doc")
+        store.revoke_role("bob", "editor")
+        assert not store.check("bob", "write", "doc")
+
+    def test_group_path_and_membership_expiry(self, store):
+        store.join_group("carol", "eng", ttl=10)
+        store.map_group_role("eng", "editor", ttl=50)
+        store.grant_role("editor", "write", "doc", ttl=50)
+        assert store.check("carol", "write", "doc")
+        store.database.tick(10)  # only the *membership* lapses
+        assert not store.check("carol", "write", "doc")
+
+    def test_incremental_views_absorb_membership_inserts(self, store):
+        store.grant_role("editor", "write", "doc", ttl=100)
+        store.warm_views()
+        before = store.role_view.refreshes
+        for m in range(10):
+            store.assign_role(f"m{m}", "editor", ttl=100)
+            assert store.check(f"m{m}", "write", "doc")
+        # The hot loop was absorbed as deltas, not rebuilds.
+        assert store.role_view.refreshes == before
+        assert store.role_view.delta_applications >= 10
+
+    def test_semijoin_admin_view_lists_live_grants(self, store):
+        store.join_group("carol", "eng", ttl=100)
+        store.map_group_role("eng", "editor", ttl=100)
+        store.grant_role("editor", "write", "doc", ttl=100)
+        assert store.grants_in_force() == [("editor", "write", "doc")]
+        store.leave_group("carol", "eng")  # no member left behind the chain
+        assert store.grants_in_force() == []
+
+
+class TestTokensAndLockouts:
+    def test_refresh_token_churn_keeps_token_alive(self, store):
+        store.issue_token("t1", "alice", ttl=10)
+        for _ in range(5):
+            store.database.tick(5)
+            store.refresh_token("t1", "alice", ttl=10)
+        assert store.token_valid("t1", "alice")
+        store.database.tick(10)  # churn stops: the token dies by itself
+        assert not store.token_valid("t1", "alice")
+
+    def test_logout_cannot_be_expressed_by_renew_but_by_override(self, store):
+        store.issue_token("t1", "alice", ttl=100)
+        store.revoke_token("t1", "alice")
+        assert not store.token_valid("t1", "alice")
+
+    def test_lockout_clears_by_ttl_alone(self, store):
+        store.grant("alice", "read", "doc", ttl=100)
+        store.lock_out("alice", ttl=5)
+        assert not store.check("alice", "read", "doc")
+        store.database.tick(5)  # nothing swept, nothing deleted
+        assert store.check("alice", "read", "doc")
+
+    def test_manual_unlock_is_an_override(self, store):
+        store.grant("alice", "read", "doc", ttl=100)
+        store.lock_out("alice", ttl=50)
+        store.clear_lockout("alice")
+        assert store.check("alice", "read", "doc")
+        store.clear_lockout("alice")  # idempotent on a clear subject
+
+
+class TestAuditRetention:
+    def test_retention_is_only_an_expiration(self, store):
+        for _ in range(10):
+            store.audit("alice", "login", retention=5)
+        assert store.audit_window() == 10
+        store.database.tick(5)
+        assert store.audit_window() == 0  # aged out, no delete ever issued
+
+
+class TestBulkLoadAndVerify:
+    def test_bulk_loaded_grants_serve_and_audit_clean(self, store):
+        n = store.load_grants(
+            ((f"u{i}", "read", f"d{i}"), 50) for i in range(2_000)
+        )
+        assert n == 2_000
+        assert store.check("u1500", "read", "d1500")
+        assert not store.check("u1500", "read", "d7")
+        store.database.tick(50)
+        assert not store.check("u1500", "read", "d1500")
+        assert store.database.verify(strict=True, deep=True) == []
+
+
+class TestRevocationDurability:
+    def test_revocations_survive_a_crash(self, tmp_path):
+        store = AuthzStore(Database(wal_dir=tmp_path), partitions=2)
+        store.grant("alice", "read", "doc", ttl=100)
+        store.grant("bob", "read", "doc", ttl=100)
+        store.revoke("alice", "read", "doc")
+        store.database.close()
+
+        recovered = AuthzStore(recover_database(tmp_path), partitions=2)
+        assert not recovered.check("alice", "read", "doc")
+        assert recovered.check("bob", "read", "doc")
+        assert recovered.database.verify(strict=True, deep=True) == []
+        recovered.database.close()
+
+
+class TestMetrics:
+    def test_decisions_and_latency_are_published(self, store):
+        store.grant("alice", "read", "doc", ttl=10)
+        store.check("alice", "read", "doc")
+        store.check("nobody", "read", "doc")
+        snap = store.database.metrics.snapshot()
+        assert snap['repro_authz_checks_total{decision="allow",path="direct"}'] == 1
+        assert snap['repro_authz_checks_total{decision="deny",path="none"}'] == 1
+        family = store.database.metrics.get("repro_authz_check_seconds")
+        assert family.count == 2
