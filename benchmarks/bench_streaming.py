@@ -1,0 +1,241 @@
+"""Experiment X14: continuous queries over expiring streams.
+
+The streaming scenario pack (ROADMAP item 4, DESIGN §5j) under load: a
+sustained event stream with heterogeneous TTLs ingested into an
+expiration-enabled table, standing queries served from tolerance-widened
+Schrödinger validity intervals, and an idle-timeout (since-last-
+modification) connection stream whose entries live exactly as long as
+they are touched.
+
+Measured phases and the gates on them:
+
+1. **ingest** -- sustained arrivals with TTLs drawn from a wide range,
+   the clock advancing throughout (eager sweeps reclaim as they go).
+   Standing queries (count within tolerance, distinct count, extent,
+   reservoir sample) are read continuously.  Gates:
+
+   * *bounded memory*: the resident tuple count never exceeds a small
+     multiple of the steady-state expectation (arrival rate x mean TTL)
+     -- retention is expiration, so memory must stay flat no matter how
+     many events flow through;
+   * *validity effectiveness*: at least half of all standing-query reads
+     are served from the cached interval without touching the stream;
+   * *correctness differential*: the exact count query must equal a
+     brute-force scan at every checkpoint, the tolerant count must stay
+     inside its band, and the reservoir must be a bounded subset of the
+     live set.
+
+2. **idle-timeout** -- connections ingested on a since-last-modification
+   stream; a fixed subset is touched every few ticks for several full
+   timeout windows.  Gate: *every* touched connection is still alive at
+   the end and *every* untouched one has expired -- the renewal-on-touch
+   differential, zero tolerance.
+
+Throughput (events/s ingested, reads/s served) is reported for the
+record but not gated: CI machines vary, correctness and boundedness do
+not.
+"""
+
+import random
+import time
+
+from repro.core.approximate import AbsoluteTolerance
+from repro.workloads.streaming import (
+    CONNECTION_SCHEMA,
+    EVENT_SCHEMA,
+    StreamStore,
+)
+
+try:
+    from benchmarks._tables import emit
+except ImportError:  # direct script execution
+    from _tables import emit
+
+TTL_RANGE = (2, 40)  # heterogeneous lifetimes, uniform in ticks
+EVENTS_PER_TICK = 200
+IDLE_TIMEOUT = 25
+COUNT_TOLERANCE = 32
+
+
+def build_store(partitions=4):
+    store = StreamStore()
+    store.create_stream(
+        "Events", EVENT_SCHEMA, ttl=TTL_RANGE[1],
+        partitions=partitions, partition_key="key",
+    )
+    store.create_stream(
+        "Conns", CONNECTION_SCHEMA, ttl=IDLE_TIMEOUT,
+        expiry="since_last_modification",
+    )
+    return store
+
+
+def run_ingest(store, events, seed=20060413):
+    """Sustained ingest with standing queries read along the way."""
+    rng = random.Random(seed)
+    exact = store.count("Events", name="Events:exact")
+    approx = store.count(
+        "Events", tolerance=AbsoluteTolerance(COUNT_TOLERANCE),
+        name="Events:approx",
+    )
+    distinct = store.distinct("Events", "key")
+    extent = store.extent("Events", "value")
+    sample = store.sample("Events", 64, rng=random.Random(seed))
+    table = store.stream("Events")
+
+    keys = max(64, events // 100)
+    max_resident = 0
+    reads = violations = 0
+    started = time.perf_counter()
+    for i in range(events):
+        row = (rng.randrange(keys), rng.randrange(10_000))
+        store.ingest("Events", row, ttl=rng.randint(*TTL_RANGE))
+        if i % EVENTS_PER_TICK == EVENTS_PER_TICK - 1:
+            store.database.tick(1)
+            max_resident = max(max_resident, table.physical_size)
+        if i % 50 == 49:
+            # The standing answers, checked against brute force.
+            truth = len(table.read())
+            got_exact = exact.read()
+            got_approx = approx.read()
+            members = sample.read()
+            distinct.read()
+            extent.read()
+            reads += 5
+            if got_exact != truth:
+                violations += 1
+            if abs(got_approx - truth) > COUNT_TOLERANCE:
+                violations += 1
+            live = set(table.read().rows())
+            if len(members) > 64 or not set(members) <= live:
+                violations += 1
+    elapsed = time.perf_counter() - started
+
+    # Steady state: EVENTS_PER_TICK arrivals/tick x mean TTL resident
+    # tuples; the bound leaves 2x headroom for sweep batching.
+    steady = EVENTS_PER_TICK * (TTL_RANGE[0] + TTL_RANGE[1]) / 2
+    bound = int(2 * steady) + EVENTS_PER_TICK
+    serves = store.database.metrics.get(
+        "repro_streaming_query_serves_total"
+    )
+    cached = refreshed = 0
+    for labels, counter in serves.series():
+        if labels[1] == "cached":
+            cached += counter.value
+        else:
+            refreshed += counter.value
+    return {
+        "events": events,
+        "events_per_s": int(events / elapsed) if elapsed else 0,
+        "reads": reads,
+        "violations": violations,
+        "max_resident": max_resident,
+        "resident_bound": bound,
+        "cached_serves": cached,
+        "refresh_serves": refreshed,
+        "cached_fraction": cached / max(1, cached + refreshed),
+    }
+
+
+def run_idle_timeout(store, conns=400, seed=20060414):
+    """The renewal-on-touch differential: touched live, untouched die."""
+    rng = random.Random(seed)
+    flows = [
+        (f"src{i}", f"dst{rng.randrange(32)}", rng.randrange(1024))
+        for i in range(conns)
+    ]
+    for flow in flows:
+        store.ingest("Conns", flow)
+    touched = [flow for i, flow in enumerate(flows) if i % 2 == 0]
+    untouched = [flow for i, flow in enumerate(flows) if i % 2 == 1]
+    table = store.stream("Conns")
+
+    # Three full timeout windows; the touched half gets activity every
+    # few ticks, always inside the idle window.
+    for _ in range(3 * IDLE_TIMEOUT):
+        store.database.tick(1)
+        if store.database.now.value % 5 == 0:
+            for flow in touched:
+                store.touch("Conns", flow)
+
+    def alive(flow):
+        texp = table.relation.expiration_or_none(flow)
+        return texp is not None and store.database.now < texp
+
+    touched_alive = sum(1 for flow in touched if alive(flow))
+    untouched_alive = sum(1 for flow in untouched if alive(flow))
+    return {
+        "touched": len(touched),
+        "touched_alive": touched_alive,
+        "untouched": len(untouched),
+        "untouched_alive": untouched_alive,
+        "resident": table.physical_size,
+    }
+
+
+def gate(events, min_cached_fraction=0.5):
+    store = build_store()
+    ingest = run_ingest(store, events)
+    idle = run_idle_timeout(store)
+    store.database.verify(strict=True, deep=True)
+
+    emit(
+        f"Streaming: {ingest['events']:,} events, heterogeneous TTLs "
+        f"{TTL_RANGE[0]}..{TTL_RANGE[1]}, idle timeout {IDLE_TIMEOUT}",
+        ["metric", "value"],
+        [
+            ("ingest throughput", f"{ingest['events_per_s']:,} events/s"),
+            ("max resident tuples",
+             f"{ingest['max_resident']:,} (bound {ingest['resident_bound']:,})"),
+            ("standing-query serves (cached / refresh)",
+             f"{ingest['cached_serves']:,} / {ingest['refresh_serves']:,}"),
+            ("cached-serve fraction",
+             f"{ingest['cached_fraction'] * 100:.1f}% "
+             f"(floor {min_cached_fraction * 100:.0f}%)"),
+            ("differential violations", str(ingest["violations"])),
+            ("touched connections alive",
+             f"{idle['touched_alive']}/{idle['touched']}"),
+            ("untouched connections alive",
+             f"{idle['untouched_alive']}/{idle['untouched']}"),
+        ],
+    )
+    passed = (
+        ingest["violations"] == 0
+        and ingest["max_resident"] <= ingest["resident_bound"]
+        and ingest["cached_fraction"] >= min_cached_fraction
+        and idle["touched_alive"] == idle["touched"]
+        and idle["untouched_alive"] == 0
+    )
+    return {**ingest, **idle, "passed": passed}
+
+
+def test_streaming_gates():
+    # Correctness at pytest scale: every gate the script mode enforces.
+    report = gate(events=6_000)
+    assert report["violations"] == 0
+    assert report["max_resident"] <= report["resident_bound"]
+    assert report["touched_alive"] == report["touched"]
+    assert report["untouched_alive"] == 0
+    assert report["cached_fraction"] >= 0.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        report = gate(events=30_000)
+    else:
+        report = gate(events=200_000)
+    print(
+        f"{report['events']:,} events at {report['events_per_s']:,}/s: "
+        f"max resident {report['max_resident']:,} "
+        f"(bound {report['resident_bound']:,}), "
+        f"{report['cached_fraction'] * 100:.0f}% serves cached, "
+        f"{report['violations']} violation(s); idle-timeout "
+        f"{report['touched_alive']}/{report['touched']} touched alive, "
+        f"{report['untouched_alive']} untouched alive"
+    )
+    if not report["passed"]:
+        print("FAIL: streaming gate (memory, validity, or a differential)")
+        raise SystemExit(1)
+    print("OK: bounded memory, validity-served queries, touch keeps alive")

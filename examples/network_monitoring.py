@@ -1,0 +1,110 @@
+"""Network monitoring over expiring streams: idle timeouts and scan alerts.
+
+A network monitor's connection table is the canonical since-last-
+modification workload (Zeek's broker stores work exactly this way): a
+connection entry lives while packets keep arriving, and an *idle* timeout
+-- not an absolute one -- evicts it.  On the expiration-time engine that
+policy is one table flag: every packet is a ``touch`` that renews the
+entry through the model's max-merge, and eviction is just ``texp``
+passing.  No sweeper process, no LRU bookkeeping.
+
+On top of the table, standing queries from the streaming workload layer:
+
+* a windowed count of live connections (served from its Schrödinger
+  validity interval -- watch the serve counters: almost everything is a
+  cache hit);
+* port-sweep detection as a threshold query -- per source, the number of
+  distinct ``(dst, dport)`` targets probed inside the window.  A scanner
+  touches many targets once each; a busy-but-honest host touches few
+  targets many times.  The idle-timeout policy is what separates them.
+
+Run:  python examples/network_monitoring.py
+"""
+
+import random
+
+from repro.workloads.streaming import CONNECTION_SCHEMA, StreamStore
+
+IDLE_TIMEOUT = 30
+SCAN_THRESHOLD = 12
+
+HOSTS = [f"10.0.0.{i}" for i in range(1, 9)]
+SCANNER = "203.0.113.66"
+
+
+def main() -> None:
+    rng = random.Random(20060407)
+    store = StreamStore()
+    store.create_stream(
+        "Connections",
+        CONNECTION_SCHEMA,
+        ttl=IDLE_TIMEOUT,
+        expiry="since_last_modification",
+    )
+
+    live = store.count("Connections")
+    sweeps = store.watch(
+        "Connections",
+        group_by="src",
+        distinct=("dst", "dport"),
+        threshold=SCAN_THRESHOLD,
+    )
+
+    # Honest traffic: a handful of long-lived flows per host, re-touched
+    # while they stay active.
+    flows = []
+    flagged = False
+    for src in HOSTS:
+        for _ in range(3):
+            flow = (src, rng.choice(HOSTS), rng.choice([80, 443, 5432]))
+            store.ingest("Connections", flow)
+            flows.append(flow)
+
+    for step in range(60):
+        store.database.tick(1)
+        # Active flows keep getting packets: each touch restarts the idle
+        # timer, so they never expire.  A third of them go idle halfway.
+        for index, flow in enumerate(flows):
+            if step > 30 and index % 3 == 0:
+                continue
+            if rng.random() < 0.6:
+                store.touch("Connections", flow)
+        # The scanner probes new targets, one packet each -- every entry
+        # gets a single touch-less insert and then idles out.
+        if 20 <= step < 40:
+            target = rng.choice(HOSTS)
+            store.ingest(
+                "Connections", (SCANNER, target, rng.randrange(1024))
+            )
+        if step % 10 == 9:
+            alerts = sweeps.alerts()
+            if SCANNER in alerts:
+                flagged = True
+            print(
+                f"t={store.database.now.value:>3}  live connections: "
+                f"{live.read():>3}  resident: "
+                f"{store.resident_tuples('Connections'):>3}  alerts: "
+                f"{alerts if alerts else '-'}"
+            )
+
+    print()
+    print(f"scanner flagged during its sweep: {flagged} "
+          f"(threshold {SCAN_THRESHOLD} distinct targets); its entries "
+          f"then idled out on their own")
+
+    # Idle flows expired on their own; touched flows are still alive.
+    touched = sum(
+        1 for i, f in enumerate(flows) if i % 3 != 0
+        and store.stream("Connections").relation.expiration_or_none(f)
+    )
+    print(f"touched flows still live: {touched}/{len(flows)}")
+
+    for line in store.database.metrics.to_prom_text().splitlines():
+        if line.startswith(
+            ("repro_streaming_query_serves_total", "repro_engine_touches_total")
+        ):
+            print(line)
+
+
+if __name__ == "__main__":
+    main()

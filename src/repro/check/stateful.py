@@ -28,8 +28,16 @@ Ops and semantics
 -----------------
 
 ``("insert", t, (k, v), ttl)``  insert expiring at ``now + ttl`` (max-merge);
-``("immortal", t, (k, v))``     insert with no expiration;
+``("immortal", t, (k, v))``     insert with no explicit lifetime -- no
+                                expiration, except on the ``slm`` table,
+                                where the since-last-modification policy
+                                stamps its default idle timeout instead;
 ``("renew", t, (k, v), ttl)``   re-insert (the paper's renewal idiom);
+``("touch", t, (k, v))``        renewal-on-touch: restarts a live row's
+                                idle timer on the ``slm`` table
+                                (``max(texp, now + timeout)``); a no-op
+                                on absolute tables and on dead rows --
+                                a touch must never resurrect;
 ``("override", t, (k, v), ttl)`` set the expiration to ``now + ttl``
                                 *unconditionally* (the revocation path;
                                 ``ttl=0`` revokes immediately) -- the one
@@ -100,9 +108,11 @@ __all__ = [
     "run_fuzz",
 ]
 
-_TABLES = ("flat", "part", "col")
+_TABLES = ("flat", "part", "col", "slm")
 _VIEWS = ("v_mono", "v_diff", "v_patch")
 _POLICIES = {"eager": RemovalPolicy.EAGER, "lazy": RemovalPolicy.LAZY}
+#: Idle timeout of the since-last-modification table.
+_SLM_TTL = 6
 
 #: Key/value/ttl/advance ranges are deliberately tiny: collisions
 #: (renewals, delete-then-reinsert, shard reuse) are where the bugs live.
@@ -219,6 +229,8 @@ def generate_ops(
             ops.append(("override", table, row, rng.randint(0, _MAX_TTL)))
         elif roll < 0.55:
             ops.append(("delete", table, row))
+        elif roll < 0.60:
+            ops.append(("touch", table, row))
         elif roll < 0.70:
             ops.append(("advance", rng.randint(1, _MAX_ADVANCE)))
         elif roll < 0.75:
@@ -277,6 +289,13 @@ class _Harness:
         self.db.create_table(
             "col", ["k", "v"], lazy_batch_size=8, layout="columnar",
         )
+        # Renewal-on-touch under the same op mix: every touch restarts a
+        # live row's idle timer; a lifetime-less insert stamps the
+        # default timeout rather than immortality.
+        self.db.create_table(
+            "slm", ["k", "v"], lazy_batch_size=8,
+            expiry="since_last_modification", default_ttl=_SLM_TTL,
+        )
         self.db.materialise("v_mono", BaseRef("flat").project(1))
         diff = BaseRef("flat").difference(BaseRef("part"))
         self.db.materialise(
@@ -332,7 +351,13 @@ class _Harness:
         elif kind == "immortal":
             _, table, row = op
             self.db.table(table).insert(row)
-            self._model_insert(table, row, math.inf)
+            # A lifetime-less insert is immortal -- except on the
+            # since-last-modification table, whose default idle timeout
+            # stamps every insert that names neither expires_at nor ttl.
+            self._model_insert(
+                table, row,
+                self.now + _SLM_TTL if table == "slm" else math.inf,
+            )
         elif kind == "renew":
             _, table, row, ttl = op
             self.db.table(table).renew(row, ttl)
@@ -347,6 +372,23 @@ class _Harness:
             _, table, row = op
             self.db.table(table).delete(row)
             self.model[table].pop(row, None)
+        elif kind == "touch":
+            _, table, row = op
+            touched = self.db.table(table).touch(row)
+            current = self.model[table].get(row)
+            if table == "slm" and current is not None and current > self.now:
+                # Live on the idle-timeout table: the timer restarts
+                # (max-merge, so a longer explicit lifetime survives).
+                self.model[table][row] = max(current, self.now + _SLM_TTL)
+                if touched is None:
+                    raise CheckFailed(
+                        f"touch on live slm row {row} was refused"
+                    )
+            elif touched is not None:
+                raise CheckFailed(
+                    f"touch on {table}{row} renewed a row the oracle "
+                    f"considers {'dead' if table == 'slm' else 'untouchable'}"
+                )
         elif kind == "advance":
             _, delta = op
             self.db.tick(delta)

@@ -37,6 +37,7 @@ __all__ = [
     "AbsoluteTolerance",
     "RelativeTolerance",
     "EXACT_TOLERANCE",
+    "approximate_count_validity",
     "approximate_expiration",
     "approximate_validity",
     "max_observed_error",
@@ -141,6 +142,58 @@ def approximate_validity(
         for interval, value in timeline
         if tolerance.accepts(reported, value)
     )
+
+
+def approximate_count_validity(
+    texps: Sequence[Timestamp],
+    tau: Timestamp,
+    tolerance: Tolerance,
+) -> "tuple[int, IntervalSet]":
+    """``(count, validity)`` for COUNT under expiration-only drift.
+
+    The COUNT special case of :func:`approximate_validity` without the
+    :func:`~repro.core.aggregates.value_timeline` machinery: a count over
+    an expiring partition only ever *decreases* as time passes, so the
+    accepted region is one contiguous interval ``[τ, h)`` where ``h`` is
+    the first expiration instant at which the cumulative drop leaves the
+    tolerance band -- computable with a sort and a single scan.  This is
+    the continuous-query hot path (:mod:`repro.workloads.streaming`
+    re-derives each standing count's ``I(e)`` from exactly this), where
+    building the full timeline per refresh would dominate.
+
+    ``texps`` are the partition members' stored expirations; members dead
+    at ``τ`` are ignored.  Like the general machinery, the partition's
+    death bounds the validity even when every drop stays in band.
+    Equivalent to ``approximate_validity`` with
+    :class:`~repro.core.aggregates.CountAggregate` on every input (a
+    property the test suite pins down).
+    """
+    finite: list = []
+    immortal = 0
+    for texp in texps:
+        if texp <= tau:
+            continue
+        if texp.is_finite:
+            finite.append(texp.value)
+        else:
+            immortal += 1
+    count = immortal + len(finite)
+    if count == 0:
+        raise AggregateError(f"partition fully expired at τ = {tau}")
+    finite.sort()
+    index = 0
+    total = len(finite)
+    while index < total:
+        run_end = index
+        while run_end + 1 < total and finite[run_end + 1] == finite[index]:
+            run_end += 1
+        # Once the clock reaches this expiration instant, every member up
+        # to the end of the equal run is dead.
+        if not tolerance.accepts(count, count - (run_end + 1)):
+            return count, IntervalSet.single(tau, finite[index])
+        index = run_end + 1
+    death = INFINITY if immortal else finite[-1]
+    return count, IntervalSet.single(tau, death)
 
 
 def max_observed_error(

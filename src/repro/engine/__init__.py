@@ -29,7 +29,12 @@ from repro.engine.persistence import (
 )
 from repro.engine.recovery import RecoveryReport, recover_database
 from repro.engine.statistics import EngineStatistics, StatisticsSnapshot
-from repro.engine.table import Table
+from repro.engine.table import (
+    EXPIRY_ABSOLUTE,
+    EXPIRY_POLICIES,
+    EXPIRY_SINCE_LAST_MODIFICATION,
+    Table,
+)
 from repro.engine.timer_wheel import TimerWheelIndex
 from repro.engine.transactions import Transaction, TransactionState
 from repro.engine.triggers import ExpirationEvent, Trigger, TriggerManager
@@ -56,6 +61,9 @@ __all__ = [
     "save_database",
     "EngineStatistics",
     "StatisticsSnapshot",
+    "EXPIRY_ABSOLUTE",
+    "EXPIRY_POLICIES",
+    "EXPIRY_SINCE_LAST_MODIFICATION",
     "Table",
     "TimerWheelIndex",
     "Transaction",

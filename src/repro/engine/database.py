@@ -239,6 +239,8 @@ class Database:
         index_factory: Optional[Any] = None,
         layout: str = "row",
         columnar_backend: Optional[str] = None,
+        expiry: str = "absolute",
+        default_ttl: Optional[int] = None,
     ) -> Table:
         """Create and register a table; returns it for convenience.
 
@@ -259,6 +261,14 @@ class Database:
         then run whole-column batch kernels over it.  ``columnar_backend``
         overrides the database-wide :attr:`columnar_backend` for this
         table.
+
+        ``expiry="since_last_modification"`` (with a mandatory
+        ``default_ttl``, the idle timeout) makes the table renewal-on-
+        touch: inserts default to ``default_ttl`` and
+        :meth:`~repro.engine.table.Table.touch` restarts a live row's
+        timer, while on the default ``"absolute"`` policy touches are
+        no-ops.  ``default_ttl`` alone just defaults otherwise-immortal
+        inserts.
         """
         if name in self._tables or name in self._views:
             raise CatalogError(f"name {name!r} already in use")
@@ -286,6 +296,8 @@ class Database:
                 index_factory=index_factory,
                 layout=layout,
                 columnar_backend=backend,
+                expiry=expiry,
+                default_ttl=default_ttl,
             )
         else:
             table = Table(
@@ -299,6 +311,8 @@ class Database:
                 index_factory=index_factory,
                 layout=layout,
                 columnar_backend=backend,
+                expiry=expiry,
+                default_ttl=default_ttl,
             )
         self._tables[name] = table
         self.clock.on_advance(table.on_clock_advance)

@@ -348,6 +348,8 @@ class PartitionedTable(Table):
         index_factory=None,
         layout: str = "row",
         columnar_backend: Optional[str] = None,
+        expiry: str = "absolute",
+        default_ttl: Optional[int] = None,
     ) -> None:
         super().__init__(
             name,
@@ -360,6 +362,8 @@ class PartitionedTable(Table):
             index_factory=index_factory,
             layout=layout,
             columnar_backend=columnar_backend,
+            expiry=expiry,
+            default_ttl=default_ttl,
         )
         if partitions < 1:
             raise EngineError(f"partitions must be >= 1, got {partitions}")

@@ -111,6 +111,10 @@ def table_spec(table: Table, include_rows: bool = True) -> Dict[str, Any]:
         # machine-local choice (numpy availability, REPRO_NUMPY) resolved
         # afresh by whoever loads the snapshot.
         spec["layout"] = table.layout
+    if table.expiry != "absolute":
+        spec["expiry"] = table.expiry
+    if table.default_ttl is not None:
+        spec["default_ttl"] = table.default_ttl
     if include_rows:
         rows = []
         for row, texp in table.relation.items():
@@ -171,6 +175,8 @@ def restore_table(db: Database, spec: Dict[str, Any]) -> Table:
         partition_key=spec.get("partition_key"),
         index_factory=_resolve_index_factory(spec.get("index_factory")),
         layout=spec.get("layout", "row"),
+        expiry=spec.get("expiry", "absolute"),
+        default_ttl=spec.get("default_ttl"),
     )
     pairs = [
         (tuple(values), ts(texp)) for values, texp in spec.get("rows", ())

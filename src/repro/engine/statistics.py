@@ -40,6 +40,10 @@ ENGINE_COUNTERS: Dict[str, tuple] = {
         "repro_engine_overrides_total",
         "Rows whose expiration was overridden (revocations, lockouts, "
         "admin corrections) -- last-write, not max-merge."),
+    "touches": (
+        "repro_engine_touches_total",
+        "Renewal-on-touch hits on since-last-modification tables (each "
+        "one restarted a live row's idle timer)."),
     "expirations_processed": (
         "repro_expiration_processed_total",
         "Tuples whose expiration was processed (eager drain or vacuum)."),

@@ -38,7 +38,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.engine.constraints import Constraint
     from repro.engine.database import Database
 
-__all__ = ["Table", "declare_expiration_families"]
+__all__ = [
+    "Table",
+    "declare_expiration_families",
+    "EXPIRY_ABSOLUTE",
+    "EXPIRY_SINCE_LAST_MODIFICATION",
+    "EXPIRY_POLICIES",
+]
+
+#: Expiration is stamped at insert and only the explicit verbs
+#: (renew/override) move it afterwards.
+EXPIRY_ABSOLUTE = "absolute"
+#: Idle-timeout expiry ("Efficient Management of Short-Lived Data"):
+#: every write restarts the clock, and reads that count as activity go
+#: through :meth:`Table.touch`, which renews the row's default TTL.
+EXPIRY_SINCE_LAST_MODIFICATION = "since_last_modification"
+EXPIRY_POLICIES = (EXPIRY_ABSOLUTE, EXPIRY_SINCE_LAST_MODIFICATION)
 
 
 def declare_expiration_families(registry):
@@ -78,10 +93,26 @@ class Table:
         index_factory: Optional[Callable[[], ExpirationIndex]] = None,
         layout: str = "row",
         columnar_backend: Optional[str] = None,
+        expiry: str = EXPIRY_ABSOLUTE,
+        default_ttl: Optional[int] = None,
     ) -> None:
         if layout not in ("row", "columnar"):
             raise EngineError(
                 f"unknown table layout {layout!r} (expected 'row' or 'columnar')"
+            )
+        if expiry not in EXPIRY_POLICIES:
+            raise EngineError(
+                f"unknown expiry policy {expiry!r} (expected one of "
+                f"{EXPIRY_POLICIES})"
+            )
+        if default_ttl is not None and default_ttl <= 0:
+            raise EngineError(
+                f"default_ttl must be positive, got {default_ttl}"
+            )
+        if expiry == EXPIRY_SINCE_LAST_MODIFICATION and default_ttl is None:
+            raise EngineError(
+                "since_last_modification expiry needs a default_ttl "
+                "(the idle timeout every touch restarts)"
             )
         self.name = name
         self.schema = schema
@@ -95,6 +126,13 @@ class Table:
         #: backend is resolved once at creation so later environment flips
         #: cannot leave a table's shards disagreeing.
         self.layout = layout
+        #: Table-level expiry policy: "absolute" (texp stamped at insert)
+        #: or "since_last_modification" (renewal-on-touch, Zeek-broker
+        #: style -- see :meth:`touch`).
+        self.expiry = expiry
+        #: TTL applied when an insert names neither expires_at nor ttl,
+        #: and the idle timeout :meth:`touch` restarts.
+        self.default_ttl = default_ttl
         self.columnar_backend = (
             resolve_backend(columnar_backend) if layout == "columnar" else None
         )
@@ -133,10 +171,15 @@ class Table:
     ) -> ExpiringTuple:
         """Insert a row, expiring at ``expires_at`` or after ``ttl`` ticks.
 
-        Omitting both means no expiration (``∞``).  Duplicate rows keep the
-        later expiration (the model's max-merge rule), so re-insertion is
-        the idiom for *renewing* a session, credential, or cached copy.
+        Omitting both means no expiration (``∞``) -- unless the table has
+        a :attr:`default_ttl`, which then applies (on a
+        since-last-modification table nothing is immortal: every write
+        restarts the idle timer).  Duplicate rows keep the later
+        expiration (the model's max-merge rule), so re-insertion is the
+        idiom for *renewing* a session, credential, or cached copy.
         """
+        if expires_at is None and ttl is None:
+            ttl = self.default_ttl
         if ttl is not None:
             if expires_at is not None:
                 raise EngineError("pass expires_at or ttl, not both")
@@ -204,6 +247,40 @@ class Table:
         a lockout early), use :meth:`override`, which is last-write.
         """
         return self.insert(values, ttl=ttl)
+
+    def touch(
+        self, values: Iterable[Any], ttl: Optional[int] = None
+    ) -> Optional[ExpiringTuple]:
+        """Renewal-on-touch: restart a live row's idle timer.
+
+        On a ``since_last_modification`` table, activity on a row routes
+        through here and renews it for ``ttl`` (default: the table's
+        :attr:`default_ttl`) ticks from now -- the Zeek-broker idiom where
+        any access counts as a modification.  The renewal is max-merge
+        like every touch-path write, which with a fixed idle timeout is
+        exactly "now + timeout" (the clock never runs backwards).
+
+        Touching is deliberately weaker than :meth:`renew`:
+
+        * on an ``absolute``-expiry table it is a no-op returning ``None``
+          (activity does not extend absolutely-stamped lifetimes);
+        * a row that is absent -- or already expired, even if a lazy sweep
+          has not reclaimed it yet -- is *not* revived (``None`` again);
+          resurrection would un-fire an expiration the model already
+          considers to have happened.  Re-admit it with :meth:`insert`.
+        """
+        if self.expiry != EXPIRY_SINCE_LAST_MODIFICATION:
+            return None
+        effective = ttl if ttl is not None else self.default_ttl
+        if effective is None or effective <= 0:
+            raise EngineError(f"touch ttl must be positive, got {effective}")
+        row = make_row(values)
+        current = self.relation.expiration_or_none(row)
+        if current is None or current <= self.clock.now:
+            return None
+        stored = self.insert(row, ttl=effective)
+        self.statistics.touches += 1
+        return stored
 
     def override(
         self,

@@ -33,6 +33,18 @@ from repro.workloads.news import (
     figure1_pol,
 )
 from repro.workloads.sensors import READING_SCHEMA, SensorFleet
+from repro.workloads.streaming import (
+    CONNECTION_SCHEMA,
+    EVENT_SCHEMA,
+    DistinctCount,
+    ExtentAggregate,
+    ReservoirSample,
+    StandingQuery,
+    StreamStore,
+    ThresholdWatch,
+    WindowedCount,
+    declare_streaming_families,
+)
 from repro.workloads.sessions import (
     SESSION_SCHEMA,
     SessionEvent,
@@ -65,6 +77,16 @@ __all__ = [
     "figure1_pol",
     "READING_SCHEMA",
     "SensorFleet",
+    "CONNECTION_SCHEMA",
+    "EVENT_SCHEMA",
+    "DistinctCount",
+    "ExtentAggregate",
+    "ReservoirSample",
+    "StandingQuery",
+    "StreamStore",
+    "ThresholdWatch",
+    "WindowedCount",
+    "declare_streaming_families",
     "SESSION_SCHEMA",
     "SessionEvent",
     "SessionStore",

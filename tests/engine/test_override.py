@@ -230,3 +230,69 @@ class TestPointProbes:
         assert not view.contains((1, 1), at=10)
         db.advance_to(10)
         assert not view.contains((1, 1))
+
+
+class TestViewsObserveShortening:
+    """Last-write *shortening* (not just revoke-to-now) reaches deltas.
+
+    An override that moves a lifetime earlier -- but still into the
+    future -- invalidates patch schedules the incremental maintenance
+    derived from the old ``texp``.  Each view kind (monotonic,
+    difference, aggregate) must track a fresh evaluation across the new
+    and the old deadline alike.
+    """
+
+    @staticmethod
+    def _fresh(db, expression):
+        return set(db.evaluate(expression).relation.rows())
+
+    def test_monotonic_view_tracks_shortened_row(self):
+        from repro.core.algebra.expressions import BaseRef
+
+        db = Database()
+        table = make_table(db)
+        table.insert((1, 1), ttl=100)
+        table.insert((2, 2), ttl=100)
+        view = IncrementalView(db, "V", BaseRef("T").project("k"))
+        assert set(view.read().rows()) == {(1,), (2,)}
+        table.override((2, 2), expires_at=5)  # shorten, still alive
+        db.advance_to(4)
+        assert set(view.read().rows()) == {(1,), (2,)}
+        db.advance_to(5)  # the *new* deadline, well before the old one
+        assert set(view.read().rows()) == {(1,)}
+        assert db.verify(strict=True, deep=True) == []
+
+    def test_difference_view_tracks_shortened_match(self):
+        db = Database()
+        db.create_table("L", ["a", "b"])
+        db.create_table("R2", ["a", "b"])
+        expr = db.table_expr("L").difference(db.table_expr("R2"))
+        view = IncrementalView(db, "V", expr)
+        db.table("L").insert((1, 1), ttl=100)
+        db.table("R2").insert((1, 1), ttl=50)  # knocks the tuple out
+        assert set(view.read().rows()) == set()
+        # Shorten the match: the re-appearance patch must move earlier.
+        db.table("R2").override((1, 1), expires_at=10)
+        for when in (5, 10, 20, 50, 100):
+            db.advance_to(when)
+            assert set(view.read().rows()) == self._fresh(db, expr), when
+        assert db.verify(strict=True, deep=True) == []
+
+    def test_aggregate_view_tracks_shortened_member(self):
+        from repro.core.aggregates import ExpirationStrategy
+
+        db = Database()
+        db.create_table("G", ["k", "g"])
+        expr = db.table_expr("G").aggregate(
+            group_by=[2], function="count",
+            strategy=ExpirationStrategy.EXACT,
+        )
+        view = IncrementalView(db, "V", expr)
+        db.table("G").insert((1, 7), ttl=100)
+        db.table("G").insert((2, 7), ttl=100)
+        assert set(view.read().rows()) == {(1, 7, 2), (2, 7, 2)}
+        db.table("G").override((2, 7), expires_at=6)  # count drops at 6
+        for when in (3, 6, 50, 100):
+            db.advance_to(when)
+            assert set(view.read().rows()) == self._fresh(db, expr), when
+        assert db.verify(strict=True, deep=True) == []

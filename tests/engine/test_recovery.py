@@ -275,3 +275,63 @@ class TestComposition:
             recovered = recover_database(tmp_path)
         assert set(recovered.table("T").read().rows()) == {(1,)}
         recovered.close()
+
+
+class TestSweepRemovalDurability:
+    """Every physical-removal path must WAL-log what it reclaims.
+
+    The partitioned-LAZY variant above is the original regression; this
+    sweeps the whole matrix -- the flat eager drain, the lazy vacuum,
+    the columnar in-line expiry, and the partitioned parallel sweep, in
+    row and columnar layouts -- because each one removes rows through
+    different code and any of them silently skipping the WAL resurrects
+    swept rows from the snapshot and re-fires their ON-EXPIRE triggers.
+    """
+
+    LAYOUTS = [
+        {},
+        {"layout": "columnar"},
+        {"partitions": 3, "partition_key": "k"},
+        {"partitions": 3, "partition_key": "k", "layout": "columnar"},
+    ]
+
+    @pytest.mark.parametrize("kwargs", LAYOUTS)
+    @pytest.mark.parametrize("policy", ["EAGER", "LAZY"])
+    def test_swept_rows_stay_dead_after_recovery(self, tmp_path, kwargs, policy):
+        from repro.engine.expiration_index import RemovalPolicy
+
+        removal = RemovalPolicy[policy]
+        db = durable(tmp_path)
+        table = db.create_table(
+            "T", ["k", "v"], removal_policy=removal,
+            lazy_batch_size=1_000, **kwargs,
+        )
+        fired = []
+        table.triggers.register(
+            "audit", lambda event: fired.append(event.tuple.row)
+        )
+        for key in range(6):
+            table.insert((key, key), expires_at=4)
+        table.insert((99, 99), expires_at=50)  # a survivor
+        db.checkpoint()  # snapshot retains all seven rows
+        db.advance_to(5)  # EAGER: the sweep happens right here
+        if removal is RemovalPolicy.LAZY:
+            assert table.vacuum() == 6
+        assert len(fired) == 6
+        assert table.physical_size == 1
+        db.close()
+
+        recovered = recover_database(tmp_path)
+        t = recovered.table("T")
+        refired = []
+        t.triggers.register(
+            "audit", lambda event: refired.append(event.tuple.row)
+        )
+        assert t.physical_size == 1  # nothing resurrected
+        assert set(t.read().rows()) == {(99, 99)}
+        recovered.tick(1)
+        if removal is RemovalPolicy.LAZY:
+            t.vacuum()
+        assert refired == []  # each (row, texp) fired exactly once
+        assert recovered.verify(strict=True, deep=True) == []
+        recovered.close()

@@ -206,3 +206,61 @@ class TestTableIntegration:
         assert table._index._size == 4
         db.advance_to(1000)
         assert len(table) == 0
+
+
+class TestCachedMinUnderOverride:
+    """Regression: last-write shortening must invalidate the cached min.
+
+    ``next_expiration`` caches the minimum pending tick between
+    mutations; an ``override`` that *shortens* a lifetime (the revocation
+    path) reschedules through the same entry, and a stale cache here
+    would make the trigger scheduler sleep past the new deadline.
+    """
+
+    def test_shorten_updates_cached_min(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 100)
+        wheel.schedule((2,), 200)
+        assert wheel.next_expiration() == ts(100)  # prime the cache
+        wheel.schedule((2,), 40)  # shorten the non-minimum entry
+        assert wheel.next_expiration() == ts(40)
+        wheel.schedule((2,), 10)  # shorten the minimum itself
+        assert wheel.next_expiration() == ts(10)
+
+    def test_lengthen_sole_minimum_recomputes(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 5)
+        wheel.schedule((2,), 50)
+        assert wheel.next_expiration() == ts(5)
+        wheel.schedule((1,), 500)  # the old minimum moved away
+        assert wheel.next_expiration() == ts(50)
+
+    def test_shorten_to_infinity_then_back(self):
+        wheel = TimerWheelIndex(wheel_size=8)
+        wheel.schedule((1,), 7)
+        assert wheel.next_expiration() == ts(7)
+        wheel.schedule((1,), INFINITY)
+        assert wheel.next_expiration() is None
+        wheel.schedule((1,), 3)
+        assert wheel.next_expiration() == ts(3)
+
+    @pytest.mark.parametrize("factory", [None, TimerWheelIndex])
+    @pytest.mark.parametrize("partitions", [None, 3])
+    def test_override_then_next_expiration_on_tables(self, factory, partitions):
+        """The full path: Table.override -> index reschedule -> cached min."""
+        from repro.engine.database import Database
+
+        db = Database()
+        kwargs = {"partitions": partitions} if partitions else {}
+        if factory is not None:
+            kwargs["index_factory"] = factory
+        table = db.create_table("T", ["k"], **kwargs)
+        for i in range(6):
+            table.insert((i,), expires_at=100 + i)
+        assert table.next_expiration() == ts(100)
+        table.override((4,), expires_at=9)  # revocation-style shortening
+        assert table.next_expiration() == ts(9)
+        db.advance_to(9)
+        assert (4,) not in table.read()
+        assert table.next_expiration() == ts(100)
+        db.close()

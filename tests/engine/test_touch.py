@@ -1,0 +1,181 @@
+"""Renewal-on-touch: the ``since_last_modification`` expiry policy.
+
+A touched row's idle timer restarts through the model's max-merge (a
+touch is a re-insertion at ``now + timeout``, which under a monotone
+clock and constant timeout is always the max); a dead row stays dead (a
+touch is not an insert).  The interleavings pinned here are the ones the
+expiration index makes dangerous: touch after the deadline but before
+the sweep that enforces it, touch leaving a stale index entry behind for
+a later (possibly parallel, partitioned) sweep, and touch against an
+override-shortened lifetime.
+"""
+
+import pytest
+
+from repro.core.timestamps import ts
+from repro.engine.database import Database
+from repro.engine.expiration_index import RemovalPolicy
+from repro.engine.recovery import recover_database
+from repro.errors import EngineError
+
+LAYOUTS = [
+    {},  # flat, row layout
+    {"layout": "columnar"},
+    {"partitions": 4, "partition_key": "k"},
+    {"partitions": 4, "partition_key": "k", "layout": "columnar"},
+]
+POLICIES = [RemovalPolicy.EAGER, RemovalPolicy.LAZY]
+
+
+def make_slm(db, timeout=10, **kwargs):
+    return db.create_table(
+        "T", ["k", "v"],
+        expiry="since_last_modification", default_ttl=timeout, **kwargs,
+    )
+
+
+class TestPolicyConstruction:
+    def test_slm_requires_default_ttl(self):
+        with pytest.raises(EngineError, match="default_ttl"):
+            Database().create_table(
+                "T", ["k"], expiry="since_last_modification"
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(EngineError, match="expiry"):
+            Database().create_table("T", ["k"], expiry="sliding")
+
+    def test_non_positive_default_ttl_rejected(self):
+        with pytest.raises(EngineError):
+            Database().create_table("T", ["k"], default_ttl=0)
+
+    def test_insert_without_lifetime_uses_default_ttl(self):
+        db = Database()
+        table = db.create_table("T", ["k"], default_ttl=6)
+        table.insert((1,))
+        assert table.relation.expiration_of((1,)) == ts(6)
+        table.insert((2,), ttl=3)  # explicit lifetime still wins
+        assert table.relation.expiration_of((2,)) == ts(3)
+
+
+class TestTouchSemantics:
+    def test_touch_restarts_the_idle_timer(self):
+        db = Database()
+        table = make_slm(db, timeout=10)
+        table.insert((1, 1))
+        db.tick(7)
+        assert table.touch((1, 1)) is not None
+        assert table.relation.expiration_of((1, 1)) == ts(17)
+        assert table.statistics.touches == 1
+
+    def test_touch_on_absolute_table_is_noop(self):
+        db = Database()
+        table = db.create_table("T", ["k"], default_ttl=10)
+        table.insert((1,))
+        assert table.touch((1,)) is None
+        assert table.statistics.touches == 0
+
+    def test_touch_absent_row_is_noop(self):
+        db = Database()
+        table = make_slm(db)
+        assert table.touch((9, 9)) is None
+        assert len(table) == 0  # no insert-through
+
+    def test_touch_with_bad_ttl_rejected(self):
+        db = Database()
+        table = make_slm(db)
+        table.insert((1, 1))
+        with pytest.raises(EngineError):
+            table.touch((1, 1), ttl=0)
+
+    def test_touch_metric_exported(self):
+        db = Database()
+        table = make_slm(db)
+        table.insert((1, 1))
+        table.touch((1, 1))
+        assert "repro_engine_touches_total 1" in db.metrics.to_prom_text()
+
+
+class TestInterleavings:
+    """Touch racing the deadline, the sweep, and the revocation path."""
+
+    @pytest.mark.parametrize("kwargs", LAYOUTS)
+    def test_touch_after_due_before_sweep_does_not_resurrect(self, kwargs):
+        # Under LAZY the deadline passes first and the reclaim comes
+        # later (vacuum); a touch in between sees a dead row and must
+        # leave it dead -- the PR 9 resurrection shape, from the renewal
+        # side.
+        db = Database()
+        table = make_slm(db, timeout=5, removal_policy=RemovalPolicy.LAZY, **kwargs)
+        table.insert((1, 1))
+        db.tick(5)  # due now, physically still resident
+        assert table.physical_size == 1
+        assert table.touch((1, 1)) is None
+        table.vacuum()
+        assert table.physical_size == 0
+        assert table.statistics.touches == 0
+        assert db.verify(strict=True, deep=True) == []
+
+    @pytest.mark.parametrize("kwargs", LAYOUTS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_touched_row_survives_sweep_of_stale_deadline(self, kwargs, policy):
+        # The touch moves texp but the index may still hold the *old*
+        # deadline; the sweep that pops it must notice the row was
+        # renewed rather than removing it (partitioned layouts run that
+        # sweep in parallel shard jobs).
+        db = Database()
+        table = make_slm(db, timeout=5, removal_policy=policy, **kwargs)
+        for i in range(8):
+            table.insert((i, i))
+        db.tick(3)
+        for i in range(0, 8, 2):
+            assert table.touch((i, i)) is not None  # now due at 8, not 5
+        db.tick(2)  # crosses the stale deadline 5
+        if policy is RemovalPolicy.LAZY:
+            table.vacuum()
+        assert sorted(r[0] for r in table.read().rows()) == [0, 2, 4, 6]
+        assert table.physical_size == 4
+        assert db.verify(strict=True, deep=True) == []
+
+    @pytest.mark.parametrize("kwargs", LAYOUTS)
+    def test_touch_after_override_shortening(self, kwargs):
+        db = Database()
+        table = make_slm(db, timeout=10, **kwargs)
+        table.insert((1, 1))
+        table.override((1, 1), expires_at=2)  # last-write shortening
+        assert table.touch((1, 1)) is not None  # still alive: renews
+        assert table.relation.expiration_of((1, 1)) == ts(10)
+        db.tick(5)
+        assert (1, 1) in table.read()
+
+    @pytest.mark.parametrize("kwargs", LAYOUTS)
+    def test_touch_after_revocation_stays_dead(self, kwargs):
+        db = Database()
+        table = make_slm(db, timeout=10, **kwargs)
+        table.insert((1, 1))
+        table.override((1, 1), expires_at=db.now)  # immediate revoke
+        assert table.touch((1, 1)) is None
+        assert (1, 1) not in table.read()
+        db.tick(1)
+        assert db.verify(strict=True, deep=True) == []
+
+
+class TestDurability:
+    def test_policy_and_touches_survive_recovery(self, tmp_path):
+        db = Database(wal_dir=tmp_path)
+        table = db.create_table(
+            "T", ["k", "v"],
+            expiry="since_last_modification", default_ttl=5,
+        )
+        table.insert((1, 1))
+        db.tick(3)
+        table.touch((1, 1))  # renewed to 8
+        db.close()
+
+        recovered = recover_database(tmp_path)
+        table = recovered.table("T")
+        assert table.expiry == "since_last_modification"
+        assert table.default_ttl == 5
+        assert table.relation.expiration_of((1, 1)) == ts(8)
+        recovered.tick(4)  # past the pre-touch deadline
+        assert (1, 1) in table.read()

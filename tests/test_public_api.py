@@ -57,7 +57,9 @@ DOCTEST_MODULES = [
     "repro.core.algebra.serde",
     "repro.engine.database",
     "repro.sql",
+    "repro.workloads.authz",
     "repro.workloads.sessions",
+    "repro.workloads.streaming",
     "repro.obs.registry",
     "repro.obs.tracing",
 ]
